@@ -1,0 +1,104 @@
+"""E1 — availability failures: promises vs the three baselines.
+
+Operationalises the paper's §7 claim: a promise-holding client "will not
+fail because the required resources are no longer available", whereas
+unprotected check-then-act clients discover shortfalls only at purchase
+time.  Sweeps client count and contention tightness for all four regimes
+and reports late-failure rates and wasted work.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    LockingRegime,
+    OptimisticRegime,
+    PromiseRegime,
+    ValidationRegime,
+)
+from repro.sim.workload import WorkloadSpec
+
+from .common import print_table, run_once
+
+REGIMES = (PromiseRegime, OptimisticRegime, ValidationRegime, LockingRegime)
+
+
+def base_spec(clients: int, seed: int = 17) -> WorkloadSpec:
+    return WorkloadSpec(
+        clients=clients,
+        products=2,
+        quantity_low=1,
+        quantity_high=5,
+        products_per_order=1,
+        mean_interarrival=1.0,
+        work_low=5,
+        work_high=20,
+        seed=seed,
+    )
+
+
+def test_bench_promise_regime(benchmark):
+    """One full simulated run under the promise regime."""
+    spec = base_spec(32).with_tightness(2.0)
+    benchmark(lambda: PromiseRegime().run(spec))
+
+
+def test_bench_optimistic_regime(benchmark):
+    """One full simulated run under unprotected check-then-act."""
+    spec = base_spec(32).with_tightness(2.0)
+    benchmark(lambda: OptimisticRegime().run(spec))
+
+
+def test_report_e1(benchmark):
+    """Late-failure rate and wasted work across contention levels."""
+
+    def sweep():
+        rows = []
+        for clients in (8, 24, 64):
+            for tightness in (0.5, 1.0, 2.0):
+                spec = base_spec(clients).with_tightness(tightness)
+                for regime_cls in REGIMES:
+                    metrics = regime_cls().run(spec)
+                    attempts = max(
+                        1,
+                        metrics.counter("success")
+                        + metrics.counter("late_failure")
+                        + metrics.counter("early_reject")
+                        + metrics.counter("aborted_after_retries"),
+                    )
+                    rows.append(
+                        {
+                            "clients": clients,
+                            "tightness": tightness,
+                            "regime": regime_cls().name,
+                            "success": metrics.counter("success"),
+                            "early reject": metrics.counter("early_reject"),
+                            "late fail": metrics.counter("late_failure"),
+                            "late fail %": 100.0
+                            * metrics.counter("late_failure")
+                            / attempts,
+                            "wasted ticks": int(
+                                sum(metrics.series.get("wasted_work", []))
+                            ),
+                        }
+                    )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E1: availability failures by regime, clients x tightness",
+        [
+            "clients", "tightness", "regime", "success",
+            "early reject", "late fail", "late fail %", "wasted ticks",
+        ],
+        rows,
+    )
+    promise_rows = [row for row in rows if row["regime"] == "promises"]
+    optimistic_hot = [
+        row for row in rows
+        if row["regime"] == "optimistic" and row["tightness"] > 1.0
+        and row["clients"] >= 24
+    ]
+    # The paper's claim: promises never fail late; check-then-act does
+    # under contention.
+    assert all(row["late fail"] == 0 for row in promise_rows)
+    assert all(row["late fail"] > 0 for row in optimistic_hot)

@@ -1,0 +1,122 @@
+"""E3 — anonymous pools: the escrow sum rule (§3.1, §5).
+
+"There can be any number of promises outstanding on anonymous resources,
+the only constraint being that the sum of all promised resources should
+not exceed the resources that are actually available."  Reports the grant
+rate as outstanding promises approach capacity, verifies the never-
+oversell invariant, and compares the per-grant cost of the two techniques
+able to implement anonymous promises: escrow pooling (O(1) counter moves)
+and pure satisfiability checking (re-sums every active promise).
+"""
+
+from __future__ import annotations
+
+from repro.core.manager import PromiseManager
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.sim.random import RandomStream
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+from repro.strategies.satisfiability import SatisfiabilityStrategy
+
+from .common import print_table, run_once
+
+
+def build(strategy_name: str, capacity: int = 100) -> PromiseManager:
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    strategy = (
+        ResourcePoolStrategy()
+        if strategy_name == "resource_pool"
+        else SatisfiabilityStrategy()
+    )
+    registry.assign("pool", strategy)
+    manager = PromiseManager(
+        store=store, resources=resources, registry=registry, name="e3"
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "pool", capacity)
+    return manager
+
+
+def test_bench_escrow_grant_release(benchmark):
+    """Escrow grant+release cycle with 50 active promises in the table."""
+    manager = build("resource_pool")
+    for __ in range(50):
+        manager.request_promise_for([quantity_at_least("pool", 1)], 10_000)
+
+    def cycle():
+        response = manager.request_promise_for(
+            [quantity_at_least("pool", 1)], 10_000
+        )
+        manager.release(response.promise_id)
+        manager.vacuum()
+
+    benchmark(cycle)
+
+
+def test_bench_satisfiability_grant_release(benchmark):
+    """The same cycle under pure satisfiability checking."""
+    manager = build("satisfiability")
+    for __ in range(50):
+        manager.request_promise_for([quantity_at_least("pool", 1)], 10_000)
+
+    def cycle():
+        response = manager.request_promise_for(
+            [quantity_at_least("pool", 1)], 10_000
+        )
+        manager.release(response.promise_id)
+        manager.vacuum()
+
+    benchmark(cycle)
+
+
+def test_report_e3(benchmark):
+    """Grant rate vs outstanding demand; the sum rule is exact."""
+
+    def sweep():
+        rows = []
+        capacity = 100
+        for strategy_name in ("resource_pool", "satisfiability"):
+            stream = RandomStream(5, f"amounts-{strategy_name}")
+            manager = build(strategy_name, capacity)
+            outstanding = 0
+            granted = rejected = 0
+            checkpoints = {25, 50, 75, 90, 100}
+            for __ in range(1_000):
+                amount = stream.uniform_int(1, 20)
+                response = manager.request_promise_for(
+                    [quantity_at_least("pool", amount)], 10_000
+                )
+                if response.accepted:
+                    granted += 1
+                    outstanding += amount
+                else:
+                    rejected += 1
+                utilisation = 100 * outstanding // capacity
+                if utilisation in checkpoints:
+                    checkpoints.discard(utilisation)
+                    rows.append(
+                        {
+                            "strategy": strategy_name,
+                            "promised units": outstanding,
+                            "utilisation %": utilisation,
+                            "granted": granted,
+                            "rejected": rejected,
+                        }
+                    )
+                if outstanding >= capacity:
+                    break
+            # Invariant: promised never exceeds capacity.
+            assert outstanding <= capacity
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E3: anonymous-pool grants as utilisation rises (capacity 100)",
+        ["strategy", "promised units", "utilisation %", "granted", "rejected"],
+        rows,
+    )
+    assert all(row["promised units"] <= 100 for row in rows)

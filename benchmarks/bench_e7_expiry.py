@@ -1,0 +1,137 @@
+"""E7 — promise durations and expiry (§2, §6).
+
+"Promises do not last forever ... promises will expire at the end of this
+time."  Duration is the knob that trades client safety against resource
+hoarding: long promises protect slow clients but keep capacity reserved
+for no-shows.  The report sweeps promise duration against a population of
+clients whose hold times vary (and some of whom abandon), measuring grant
+rate, expired-before-use rate, and capacity lost to no-shows; kernels
+time the expiry sweep itself.
+"""
+
+from __future__ import annotations
+
+from repro.core.clock import LogicalClock
+from repro.core.environment import Environment
+from repro.core.errors import PromiseError
+from repro.core.manager import PromiseManager
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.sim.random import RandomStream
+from repro.sim.simulator import Simulator
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+from .common import print_table, run_once
+
+
+def build(capacity: int = 50) -> tuple[PromiseManager, Simulator]:
+    clock = LogicalClock()
+    sim = Simulator(clock)
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("stock", ResourcePoolStrategy())
+    manager = PromiseManager(
+        store=store, resources=resources, clock=clock,
+        registry=registry, name="e7",
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "stock", capacity)
+    return manager, sim
+
+
+def test_bench_expiry_sweep(benchmark):
+    """Cost of expire_due over a 200-row promise table."""
+    manager, __sim = build(capacity=100_000)
+    for index in range(200):
+        manager.request_promise_for(
+            [quantity_at_least("stock", 1)], duration=1 + index % 7
+        )
+    manager.clock.advance(3)
+
+    def sweep():
+        expired = manager.expire_due()
+        # Re-grant what expired so the table stays ~200 rows.
+        for __ in expired:
+            manager.request_promise_for(
+                [quantity_at_least("stock", 1)], duration=3
+            )
+        manager.clock.advance(3)
+        manager.vacuum()
+
+    benchmark(sweep)
+
+
+def test_report_e7(benchmark):
+    """Duration sweep: completion vs expiry vs capacity hoarding."""
+
+    def run_population(duration: int):
+        manager, sim = build(capacity=50)
+        stream = RandomStream(41, f"holds-{duration}")
+        stats = {"completed": 0, "expired_use": 0, "rejected": 0, "abandoned": 0}
+
+        def client(hold: int, abandons: bool):
+            response = manager.request_promise_for(
+                [quantity_at_least("stock", 1)], duration=duration
+            )
+            if not response.accepted:
+                stats["rejected"] += 1
+                return
+            yield hold
+            if abandons:
+                stats["abandoned"] += 1
+                return  # never releases; capacity hostage until expiry
+            try:
+                outcome = manager.execute(
+                    lambda ctx: "buy",
+                    Environment.of(
+                        response.promise_id, release=[response.promise_id]
+                    ),
+                )
+            except PromiseError:
+                stats["expired_use"] += 1
+                return
+            if outcome.success:
+                stats["completed"] += 1
+            else:
+                stats["expired_use"] += 1
+
+        arrival = 0
+        for __ in range(120):
+            arrival += stream.uniform_int(0, 2)
+            sim.spawn(
+                client(stream.uniform_int(1, 40), stream.chance(0.2)),
+                delay=arrival,
+            )
+        sim.run()
+        return stats
+
+    def sweep():
+        rows = []
+        for duration in (5, 10, 20, 50, 100):
+            stats = run_population(duration)
+            rows.append(
+                {
+                    "duration": duration,
+                    "completed": stats["completed"],
+                    "expired in use": stats["expired_use"],
+                    "rejected": stats["rejected"],
+                    "abandoned": stats["abandoned"],
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E7: promise duration vs outcomes (50 units, 120 clients, 20% no-show)",
+        ["duration", "completed", "expired in use", "rejected", "abandoned"],
+        rows,
+    )
+    short = rows[0]
+    long = rows[-1]
+    # Short durations strand slow clients (their promises expire before
+    # use); long durations stop that failure mode entirely.
+    assert short["expired in use"] > 0
+    assert long["expired in use"] == 0

@@ -1,0 +1,138 @@
+"""E8 — delegation: promises backed by third-party promises (§5, §7).
+
+"A purchase order can be accepted by the merchant if it has received a
+promise from the distributor that a backorder will be fulfilled on time."
+The report drives a merchant whose shipping promises are delegated to a
+shipping service's promise manager (the §7 next-day-delivery example) and
+sweeps upstream capacity; kernels time the delegated grant against a
+local one (the price of crossing a trust domain).
+"""
+
+from __future__ import annotations
+
+from repro.core.environment import Environment
+from repro.core.manager import PromiseManager
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+from repro.strategies.delegation import DelegationStrategy
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+from .common import print_table, run_once
+
+
+def build_pair(upstream_capacity: int) -> tuple[PromiseManager, PromiseManager]:
+    """(merchant, shipper): 'shipping' delegated from merchant to shipper."""
+    shipper_store = Store()
+    shipper_resources = ResourceManager(shipper_store)
+    shipper_registry = StrategyRegistry()
+    shipper_registry.assign("shipping", ResourcePoolStrategy())
+    shipper = PromiseManager(
+        store=shipper_store, resources=shipper_resources,
+        registry=shipper_registry, name="shipper",
+    )
+    with shipper_store.begin() as txn:
+        shipper_resources.create_pool(txn, "shipping", upstream_capacity)
+
+    merchant_store = Store()
+    merchant_resources = ResourceManager(merchant_store)
+    merchant_registry = StrategyRegistry()
+    merchant_registry.assign("widgets", ResourcePoolStrategy())
+    merchant_registry.assign("shipping", DelegationStrategy(shipper, "merchant"))
+    merchant = PromiseManager(
+        store=merchant_store, resources=merchant_resources,
+        registry=merchant_registry, name="merchant",
+    )
+    with merchant_store.begin() as txn:
+        merchant_resources.create_pool(txn, "widgets", 10_000)
+    return merchant, shipper
+
+
+def test_bench_local_grant(benchmark):
+    """Baseline: local escrow grant+release."""
+    merchant, __ = build_pair(10_000)
+
+    def cycle():
+        response = merchant.request_promise_for(
+            [quantity_at_least("widgets", 1)], 10
+        )
+        merchant.release(response.promise_id)
+        merchant.vacuum()
+
+    benchmark(cycle)
+
+
+def test_bench_delegated_grant(benchmark):
+    """Delegated grant+release: one extra promise round-trip upstream."""
+    merchant, shipper = build_pair(10_000)
+
+    def cycle():
+        response = merchant.request_promise_for(
+            [quantity_at_least("shipping", 1)], 10
+        )
+        merchant.release(response.promise_id)
+        merchant.vacuum()
+        shipper.vacuum()
+
+    benchmark(cycle)
+
+
+def test_report_e8(benchmark):
+    """Order stream needing stock + next-day shipping, capacity sweep."""
+
+    def sweep():
+        rows = []
+        orders = 40
+        for upstream_capacity in (5, 10, 20, 40, 80):
+            merchant, shipper = build_pair(upstream_capacity)
+            accepted = rejected = fulfilled = 0
+            for __ in range(orders):
+                response = merchant.request_promise_for(
+                    [
+                        quantity_at_least("widgets", 1),
+                        quantity_at_least("shipping", 1),
+                    ],
+                    duration=10_000,
+                )
+                if not response.accepted:
+                    rejected += 1
+                    continue
+                accepted += 1
+                outcome = merchant.execute(
+                    lambda ctx: "shipped",
+                    Environment.of(
+                        response.promise_id, release=[response.promise_id]
+                    ),
+                )
+                fulfilled += 1 if outcome.success else 0
+            with shipper.store.begin() as txn:
+                upstream = shipper.resources.pool(txn, "shipping")
+            rows.append(
+                {
+                    "upstream capacity": upstream_capacity,
+                    "orders": orders,
+                    "accepted": accepted,
+                    "rejected": rejected,
+                    "fulfilled": fulfilled,
+                    "upstream left": upstream.on_hand,
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E8: delegated next-day-shipping promises vs upstream capacity",
+        [
+            "upstream capacity", "orders", "accepted", "rejected",
+            "fulfilled", "upstream left",
+        ],
+        rows,
+    )
+    for row in rows:
+        # Every accepted order fulfils: the upstream promise guarantees it.
+        assert row["fulfilled"] == row["accepted"]
+        # Acceptance is exactly bounded by upstream capacity.
+        assert row["accepted"] == min(row["orders"], row["upstream capacity"])
+        # Conservation upstream: consumed units left the shipper's pool.
+        assert row["upstream left"] == row["upstream capacity"] - row["fulfilled"]

@@ -1,0 +1,144 @@
+"""E9 — promises vs integrity constraints: disjoint resources (§9).
+
+"Two integrity constraints 'balance>100' and 'balance>50' are both met if
+the balance is 120, but two promises for 'balance>100' and 'balance>50'
+imply that the balance must be kept over 150."  The report enumerates
+threshold pairs over a fixed balance and compares constraint conjunction
+(both individually true?) against promise checking (jointly reservable?),
+counting the pairs where the two semantics disagree; kernels time the
+checking engine on growing promise sets.
+"""
+
+from __future__ import annotations
+
+from repro.core.checking import Demand, check_satisfiable
+from repro.core.manager import PromiseManager
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+
+from .common import print_table, run_once
+
+
+class _PoolState:
+    def __init__(self, balance: int) -> None:
+        self._balance = balance
+
+    def pool_available(self, pool_id):
+        return self._balance
+
+    def instance(self, instance_id):
+        return None
+
+    def instances_in(self, collection_id):
+        return []
+
+    def property_ordering(self, collection_id, name):
+        return None
+
+
+def test_bench_checker_10_promises(benchmark):
+    """Joint satisfiability over 10 quantity promises."""
+    demands = [
+        Demand(f"p{i}", (quantity_at_least("acct", 5),)) for i in range(10)
+    ]
+    benchmark(check_satisfiable, demands, _PoolState(100))
+
+
+def test_bench_checker_200_promises(benchmark):
+    """Joint satisfiability over 200 quantity promises."""
+    demands = [
+        Demand(f"p{i}", (quantity_at_least("acct", 1),)) for i in range(200)
+    ]
+    benchmark(check_satisfiable, demands, _PoolState(500))
+
+
+def test_report_e9(benchmark):
+    """Constraint-vs-promise disagreement across threshold pairs."""
+
+    def sweep():
+        balance = 120
+        state = _PoolState(balance)
+        rows = []
+        agreements = disagreements = 0
+        thresholds = (25, 50, 75, 100, 110)
+        for first in thresholds:
+            for second in thresholds:
+                if second < first:
+                    continue
+                constraints_ok = first <= balance and second <= balance
+                result = check_satisfiable(
+                    [
+                        Demand("p1", (quantity_at_least("acct", first),)),
+                        Demand("p2", (quantity_at_least("acct", second),)),
+                    ],
+                    state,
+                )
+                if constraints_ok == result.ok:
+                    agreements += 1
+                else:
+                    disagreements += 1
+                rows.append(
+                    {
+                        "promise A": f">={first}",
+                        "promise B": f">={second}",
+                        "as constraints": "both hold" if constraints_ok else "violated",
+                        "as promises": "grantable" if result.ok else "rejected",
+                        "needs": first + second,
+                    }
+                )
+        rows.append(
+            {
+                "promise A": "(pairs)",
+                "promise B": "",
+                "as constraints": f"{agreements} agree",
+                "as promises": f"{disagreements} disagree",
+                "needs": balance,
+            }
+        )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "E9: integrity-constraint vs promise semantics at balance 120",
+        ["promise A", "promise B", "as constraints", "as promises", "needs"],
+        rows,
+    )
+    # The §9 example itself: >=100 with >=50 holds as constraints but is
+    # rejected as promises.
+    example = next(
+        row for row in rows
+        if row["promise A"] == ">=50" and row["promise B"] == ">=100"
+    )
+    assert example["as constraints"] == "both hold"
+    assert example["as promises"] == "rejected"
+
+
+def test_report_e9_end_to_end(benchmark):
+    """The same semantics enforced by a live promise manager."""
+
+    def scenario():
+        store = Store()
+        resources = ResourceManager(store)
+        manager = PromiseManager(store=store, resources=resources, name="e9")
+        with store.begin() as txn:
+            resources.create_pool(txn, "acct", 120)
+        first = manager.request_promise_for(
+            [quantity_at_least("acct", 100)], 100
+        )
+        second = manager.request_promise_for(
+            [quantity_at_least("acct", 50)], 100
+        )
+        third = manager.request_promise_for(
+            [quantity_at_least("acct", 20)], 100
+        )
+        return first.accepted, second.accepted, third.accepted
+
+    granted_100, granted_50, granted_20 = run_once(benchmark, scenario)
+    print(
+        "\n## E9 (live): balance 120 -> promise>=100 "
+        f"{'granted' if granted_100 else 'rejected'}, "
+        f"promise>=50 {'granted' if granted_50 else 'rejected'}, "
+        f"promise>=20 {'granted' if granted_20 else 'rejected'}"
+    )
+    assert granted_100 and not granted_50 and granted_20

@@ -1,0 +1,121 @@
+"""F1 — Figure 1: the merchant ordering process.
+
+Regenerates the paper's Figure-1 walkthrough as an executable scenario
+over the full protocol stack, and reports the accept/reject outcome across
+stock levels (the figure's two branches).  Timed kernels measure one
+complete ordering round and the rejection fast path.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+
+from .common import print_table, run_once
+
+
+def build_shop(stock: int) -> Deployment:
+    shop = Deployment(name="merchant")
+    shop.add_service(MerchantService())
+    shop.use_pool_strategy("pink_widgets")
+    with shop.seed() as txn:
+        shop.resources.create_pool(txn, "pink_widgets", stock)
+    return shop
+
+
+def ordering_round(shop: Deployment, client) -> bool:
+    """One full Figure-1 round: promise -> order -> pay -> complete."""
+    response = client.request_promise(
+        "merchant", [P("quantity('pink_widgets') >= 5")], 30
+    )
+    if not response.accepted:
+        return False
+    order = client.call(
+        "merchant", "merchant", "place_order",
+        {"customer": "c", "product": "pink_widgets", "quantity": 5},
+    )
+    client.call("merchant", "merchant", "pay", {"order_id": order.value})
+    done = client.call(
+        "merchant", "merchant", "complete_order", {"order_id": order.value},
+        environment=Environment.of(response.promise_id, release=[response.promise_id]),
+    )
+    return done.success
+
+
+def test_bench_full_ordering_round(benchmark):
+    """Latency of one complete promise-protected order (4 messages)."""
+    shop = build_shop(stock=1_000_000)
+    client = shop.client("order-process")
+    assert benchmark(ordering_round, shop, client)
+
+
+def test_bench_rejection_fast_path(benchmark):
+    """Latency of the Figure-1 rejection branch (1 message)."""
+    shop = build_shop(stock=0)
+    client = shop.client("order-process")
+    assert not benchmark(ordering_round, shop, client)
+
+
+def test_report_f1(benchmark):
+    """Outcome across stock levels with a concurrent drainer in the gap.
+
+    Reproduces both Figure-1 branches: with >= 5 units unpromised the
+    promise is granted and the later purchase NEVER fails, regardless of
+    the rival sales in between; below 5 the process terminates at the
+    promise step.
+    """
+
+    def sweep():
+        rows = []
+        for stock in (3, 5, 8, 12, 20, 50):
+            shop = build_shop(stock)
+            client = shop.client("order-process")
+            rival = shop.client("rival")
+            response = client.request_promise(
+                "merchant", [P("quantity('pink_widgets') >= 5")], 30
+            )
+            drained = 0
+            if response.accepted:
+                # Rival drains everything it can get between check and act.
+                while rival.call(
+                    "merchant", "merchant", "sell",
+                    {"product": "pink_widgets", "quantity": 1},
+                ).success:
+                    drained += 1
+            purchased = False
+            if response.accepted:
+                order = client.call(
+                    "merchant", "merchant", "place_order",
+                    {"customer": "c", "product": "pink_widgets", "quantity": 5},
+                )
+                client.call("merchant", "merchant", "pay", {"order_id": order.value})
+                purchased = client.call(
+                    "merchant", "merchant", "complete_order",
+                    {"order_id": order.value},
+                    environment=Environment.of(
+                        response.promise_id, release=[response.promise_id]
+                    ),
+                ).success
+            rows.append(
+                {
+                    "stock": stock,
+                    "promise": "granted" if response.accepted else "rejected",
+                    "rival drained": drained,
+                    "purchase": "ok" if purchased else "-",
+                }
+            )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "F1: ordering process outcome vs stock (promise for 5 units)",
+        ["stock", "promise", "rival drained", "purchase"],
+        rows,
+    )
+    granted = [row for row in rows if row["promise"] == "granted"]
+    assert all(row["purchase"] == "ok" for row in granted)
+    assert all(row["stock"] >= 5 for row in granted)

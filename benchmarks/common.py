@@ -1,0 +1,55 @@
+"""Shared helpers for the benchmark harness.
+
+Every module in this package regenerates one experiment from DESIGN.md's
+per-experiment index (the paper's Figures 1 and 2, plus the quantitative
+experiments E1–E9 that operationalise its prose claims).  Conventions:
+
+* timed micro-kernels use the ``benchmark`` fixture normally;
+* each experiment's *report* — the table EXPERIMENTS.md records — is
+  produced by a ``test_report_*`` function that runs the full sweep once
+  under ``benchmark.pedantic(rounds=1)`` and prints the table, so
+  ``pytest benchmarks/ --benchmark-only`` regenerates everything.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+def print_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Mapping[str, object]],
+) -> None:
+    """Print one experiment table in a fixed-width layout."""
+    rendered = [
+        {column: _fmt(row.get(column, "")) for column in columns}
+        for row in rows
+    ]
+    widths = {
+        column: max(len(column), *(len(row[column]) for row in rendered))
+        if rendered
+        else len(column)
+        for column in columns
+    }
+    print(f"\n## {title}")
+    header = "  ".join(column.ljust(widths[column]) for column in columns)
+    print(header)
+    print("-" * len(header))
+    for row in rendered:
+        print("  ".join(row[column].rjust(widths[column]) for column in columns))
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def run_once(benchmark, func):
+    """Run a full experiment exactly once under pytest-benchmark.
+
+    Reports use this so ``--benchmark-only`` still regenerates them while
+    the timing columns stay meaningful (one round, one iteration).
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1)

@@ -1,0 +1,73 @@
+"""Bank balances as anonymous resources: escrow promises (Sections 3.1, 9).
+
+Shows the paper's two bank insights:
+
+* Anonymous view (§3.1): a promise that $500 can be withdrawn sets no
+  specific bills aside, only quantity.  Many promises may coexist "just
+  as long as the account will not be overdrawn if all of these promises
+  are followed by withdrawal requests".
+* Disjointness (§9): two promises 'balance>=100' and 'balance>=50' jointly
+  require 150 — unlike integrity constraints, promise demands *add up*.
+
+Run:  python examples/bank_escrow.py
+"""
+
+from repro import Environment, P
+from repro.services import BankService, Deployment, account_pool
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    bank = Deployment(name="bank")
+    bank.add_service(BankService())
+    bank.use_pool_strategy(account_pool("alice"))
+    teller = bank.client("teller")
+    teller.call("bank", "bank", "open_account", {"account": "alice", "balance": 120})
+
+    pool = account_pool("alice")
+    shop = bank.client("web-shop")
+    utility = bank.client("utility-biller")
+
+    banner("Integrity constraints vs promises (the §9 example)")
+    print("alice's balance: $120")
+    first = shop.request_promise("bank", [P(f"quantity('{pool}') >= 100")], 60)
+    print(f"web-shop asks to rely on balance>=100: "
+          f"{'ACCEPTED' if first.accepted else 'REJECTED'}")
+    second = utility.request_promise("bank", [P(f"quantity('{pool}') >= 50")], 60)
+    print(f"utility asks to rely on balance>=50:  "
+          f"{'ACCEPTED' if second.accepted else 'REJECTED'} ({second.reason})")
+    print("both constraints hold at $120, but promises need $150 of "
+          "disjoint funds — the second is refused")
+
+    banner("Promised funds cannot be withdrawn from under the shop")
+    result = teller.call("bank", "bank", "withdraw", {"account": "alice", "amount": 30})
+    print(f"withdraw $30: {'ok' if result.success else 'REFUSED: ' + result.reason}")
+    result = teller.call("bank", "bank", "withdraw", {"account": "alice", "amount": 20})
+    print(f"withdraw $20: {'ok' if result.success else 'REFUSED: ' + result.reason}")
+
+    banner("The anticipated purchase changes: upgrade $100 -> $110 atomically")
+    upgraded = shop.request_promise(
+        "bank", [P(f"quantity('{pool}') >= 110")], 60, releases=[first.promise_id]
+    )
+    print(f"upgrade: {'ACCEPTED' if upgraded.accepted else 'REJECTED'} "
+          f"({upgraded.reason})")
+    weakened = shop.request_promise(
+        "bank", [P(f"quantity('{pool}') >= 60")], 60, releases=[first.promise_id]
+    )
+    print(f"weaken to $60 instead: {'ACCEPTED' if weakened.accepted else 'REJECTED'}")
+
+    banner("The purchase settles: consume the promise atomically")
+    outcome = shop.call(
+        "bank", "bank", "balance", {"account": "alice"},
+        environment=Environment.of(weakened.promise_id, release=[weakened.promise_id]),
+    )
+    print(f"settlement: {outcome.success}")
+    final = teller.call("bank", "bank", "balance", {"account": "alice"})
+    print(f"final balance: {final.value}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Property-view promises over hotel rooms (Section 3.3 and Section 5).
+
+Shows the paper's room-512 scenario: one customer wants *a room with a
+view*, another wants *any 5th-floor room*.  Room 512 suits both.  Under
+tentative allocation, the promise manager rearranges its provisional
+choices so both customers are promised rooms; under naive first-fit
+tagging the second customer would be turned away.  Also demonstrates
+'or better' grades and essential-vs-desirable negotiation via Or.
+
+Run:  python examples/hotel_properties.py
+"""
+
+from repro import Environment, P
+from repro.services import Deployment, HotelService
+
+ROOMS = {
+    "room-101": {"floor": 1, "view": False, "beds": "twin", "smoking": False, "grade": "standard"},
+    "room-102": {"floor": 1, "view": True, "beds": "queen", "smoking": False, "grade": "standard"},
+    "room-201": {"floor": 2, "view": False, "beds": "queen", "smoking": False, "grade": "deluxe"},
+    "room-512": {"floor": 5, "view": True, "beds": "queen", "smoking": False, "grade": "deluxe"},
+    "room-513": {"floor": 5, "view": False, "beds": "twin", "smoking": False, "grade": "suite"},
+}
+DATE = "2007-03-12"
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def show_tags(deployment) -> None:
+    with deployment.store.begin() as txn:
+        for record in sorted(
+            deployment.resources.instances_in(txn, "rooms"),
+            key=lambda r: r.instance_id,
+        ):
+            owner = f" -> {record.promise_id}" if record.promise_id else ""
+            print(f"  {record.instance_id:22s} {record.status.value}{owner}")
+
+
+def build() -> Deployment:
+    deployment = Deployment(name="hotel")
+    service = deployment.add_service(HotelService())
+    deployment.use_tentative_strategy("rooms")
+    with deployment.seed() as txn:
+        service.seed_rooms(txn, deployment.resources, ROOMS, [DATE])
+    return deployment
+
+
+def main() -> None:
+    hotel = build()
+    date_clause = f"date == '{DATE}'"
+
+    banner("Customer A asks for a room with a view")
+    view_customer = hotel.client("view-customer")
+    view_promise = view_customer.require_promise(
+        "hotel", [P(f"match('rooms', view == true and {date_clause}, count=1)")], 60
+    )
+    show_tags(hotel)
+
+    banner("Customer B asks for any 5th-floor room — 512 may get stolen")
+    floor_customer = hotel.client("floor-customer")
+    floor_promise = floor_customer.require_promise(
+        "hotel", [P(f"match('rooms', floor == 5 and {date_clause}, count=1)")], 60
+    )
+    show_tags(hotel)
+    print("(the view promise was rearranged if B needed its room)")
+
+    banner("'Or better': a standard-grade request upgraded if needed")
+    grade_customer = hotel.client("grade-customer")
+    grade_promise = grade_customer.require_promise(
+        "hotel",
+        [P(f"match('rooms', grade == 'standard'~ and {date_clause}, count=2)")],
+        60,
+    )
+    print(f"granted {grade_promise}: two standard-or-better rooms")
+    show_tags(hotel)
+
+    banner("Essential vs desirable: view + twin beds, else just twin beds")
+    fussy = hotel.client("fussy-customer")
+    response = fussy.request_promise(
+        "hotel",
+        [P(
+            f"match('rooms', view == true and beds == 'twin' and {date_clause}, count=1)"
+            f" or match('rooms', beds == 'twin' and {date_clause}, count=1)"
+        )],
+        60,
+    )
+    print(f"negotiated promise: {'ACCEPTED' if response.accepted else 'REJECTED'}"
+          f" (falls back to the weaker branch when the strong one is gone)")
+    show_tags(hotel)
+
+    banner("Both original customers book; each gets a matching room")
+    booked_view = view_customer.call(
+        "hotel", "hotel", "book", {"guest": "A"},
+        environment=Environment.of(view_promise, release=[view_promise]),
+    )
+    booked_floor = floor_customer.call(
+        "hotel", "hotel", "book", {"guest": "B"},
+        environment=Environment.of(floor_promise, release=[floor_promise]),
+    )
+    print(f"bookings: A={booked_view.success} B={booked_floor.success}")
+    show_tags(hotel)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""Four isolation regimes, one contended workload, side by side.
+
+Runs the same simulated merchant workload — 32 order processes racing for
+scarce stock — under the paper's Promises model and the three comparison
+regimes (unprotected check-then-act, Fast-Path-style commit validation,
+and long-duration 2PL), then prints the outcome table.  This is a small
+interactive version of benchmark experiments E1/E2.
+
+Run:  python examples/isolation_showdown.py
+"""
+
+from repro.baselines import (
+    LockingRegime,
+    OptimisticRegime,
+    PromiseRegime,
+    ValidationRegime,
+)
+from repro.sim.workload import WorkloadSpec
+
+
+def main() -> None:
+    spec = WorkloadSpec(
+        clients=32,
+        products=3,
+        stock_per_product=30,
+        quantity_low=2,
+        quantity_high=6,
+        products_per_order=2,
+        mean_interarrival=1.0,
+        work_low=5,
+        work_high=20,
+        seed=2007,
+    )
+    print(
+        f"workload: {spec.clients} clients, {spec.products} products x "
+        f"{spec.stock_per_product} units, tightness {spec.tightness():.2f}"
+    )
+
+    header = (
+        f"{'regime':12s} {'success':>8s} {'early-rej':>10s} {'late-fail':>10s} "
+        f"{'deadlock':>9s} {'wasted':>7s} {'lat(mean)':>10s} {'lat(p95)':>9s}"
+    )
+    print("\n" + header)
+    print("-" * len(header))
+    for regime_cls in (PromiseRegime, OptimisticRegime, ValidationRegime, LockingRegime):
+        regime = regime_cls()
+        metrics = regime.run(spec)
+        latency = metrics.summarise("latency")
+        wasted = sum(metrics.series.get("wasted_work", []))
+        print(
+            f"{regime.name:12s} "
+            f"{metrics.counter('success'):>8d} "
+            f"{metrics.counter('early_reject'):>10d} "
+            f"{metrics.counter('late_failure'):>10d} "
+            f"{metrics.counter('deadlock'):>9d} "
+            f"{int(wasted):>7d} "
+            f"{latency.mean if latency else 0:>10.1f} "
+            f"{latency.p95 if latency else 0:>9.1f}"
+        )
+
+    print(
+        "\nReading: promises turn every would-be late failure into an\n"
+        "immediate rejection (zero wasted work, no deadlocks); locking\n"
+        "avoids late failures too but pays with deadlocks and latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Observing the promise lifecycle: events, violations and expiry.
+
+The paper's related work credits ConTract with "notifying the client when
+a checked condition changes" (§9).  This example subscribes a monitor to a
+promise manager's event stream and walks through a day at the merchant:
+grants, an atomic exchange, a rogue application action that gets rolled
+back (VIOLATED), a consumption, and an expiry sweep — then prints the
+audit trail the events add up to.
+
+Run:  python examples/promise_monitor.py
+"""
+
+from repro import Environment, P, PromiseManager, ResourcePoolStrategy
+from repro.core.events import EventKind
+
+
+def main() -> None:
+    manager = PromiseManager(name="shop", counter_offers=True)
+    manager.registry.assign("widgets", ResourcePoolStrategy())
+    with manager.store.begin() as txn:
+        manager.resources.create_pool(txn, "widgets", 20)
+
+    trail = []
+    manager.events.subscribe(trail.append)
+
+    def live_monitor(event):
+        marker = {
+            EventKind.VIOLATED: "!!",
+            EventKind.REJECTED: " -",
+            EventKind.EXPIRED: " ~",
+        }.get(event.kind, "  ")
+        print(f"{marker} [{event.at:>3}] {event.kind.value:9s} "
+              f"{event.promise_id or '-':14s} {event.detail}")
+
+    manager.events.subscribe(live_monitor)
+
+    print("=== a day at the merchant, as seen by the event stream ===")
+
+    # Two grants.
+    first = manager.request_promise_for(
+        [P("quantity('widgets') >= 8")], duration=20, client_id="alice"
+    )
+    second = manager.request_promise_for(
+        [P("quantity('widgets') >= 6")], duration=5, client_id="bob"
+    )
+
+    # A rejection (with a counter-offer in the reason data).
+    rejected = manager.request_promise_for(
+        [P("quantity('widgets') >= 10")], duration=20, client_id="carol"
+    )
+    if rejected.counter is not None:
+        print(f"   (carol was offered: {rejected.counter.describe()})")
+
+    # An atomic exchange: alice upgrades 8 -> 10... which needs bob's 6
+    # to be impossible; she weakens to 4 instead.
+    manager.request_promise_for(
+        [P("quantity('widgets') >= 4")],
+        duration=20,
+        client_id="alice",
+        releases=[first.promise_id],
+    )
+
+    # A rogue action that would break bob's promise: rolled back.
+    def rogue(ctx):
+        ctx.resources.unreserve(ctx.txn, "widgets", 5)
+        ctx.resources.remove_stock(ctx.txn, "widgets", 5)
+        return "raided the escrow"
+
+    manager.execute(rogue, client_id="mallory")
+
+    # Bob consumes his promise (purchase + release as one unit).
+    manager.execute(
+        lambda ctx: "bob's order shipped",
+        Environment.of(second.promise_id, release=[second.promise_id]),
+        client_id="bob",
+    )
+
+    # Time passes; alice never came back — her promise expires.
+    manager.clock.advance(25)
+    manager.expire_due()
+
+    print("\n=== audit trail summary ===")
+    counts = {}
+    for event in trail:
+        counts[event.kind.value] = counts.get(event.kind.value, 0) + 1
+    for kind, count in sorted(counts.items()):
+        print(f"{kind:9s} x{count}")
+    with manager.store.begin() as txn:
+        pool = manager.resources.pool(txn, "widgets")
+    print(f"\nfinal stock: available={pool.available} allocated={pool.allocated}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: the Promises pattern in ~40 lines.
+
+A client checks that 5 widgets are in stock by asking for a *promise*,
+works on its order while rivals drain the shelf, and then purchases —
+guaranteed to succeed because the promise isolated it from the concurrent
+sales (Greenfield et al., CIDR 2007).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Environment,
+    P,
+    PromiseManager,
+    ResourcePoolStrategy,
+)
+
+
+def main() -> None:
+    # A promise manager over an embedded transactional store, with the
+    # widgets pool implemented by the escrow (resource-pool) technique.
+    manager = PromiseManager(name="shop")
+    manager.registry.assign("widgets", ResourcePoolStrategy())
+    with manager.store.begin() as txn:
+        manager.resources.create_pool(txn, "widgets", 20)
+
+    # 1. Check-and-reserve: "quantity('widgets') >= 5" must keep holding.
+    response = manager.request_promise_for(
+        [P("quantity('widgets') >= 5")], duration=30, client_id="alice"
+    )
+    print(f"promise granted: {response.accepted} (id={response.promise_id})")
+
+    # 2. Concurrent activity: someone else buys 15 widgets meanwhile.
+    outcome = manager.execute(lambda ctx: ctx.sell("widgets", 15))
+    print(f"rival bought 15: {outcome.success}")
+
+    # ...but nobody can touch Alice's 5:
+    overdraw = manager.execute(lambda ctx: ctx.sell("widgets", 1))
+    print(f"rival tried one more: success={overdraw.success} ({overdraw.reason})")
+
+    # 3. Purchase atomically with releasing the promise.
+    purchase = manager.execute(
+        lambda ctx: "order-42 shipped",
+        Environment.of(response.promise_id, release=[response.promise_id]),
+        client_id="alice",
+    )
+    print(f"alice's purchase: {purchase.success} -> {purchase.value}")
+
+    with manager.store.begin() as txn:
+        pool = manager.resources.pool(txn, "widgets")
+    print(f"final stock: available={pool.available} allocated={pool.allocated}")
+
+
+if __name__ == "__main__":
+    main()

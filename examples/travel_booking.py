@@ -1,0 +1,120 @@
+"""Travel planning: the three atomicity requirements of Section 4.
+
+1. *Atomic multi-predicate grant* — a flight, a rental car and a hotel
+   room promised all-or-nothing (vs. acquiring them one at a time with
+   alternatives and explicit backtracking).
+2. *Atomic action + release* — booking the trip consumes every promised
+   resource in one unit.
+3. *Atomic promise update* — the traveller upgrades the car promise and
+   later weakens it, exchanging promises without ever being exposed.
+
+Run:  python examples/travel_booking.py
+"""
+
+from repro import Environment, P
+from repro.services import (
+    Deployment,
+    TravelAgent,
+    TravelNeed,
+    TravelService,
+)
+
+
+def banner(text: str) -> None:
+    print(f"\n=== {text} ===")
+
+
+def main() -> None:
+    world = Deployment(name="travel")
+    world.add_service(TravelService())
+    pools = {
+        "flight:QF1": 3,
+        "car:compact": 2,
+        "car:luxury": 2,
+        "hotel:hilton": 3,
+    }
+    world.use_pool_strategy(*pools)
+    with world.seed() as txn:
+        for pool_id, quantity in pools.items():
+            world.resources.create_pool(txn, pool_id, quantity)
+
+    client = world.client("traveller")
+    agent = TravelAgent(client, "travel")
+
+    needs = [
+        TravelNeed("flight", P("quantity('flight:QF1') >= 1")),
+        TravelNeed(
+            "car",
+            P("quantity('car:compact') >= 1"),
+            (P("quantity('car:luxury') >= 1"),),
+        ),
+        TravelNeed("hotel", P("quantity('hotel:hilton') >= 1")),
+    ]
+
+    banner("Requirement 1: all-or-nothing grant of flight + car + hotel")
+    plan = agent.plan_atomic(needs, duration=60)
+    print(f"atomic plan: success={plan.success} in {plan.attempts} request")
+    trip_promise = plan.promise_ids[0]
+
+    banner("A rival takes the last compact car; incremental planning adapts")
+    rival = world.client("rival")
+    rival.require_promise("travel", [P("quantity('car:compact') >= 1")], 60)
+    plan2 = agent.plan_incremental(needs, duration=60)
+    print(
+        f"incremental plan: success={plan2.success}, "
+        f"{plan2.attempts} promise requests, "
+        f"{plan2.alternatives_tried} fallback(s) to alternatives"
+    )
+
+    banner("Requirement 3: upgrade then weaken the second trip's promises")
+    # Upgrade: the traveller now wants TWO hotel nights — exchange the
+    # whole plan-2 promise set for a bigger one atomically.
+    upgraded = client.request_promise(
+        "travel",
+        [
+            P("quantity('flight:QF1') >= 1"),
+            P("quantity('car:luxury') >= 1"),
+            P("quantity('hotel:hilton') >= 2"),
+        ],
+        duration=60,
+        releases=list(plan2.promise_ids),
+    )
+    print(f"upgrade to 2 hotel nights: {'ACCEPTED' if upgraded.accepted else 'REJECTED'}")
+
+    impossible = client.request_promise(
+        "travel",
+        [P("quantity('hotel:hilton') >= 5")],
+        duration=60,
+        releases=[upgraded.promise_id],
+    )
+    print(
+        f"over-reach to 5 nights: REJECTED ({impossible.reason}); "
+        f"old promise still active: "
+        f"{world.manager.is_promise_active(upgraded.promise_id)}"
+    )
+
+    weakened = client.request_promise(
+        "travel",
+        [P("quantity('flight:QF1') >= 1"), P("quantity('hotel:hilton') >= 1")],
+        duration=60,
+        releases=[upgraded.promise_id],
+    )
+    print(f"weaken (drop the car, 1 night): {'ACCEPTED' if weakened.accepted else 'REJECTED'}")
+
+    banner("Requirement 2: book trip #1, consuming its promises atomically")
+    outcome = client.call(
+        "travel", "travel", "book_trip",
+        {"traveller": "ada", "description": "QF1 + compact car + hilton"},
+        environment=Environment.of(trip_promise, release=[trip_promise]),
+    )
+    print(f"book_trip: {outcome.success} -> itinerary {outcome.value}")
+
+    banner("Remaining availability")
+    with world.store.begin() as txn:
+        for pool_id in pools:
+            pool = world.resources.pool(txn, pool_id)
+            print(f"{pool_id:15s} available={pool.available} promised={pool.allocated}")
+
+
+if __name__ == "__main__":
+    main()

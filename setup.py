@@ -1,0 +1,6 @@
+"""Setup shim: enables `pip install -e .` on environments without the
+`wheel` package (the PEP 517 editable path needs bdist_wheel)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,139 @@
+"""``repro`` — Promises: isolation support for service-based applications.
+
+A complete, from-scratch reproduction of the system proposed in
+
+    Greenfield, Fekete, Jang, Kuo, Nepal.
+    "Isolation Support for Service-based Applications: A Position Paper."
+    CIDR 2007.
+
+The *Promises* pattern lets a client of autonomous services check a
+condition over resources ("at least 5 pink widgets in stock", "room 212 on
+12/3", "some 5th-floor room") and then rely on that condition still
+holding later, without distributed locks: the client sends predicates in a
+promise request; the promise manager grants or rejects immediately,
+guarantees granted predicates against concurrent activity for an agreed
+duration, and rolls back any action that would violate them.
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — predicates, promises, checking, the Promise Manager
+* :mod:`repro.storage` — embedded ACID store (2PL, WAL, undo logging)
+* :mod:`repro.resources` — pools / named instances / property collections
+* :mod:`repro.strategies` — the five implementation techniques of §5
+* :mod:`repro.protocol` — SOAP-style promise message protocol of §6
+* :mod:`repro.services` — the paper's example services (merchant, bank,
+  hotel, airline, shipping, gallery, travel agent)
+* :mod:`repro.baselines` — locking / optimistic / validation comparators
+* :mod:`repro.sim` — deterministic discrete-event concurrency harness
+"""
+
+from .core import (
+    ActionContext,
+    ActionFailed,
+    ActionResult,
+    And,
+    Environment,
+    EventKind,
+    ExecuteOutcome,
+    InstanceAvailable,
+    LogicalClock,
+    PromiseEvent,
+    Not,
+    Op,
+    Or,
+    P,
+    Predicate,
+    Promise,
+    PromiseExpired,
+    PromiseManager,
+    PromiseRequest,
+    PromiseResponse,
+    PromiseResult,
+    PromiseStatus,
+    PromiseViolation,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+    UnknownPromise,
+    named_available,
+    parse_predicate,
+    property_match,
+    quantity_at_least,
+    render_predicate,
+    where,
+)
+from .resources import (
+    AnonymousView,
+    CollectionSchema,
+    InstanceStatus,
+    NamedView,
+    PropertyDef,
+    PropertyType,
+    PropertyView,
+    ResourceManager,
+)
+from .storage import Store
+from .strategies import (
+    AllocatedTagsStrategy,
+    DelegationStrategy,
+    ResourcePoolStrategy,
+    SatisfiabilityStrategy,
+    StrategyRegistry,
+    TentativeAllocationStrategy,
+    choose_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ActionContext",
+    "ActionFailed",
+    "ActionResult",
+    "AllocatedTagsStrategy",
+    "And",
+    "AnonymousView",
+    "CollectionSchema",
+    "DelegationStrategy",
+    "Environment",
+    "EventKind",
+    "ExecuteOutcome",
+    "InstanceAvailable",
+    "InstanceStatus",
+    "LogicalClock",
+    "NamedView",
+    "Not",
+    "Op",
+    "Or",
+    "P",
+    "Predicate",
+    "Promise",
+    "PromiseEvent",
+    "PromiseExpired",
+    "PromiseManager",
+    "PromiseRequest",
+    "PromiseResponse",
+    "PromiseResult",
+    "PromiseStatus",
+    "PromiseViolation",
+    "PropertyCondition",
+    "PropertyDef",
+    "PropertyMatch",
+    "PropertyType",
+    "PropertyView",
+    "QuantityAtLeast",
+    "ResourceManager",
+    "ResourcePoolStrategy",
+    "SatisfiabilityStrategy",
+    "Store",
+    "StrategyRegistry",
+    "TentativeAllocationStrategy",
+    "UnknownPromise",
+    "choose_strategy",
+    "named_available",
+    "parse_predicate",
+    "property_match",
+    "quantity_at_least",
+    "render_predicate",
+    "where",
+    "__version__",
+]

@@ -1,0 +1,27 @@
+"""Isolation-regime baselines for the comparison experiments.
+
+The promise regime plus the three comparators the paper discusses:
+unprotected check-then-act (optimistic), commit-time validation (the IMS
+Fast Path analogue of Section 9), and long-duration strict two-phase
+locking (the traditional mechanism Section 9 argues is unusable between
+autonomous services).
+"""
+
+from .common import EXPIRY_SLACK, PromiseRegime, Regime, World
+from .locking import LockingRegime, MAX_RETRIES
+from .optimistic import OptimisticRegime
+from .validation import ValidationRegime
+
+ALL_REGIMES = (PromiseRegime, OptimisticRegime, ValidationRegime, LockingRegime)
+
+__all__ = [
+    "ALL_REGIMES",
+    "EXPIRY_SLACK",
+    "LockingRegime",
+    "MAX_RETRIES",
+    "OptimisticRegime",
+    "PromiseRegime",
+    "Regime",
+    "ValidationRegime",
+    "World",
+]

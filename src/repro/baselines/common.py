@@ -1,0 +1,194 @@
+"""Shared harness for the isolation-regime comparison.
+
+A *regime* is one answer to the question the paper opens with: how does a
+long-running business process make sure the resources it checked are still
+there when it finally acts?  Four regimes run over identical workloads:
+
+* ``promises`` — the paper's contribution: request a promise at check
+  time, act under it (§2, §7);
+* ``optimistic`` — unprotected check-then-act: what service applications
+  do today (§1's "insufficient stock on hand" normal-path failure);
+* ``validation`` — commit-time re-validation, the IMS Fast Path analogue
+  (§9): the act re-checks the condition before applying, failing cleanly
+  but *late*;
+* ``locking`` — long-duration strict 2PL held across the whole process:
+  the traditional regime the paper argues is unusable between autonomous
+  services (§1, §9), included to measure what it would cost.
+
+Outcome taxonomy shared by all regimes:
+
+* ``early_reject`` — the client learnt at *check* time that it cannot
+  win; no work invested.
+* ``late_failure`` — the client invested its work ticks and then failed
+  at *act* time (the failure mode promises eliminate).
+* ``success`` — completed purchase.
+* ``deadlock`` / ``retry`` — locking-only pathologies.
+
+Series: ``latency`` (arrival→completion), ``wasted_work`` (work ticks
+invested by late failures), ``wait`` (ticks blocked on locks).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from ..core.clock import LogicalClock
+from ..core.environment import Environment
+from ..core.errors import PromiseExpired
+from ..core.manager import PromiseManager
+from ..core.predicates import quantity_at_least
+from ..resources.manager import ResourceManager
+from ..storage.locks import LockManager
+from ..storage.store import Store
+from ..strategies.registry import StrategyRegistry
+from ..strategies.resource_pool import ResourcePoolStrategy
+from ..strategies.satisfiability import SatisfiabilityStrategy
+from ..sim.metrics import Metrics
+from ..sim.simulator import Simulator
+from ..sim.workload import OrderJob, WorkloadSpec, generate_orders
+
+EXPIRY_SLACK = 10
+"""Extra ticks added to promise durations beyond the client's work time."""
+
+
+@dataclass
+class World:
+    """Shared state all clients of one run operate on."""
+
+    spec: WorkloadSpec
+    sim: Simulator
+    store: Store
+    resources: ResourceManager
+    manager: PromiseManager
+    locks: LockManager
+
+    @classmethod
+    def build(cls, spec: WorkloadSpec, pool_strategy: str = "resource_pool") -> "World":
+        """Stand up stores, pools and a promise manager for ``spec``.
+
+        ``pool_strategy`` selects how the promise regime implements its
+        promises: ``resource_pool`` (escrow) or ``satisfiability``.
+        """
+        clock = LogicalClock()
+        sim = Simulator(clock)
+        store = Store()
+        resources = ResourceManager(store)
+        registry = StrategyRegistry()
+        if pool_strategy == "resource_pool":
+            registry.assign_many(spec.pool_ids, ResourcePoolStrategy())
+        elif pool_strategy == "satisfiability":
+            registry.assign_many(spec.pool_ids, SatisfiabilityStrategy())
+        else:
+            raise ValueError(f"unknown pool strategy {pool_strategy!r}")
+        manager = PromiseManager(
+            store=store,
+            resources=resources,
+            clock=clock,
+            registry=registry,
+            name="bench",
+        )
+        with store.begin() as txn:
+            for pool_id in spec.pool_ids:
+                resources.create_pool(txn, pool_id, spec.stock_per_product)
+        return cls(
+            spec=spec,
+            sim=sim,
+            store=store,
+            resources=resources,
+            manager=manager,
+            locks=LockManager(),
+        )
+
+    def availability(self, pool_id: str) -> int:
+        """Current available units of one pool."""
+        with self.store.begin() as txn:
+            return self.resources.pool(txn, pool_id).available
+
+    def total_on_hand(self) -> int:
+        """Physical units remaining across all pools."""
+        with self.store.begin() as txn:
+            return sum(
+                self.resources.pool(txn, pool_id).on_hand
+                for pool_id in self.spec.pool_ids
+            )
+
+
+class Regime(ABC):
+    """One isolation discipline, runnable over a workload."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def client_process(self, world: World, job: OrderJob, metrics: Metrics):
+        """Generator process for one client's order."""
+
+    def run(
+        self, spec: WorkloadSpec, pool_strategy: str = "resource_pool"
+    ) -> Metrics:
+        """Run the full workload under this regime; returns its metrics."""
+        world = World.build(spec, pool_strategy)
+        metrics = Metrics()
+        for job in generate_orders(spec):
+            world.sim.spawn(
+                self.client_process(world, job, metrics), delay=job.arrival
+            )
+        world.sim.run()
+        metrics.count("clients", spec.clients)
+        metrics.observe("makespan", world.sim.now)
+        self._verify_conservation(world, metrics)
+        return metrics
+
+    def _verify_conservation(self, world: World, metrics: Metrics) -> None:
+        """Units sold + units remaining must equal units stocked.
+
+        An oversell (negative remainder) would mean the regime let the
+        §3.1 invariant break; recorded as a counter so tests can assert
+        it stays at zero for every regime.
+        """
+        stocked = world.spec.stock_per_product * world.spec.products
+        remaining = world.total_on_hand()
+        sold = metrics.counter("units_sold")
+        if sold + remaining != stocked:
+            metrics.count("conservation_violations")
+
+
+class PromiseRegime(Regime):
+    """The paper's system: promise at check time, act under it."""
+
+    name = "promises"
+
+    def client_process(self, world: World, job: OrderJob, metrics: Metrics):
+        start = world.sim.now
+        predicates = [
+            quantity_at_least(pool_id, quantity)
+            for pool_id, quantity in job.demands
+        ]
+        response = world.manager.request_promise_for(
+            predicates,
+            duration=job.work_ticks + EXPIRY_SLACK,
+            client_id=job.client_id,
+        )
+        if not response.accepted or response.promise_id is None:
+            metrics.count("early_reject")
+            return
+        yield job.work_ticks
+
+        promise_id = response.promise_id
+        try:
+            outcome = world.manager.execute(
+                lambda ctx: "purchased",
+                Environment.of(promise_id, release=[promise_id]),
+                client_id=job.client_id,
+            )
+        except PromiseExpired:
+            metrics.count("expired")
+            metrics.observe("wasted_work", job.work_ticks)
+            return
+        if outcome.success:
+            metrics.count("success")
+            metrics.count("units_sold", job.total_quantity)
+            metrics.observe("latency", world.sim.now - start)
+        else:
+            metrics.count("late_failure")
+            metrics.observe("wasted_work", job.work_ticks)

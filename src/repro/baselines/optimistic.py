@@ -1,0 +1,54 @@
+"""The optimistic (unprotected check-then-act) baseline.
+
+This is the world the paper's introduction describes: without isolation,
+"the methodology of [4] requires a merchant service to have code for the
+situation where payment arrives for an accepted order when there is
+insufficient stock on hand" (§1).  The client checks availability, spends
+its work ticks arranging payment and shipping, and only discovers at
+purchase time that a concurrent order drained the stock — a *late*
+failure, with all the invested work wasted.
+"""
+
+from __future__ import annotations
+
+from ..resources.manager import InsufficientResources
+from ..sim.metrics import Metrics
+from ..sim.workload import OrderJob
+from .common import Regime, World
+
+
+class OptimisticRegime(Regime):
+    """Check, work, act — and hope."""
+
+    name = "optimistic"
+
+    def client_process(self, world: World, job: OrderJob, metrics: Metrics):
+        start = world.sim.now
+
+        # Check: is everything I need available right now?
+        with world.store.begin() as txn:
+            available = all(
+                world.resources.pool(txn, pool_id).available >= quantity
+                for pool_id, quantity in job.demands
+            )
+        if not available:
+            metrics.count("early_reject")
+            return
+
+        # Work: organise payment, shippers... while others race us.
+        yield job.work_ticks
+
+        # Act: purchase; any shortfall now is a late failure.
+        txn = world.store.begin()
+        try:
+            for pool_id, quantity in job.demands:
+                world.resources.remove_stock(txn, pool_id, quantity)
+        except InsufficientResources:
+            txn.abort()
+            metrics.count("late_failure")
+            metrics.observe("wasted_work", job.work_ticks)
+            return
+        txn.commit()
+        metrics.count("success")
+        metrics.count("units_sold", job.total_quantity)
+        metrics.observe("latency", world.sim.now - start)

@@ -1,0 +1,60 @@
+"""The commit-time-validation baseline (IMS Fast Path analogue).
+
+"There are interesting parallels between promises and the IMS/VS Fast
+Path mechanism.  In Fast Path, each operation is structured as a predicate
+check and a transformation on the data.  The predicate is checked when the
+operation is submitted, and then at commit-time, the check is repeated,
+and the transformation is performed (provided the check succeeded) ...
+however, in Fast Path, other operations do not worry about outstanding
+predicates, and so the commit check might fail because of concurrent
+activity." (paper, §9)
+
+Compared with the optimistic baseline, validation never partially applies
+a multi-product purchase — the whole predicate set is re-checked before
+any transformation — but it fails at exactly the same (late) point, which
+is the paper's argument for promises over Fast Path.
+"""
+
+from __future__ import annotations
+
+from ..sim.metrics import Metrics
+from ..sim.workload import OrderJob
+from .common import Regime, World
+
+
+class ValidationRegime(Regime):
+    """Submit-time check, commit-time re-check, then transform."""
+
+    name = "validation"
+
+    def client_process(self, world: World, job: OrderJob, metrics: Metrics):
+        start = world.sim.now
+
+        # Submit: the operation's predicate is checked on entry.
+        with world.store.begin() as txn:
+            admitted = all(
+                world.resources.pool(txn, pool_id).available >= quantity
+                for pool_id, quantity in job.demands
+            )
+        if not admitted:
+            metrics.count("early_reject")
+            return
+
+        yield job.work_ticks
+
+        # Commit: repeat the check; transform only when it still holds.
+        with world.store.begin() as txn:
+            still_valid = all(
+                world.resources.pool(txn, pool_id).available >= quantity
+                for pool_id, quantity in job.demands
+            )
+            if not still_valid:
+                metrics.count("late_failure")
+                metrics.count("validation_failure")
+                metrics.observe("wasted_work", job.work_ticks)
+                return
+            for pool_id, quantity in job.demands:
+                world.resources.remove_stock(txn, pool_id, quantity)
+        metrics.count("success")
+        metrics.count("units_sold", job.total_quantity)
+        metrics.observe("latency", world.sim.now - start)

@@ -1,0 +1,190 @@
+"""Command-line interface: explore the Promises system without writing code.
+
+Two subcommands:
+
+``figure1``
+    Run the paper's Figure-1 ordering walkthrough over the full protocol
+    stack, printing each step (promise request, concurrent sales, atomic
+    purchase+release), with configurable stock and order size.
+
+``compare``
+    Run one workload under any subset of the four isolation regimes and
+    print the outcome table — a configurable version of experiment E1/E2.
+
+Examples::
+
+    python -m repro.cli figure1 --stock 12 --need 5
+    python -m repro.cli compare --clients 32 --tightness 2.0 --regimes promises locking
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .baselines import (
+    LockingRegime,
+    OptimisticRegime,
+    PromiseRegime,
+    ValidationRegime,
+)
+from .core.environment import Environment
+from .core.parser import P
+from .services.deployment import Deployment
+from .services.merchant import MerchantService
+from .sim.workload import WorkloadSpec
+
+REGIMES = {
+    "promises": PromiseRegime,
+    "optimistic": OptimisticRegime,
+    "validation": ValidationRegime,
+    "locking": LockingRegime,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Promises: isolation support for service-based applications",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    figure1 = commands.add_parser(
+        "figure1", help="run the Figure-1 ordering walkthrough"
+    )
+    figure1.add_argument("--stock", type=int, default=12,
+                         help="initial pink-widget stock (default 12)")
+    figure1.add_argument("--need", type=int, default=5,
+                         help="units the order process needs (default 5)")
+    figure1.add_argument("--rival-appetite", type=int, default=100,
+                         help="units rival processes try to drain (default all)")
+
+    compare = commands.add_parser(
+        "compare", help="compare isolation regimes on one workload"
+    )
+    compare.add_argument("--clients", type=int, default=32)
+    compare.add_argument("--products", type=int, default=2)
+    compare.add_argument("--products-per-order", type=int, default=1)
+    compare.add_argument("--tightness", type=float, default=2.0,
+                         help="expected demand / stock (default 2.0)")
+    compare.add_argument("--seed", type=int, default=2007)
+    compare.add_argument(
+        "--regimes", nargs="+", choices=sorted(REGIMES), default=sorted(REGIMES)
+    )
+    return parser
+
+
+def run_figure1(stock: int, need: int, rival_appetite: int, out=sys.stdout) -> int:
+    """The Figure-1 walkthrough; returns a process exit code."""
+    shop = Deployment(name="merchant", counter_offers=True)
+    shop.add_service(MerchantService())
+    shop.use_pool_strategy("pink_widgets")
+    with shop.seed() as txn:
+        shop.resources.create_pool(txn, "pink_widgets", stock)
+    client = shop.client("order-process")
+    rival = shop.client("rival")
+
+    print(f"stock: {stock} pink widgets; order needs {need}", file=out)
+    response = client.request_promise(
+        "merchant", [P(f"quantity('pink_widgets') >= {need}")], 30
+    )
+    if not response.accepted:
+        print(f"promise REJECTED: {response.reason}", file=out)
+        if response.counter is not None:
+            print(f"counter-offer: {response.counter.describe()}", file=out)
+        print("order process terminates: goods unavailable", file=out)
+        return 1
+    print(f"promise GRANTED as {response.promise_id}", file=out)
+
+    drained = 0
+    while drained < rival_appetite and rival.call(
+        "merchant", "merchant", "sell", {"product": "pink_widgets", "quantity": 1}
+    ).success:
+        drained += 1
+    print(f"concurrent processes sold {drained} units meanwhile", file=out)
+
+    order = client.call(
+        "merchant", "merchant", "place_order",
+        {"customer": "cli", "product": "pink_widgets", "quantity": need},
+    )
+    client.call("merchant", "merchant", "pay", {"order_id": order.value})
+    done = client.call(
+        "merchant", "merchant", "complete_order", {"order_id": order.value},
+        environment=Environment.of(response.promise_id, release=[response.promise_id]),
+    )
+    print(f"purchase under promise: {'ok' if done.success else done.reason}", file=out)
+    level = client.call("merchant", "merchant", "stock_level",
+                        {"product": "pink_widgets"})
+    print(f"final stock: {level.value}", file=out)
+    return 0 if done.success else 1
+
+
+def run_compare(
+    clients: int,
+    products: int,
+    products_per_order: int,
+    tightness: float,
+    seed: int,
+    regimes: Sequence[str],
+    out=sys.stdout,
+) -> int:
+    """Regime comparison; returns a process exit code."""
+    spec = WorkloadSpec(
+        clients=clients,
+        products=products,
+        products_per_order=products_per_order,
+        quantity_low=1,
+        quantity_high=5,
+        mean_interarrival=1.0,
+        work_low=5,
+        work_high=20,
+        seed=seed,
+    ).with_tightness(tightness)
+    print(
+        f"workload: {clients} clients, {products} products x "
+        f"{spec.stock_per_product} units, tightness {spec.tightness():.2f}, "
+        f"seed {seed}",
+        file=out,
+    )
+    header = (
+        f"{'regime':12s} {'success':>8s} {'early-rej':>10s} {'late-fail':>10s} "
+        f"{'deadlock':>9s} {'lat(mean)':>10s}"
+    )
+    print(header, file=out)
+    print("-" * len(header), file=out)
+    for name in regimes:
+        metrics = REGIMES[name]().run(spec)
+        latency = metrics.summarise("latency")
+        print(
+            f"{name:12s} {metrics.counter('success'):>8d} "
+            f"{metrics.counter('early_reject'):>10d} "
+            f"{metrics.counter('late_failure'):>10d} "
+            f"{metrics.counter('deadlock'):>9d} "
+            f"{latency.mean if latency else 0:>10.1f}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "figure1":
+        return run_figure1(args.stock, args.need, args.rival_appetite, out=out)
+    if args.command == "compare":
+        return run_compare(
+            args.clients,
+            args.products,
+            args.products_per_order,
+            args.tightness,
+            args.seed,
+            args.regimes,
+            out=out,
+        )
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,115 @@
+"""The promise core: the paper's primary contribution.
+
+Predicates over resources, the promise/request/response model, the
+promise table, the satisfiability checking engine, and the Promise
+Manager pipeline of Figure 2.
+"""
+
+from .checking import Demand, CheckResult, check_satisfiable, demands_of_promises
+from .clock import FOREVER, LogicalClock
+from .environment import Environment
+from .events import EventHub, EventKind, PromiseEvent
+from .errors import (
+    ActionFailed,
+    PredicateError,
+    PredicateSyntaxError,
+    PredicateUnsupported,
+    PromiseError,
+    PromiseExpired,
+    PromiseRejected,
+    PromiseStateError,
+    PromiseViolation,
+    UnknownPromise,
+    UnknownResource,
+)
+from .manager import (
+    Action,
+    ActionContext,
+    ActionResult,
+    ExecuteOutcome,
+    PromiseManager,
+)
+from .matching import maximum_bipartite_matching
+from .parser import P, parse_predicate, render_predicate
+from .predicates import (
+    And,
+    InstanceAvailable,
+    InstanceState,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+    ResourceStateView,
+    named_available,
+    property_match,
+    quantity_at_least,
+    where,
+)
+from .promise import (
+    IdGenerator,
+    Promise,
+    PromiseRequest,
+    PromiseResponse,
+    PromiseResult,
+    PromiseStatus,
+)
+from .table import PROMISES_TABLE, PromiseTable
+
+__all__ = [
+    "Action",
+    "ActionContext",
+    "ActionFailed",
+    "ActionResult",
+    "And",
+    "CheckResult",
+    "Demand",
+    "Environment",
+    "EventHub",
+    "EventKind",
+    "PromiseEvent",
+    "ExecuteOutcome",
+    "FOREVER",
+    "IdGenerator",
+    "InstanceAvailable",
+    "InstanceState",
+    "LogicalClock",
+    "Not",
+    "Op",
+    "Or",
+    "P",
+    "PROMISES_TABLE",
+    "Predicate",
+    "PredicateError",
+    "PredicateSyntaxError",
+    "PredicateUnsupported",
+    "Promise",
+    "PromiseError",
+    "PromiseExpired",
+    "PromiseManager",
+    "PromiseRejected",
+    "PromiseRequest",
+    "PromiseResponse",
+    "PromiseResult",
+    "PromiseStateError",
+    "PromiseStatus",
+    "PromiseTable",
+    "PromiseViolation",
+    "PropertyCondition",
+    "PropertyMatch",
+    "QuantityAtLeast",
+    "ResourceStateView",
+    "UnknownPromise",
+    "UnknownResource",
+    "check_satisfiable",
+    "demands_of_promises",
+    "maximum_bipartite_matching",
+    "named_available",
+    "parse_predicate",
+    "property_match",
+    "quantity_at_least",
+    "render_predicate",
+    "where",
+]

@@ -1,0 +1,70 @@
+"""Logical time for promise durations and expiry.
+
+Promises "do not last forever" (paper, §2): every grant carries a duration
+agreed between client and promise manager.  The reproduction measures time
+in integer *ticks* of a logical clock so that simulations are deterministic
+and expiry behaviour can be tested exactly.  A tick maps to whatever real
+interval a deployment chooses; nothing in the protocol depends on the unit.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+
+class LogicalClock:
+    """Monotonic integer clock.
+
+    The discrete-event simulator advances it; unit tests advance it by
+    hand.  ``on_advance`` callbacks let a promise table sweep expired
+    promises as time moves.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        if start < 0:
+            raise ValueError("clock cannot start before tick 0")
+        self._now = start
+        self._observers: list[Callable[[int], None]] = []
+
+    @property
+    def now(self) -> int:
+        """Current tick."""
+        return self._now
+
+    def advance(self, ticks: int = 1) -> int:
+        """Move time forward by ``ticks`` (>= 0) and notify observers."""
+        if ticks < 0:
+            raise ValueError("time cannot move backwards")
+        if ticks:
+            self._now += ticks
+            for observer in list(self._observers):
+                observer(self._now)
+        return self._now
+
+    def advance_to(self, tick: int) -> int:
+        """Move time forward to an absolute ``tick`` (no-op when past)."""
+        if tick > self._now:
+            self.advance(tick - self._now)
+        return self._now
+
+    def subscribe(self, observer: Callable[[int], None]) -> None:
+        """Register ``observer(now)`` to run after every advance."""
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[int], None]) -> None:
+        """Remove a previously registered observer (idempotent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"LogicalClock(now={self._now})"
+
+
+FOREVER = 2**31
+"""Sentinel duration for promises that should effectively never expire.
+
+Used by tests and baselines; real clients always pass finite durations, as
+the paper requires.
+"""

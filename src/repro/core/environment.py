@@ -1,0 +1,98 @@
+"""Promise environments (paper, §6).
+
+"Successful promise requests establish promise environments.  Application
+requests can specify that they must be executed within a specific promise
+environment ... by including an ``<environment>`` element in the associated
+message header."
+
+An :class:`Environment` names the promises that protect an application
+request, and for each one whether it should be released once the request
+completes.  Release-on-completion is the second atomicity requirement of
+§4: the release and the action form a unit — if the action fails the
+promise remains in force.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+
+@dataclass(frozen=True)
+class Environment:
+    """An ``<environment>`` header element.
+
+    ``release_after`` maps promise ids to the release option: ``True``
+    releases the promise after the request succeeds (and the state changes
+    the action makes are allowed to violate it — §8: "Applications are
+    allowed, of course, to make state changes that will violate those
+    promises that are being released atomically with the action").
+    """
+
+    promise_ids: tuple[str, ...] = ()
+    release_after: Mapping[str, bool] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        unknown = set(self.release_after) - set(self.promise_ids)
+        if unknown:
+            raise ValueError(
+                f"release options for promises not in the environment: "
+                f"{sorted(unknown)}"
+            )
+
+    @classmethod
+    def of(cls, *promise_ids: str, release: Iterable[str] = ()) -> "Environment":
+        """Build an environment; ids in ``release`` are released on success."""
+        release_set = set(release)
+        unknown = release_set - set(promise_ids)
+        if unknown:
+            raise ValueError(
+                f"cannot release promises outside the environment: "
+                f"{sorted(unknown)}"
+            )
+        return cls(
+            promise_ids=tuple(promise_ids),
+            release_after={pid: pid in release_set for pid in promise_ids},
+        )
+
+    @classmethod
+    def empty(cls) -> "Environment":
+        """An environment protecting nothing (unprotected action)."""
+        return cls()
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no promises protect the request."""
+        return not self.promise_ids
+
+    def releases(self) -> list[str]:
+        """Promise ids to release after the action succeeds."""
+        return [pid for pid in self.promise_ids if self.release_after.get(pid)]
+
+    def kept(self) -> list[str]:
+        """Promise ids that remain in force after the action."""
+        return [pid for pid in self.promise_ids if not self.release_after.get(pid)]
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for the protocol layer."""
+        return {
+            "promise_ids": list(self.promise_ids),
+            "release_after": {
+                pid: bool(self.release_after.get(pid))
+                for pid in self.promise_ids
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Environment":
+        """Inverse of :meth:`to_dict`."""
+        raw_ids = payload.get("promise_ids", [])
+        raw_release = payload.get("release_after", {})
+        if not isinstance(raw_ids, list) or not isinstance(raw_release, Mapping):
+            raise ValueError("malformed environment payload")
+        return cls(
+            promise_ids=tuple(str(pid) for pid in raw_ids),
+            release_after={
+                str(pid): bool(flag) for pid, flag in raw_release.items()
+            },
+        )

@@ -1,0 +1,124 @@
+"""Exception hierarchy for the promise core.
+
+The paper distinguishes several failure modes a promise-aware application
+must see: rejection at grant time (the *only* normal-path failure — §9),
+expiry ('promise-expired' errors, §2), violation detected after an action
+(§8, triggers rollback), and protocol misuse.  Each gets its own exception
+so client code can treat rejection as flow control and everything else as a
+serious error, exactly as §2 prescribes.
+"""
+
+from __future__ import annotations
+
+
+class PromiseError(Exception):
+    """Base class for all promise-layer errors."""
+
+
+class PromiseRejected(PromiseError):
+    """The promise manager declined to grant a promise request.
+
+    Rejection is immediate — never blocking — which is what frees the
+    promise model from deadlock concerns (paper, §9).
+    """
+
+    def __init__(self, request_id: str, reason: str) -> None:
+        super().__init__(f"promise request {request_id} rejected: {reason}")
+        self.request_id = request_id
+        self.reason = reason
+
+
+class PromiseExpired(PromiseError):
+    """An operation referenced a promise whose duration has elapsed.
+
+    "Promise managers return 'promise-expired' errors to clients that
+    attempt to perform operations under the protection of expired
+    promises." (paper, §2)
+    """
+
+    def __init__(self, promise_id: str) -> None:
+        super().__init__(f"promise {promise_id} has expired")
+        self.promise_id = promise_id
+
+
+class PromiseViolation(PromiseError):
+    """An action's state changes would break one or more granted promises.
+
+    The promise manager detects this in the post-action check and rolls the
+    action back (paper, §8).
+    """
+
+    def __init__(self, promise_ids: list[str], detail: str = "") -> None:
+        listing = ", ".join(promise_ids)
+        message = f"action would violate promises [{listing}]"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.promise_ids = promise_ids
+        self.detail = detail
+
+
+class UnknownPromise(PromiseError):
+    """A promise id does not correspond to any known promise."""
+
+    def __init__(self, promise_id: str) -> None:
+        super().__init__(f"unknown promise {promise_id}")
+        self.promise_id = promise_id
+
+
+class PromiseStateError(PromiseError):
+    """A promise was used in a state that does not allow the operation."""
+
+    def __init__(self, promise_id: str, state: str, operation: str) -> None:
+        super().__init__(
+            f"promise {promise_id} is {state}; cannot {operation}"
+        )
+        self.promise_id = promise_id
+        self.state = state
+        self.operation = operation
+
+
+class PredicateError(PromiseError):
+    """Base class for predicate construction/evaluation problems."""
+
+
+class PredicateSyntaxError(PredicateError):
+    """The predicate expression language parser rejected the input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class PredicateUnsupported(PredicateError):
+    """A structurally valid predicate is outside what checking supports.
+
+    The model "imposes no restrictions on the form these expressions can
+    take" (§3), but any concrete promise manager supports a concrete
+    checkable subset; this error marks the boundary explicitly rather than
+    silently granting unverifiable promises.
+    """
+
+
+class UnknownResource(PromiseError):
+    """A predicate referenced a pool, instance or collection that is absent."""
+
+    def __init__(self, resource_id: str) -> None:
+        super().__init__(f"unknown resource {resource_id!r}")
+        self.resource_id = resource_id
+
+
+class ActionFailed(PromiseError):
+    """The application reported failure while executing an action.
+
+    When an action fails, any promise releases bundled with it are NOT
+    applied: "the promise release and the application request form an
+    atomic unit" (paper, §2 and §4).
+    """
+
+    def __init__(self, action: str, reason: str) -> None:
+        super().__init__(f"action {action!r} failed: {reason}")
+        self.action = action
+        self.reason = reason

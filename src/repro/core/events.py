@@ -1,0 +1,82 @@
+"""Promise lifecycle events.
+
+The paper's related work (§9) credits ConTract with "notifying the client
+when a checked condition changes", and §2 wants violations and expiry to
+be visible as "serious exceptions" rather than silent state.  This module
+adds that observability: the promise manager emits a typed event for every
+lifecycle transition, and listeners (client notifiers, monitors, the
+benchmarks' metrics) subscribe to the stream.
+
+Listener failures are isolated — an observer must never be able to break
+the pipeline it observes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable
+
+
+class EventKind(enum.Enum):
+    """Lifecycle transitions a promise manager reports."""
+
+    GRANTED = "granted"
+    REJECTED = "rejected"
+    RELEASED = "released"
+    CONSUMED = "consumed"
+    EXPIRED = "expired"
+    VIOLATED = "violated"
+
+
+@dataclass(frozen=True)
+class PromiseEvent:
+    """One lifecycle notification."""
+
+    kind: EventKind
+    at: int
+    promise_id: str | None = None
+    client_id: str = ""
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        subject = self.promise_id or "-"
+        return f"[{self.at}] {self.kind.value} {subject} {self.detail}".rstrip()
+
+
+Listener = Callable[[PromiseEvent], None]
+
+
+class EventHub:
+    """Fan-out of promise events to subscribed listeners."""
+
+    def __init__(self, keep_history: bool = False) -> None:
+        self._listeners: list[Listener] = []
+        self._history: list[PromiseEvent] | None = [] if keep_history else None
+
+    def subscribe(self, listener: Listener) -> Listener:
+        """Register ``listener``; returns it for later unsubscribe."""
+        self._listeners.append(listener)
+        return listener
+
+    def unsubscribe(self, listener: Listener) -> None:
+        """Remove a listener (idempotent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def emit(self, event: PromiseEvent) -> None:
+        """Deliver ``event`` to every listener, isolating their errors."""
+        if self._history is not None:
+            self._history.append(event)
+        for listener in list(self._listeners):
+            try:
+                listener(event)
+            except Exception:  # noqa: BLE001 - observers must not break us
+                continue
+
+    @property
+    def history(self) -> list[PromiseEvent]:
+        """Recorded events (only when built with ``keep_history=True``)."""
+        return list(self._history or [])

@@ -1,0 +1,389 @@
+"""A small expression language for promise predicates.
+
+Section 3 of the paper envisages clients "constructing suitable predicates
+in the agreed standard syntax" that a *general-purpose* promise manager can
+maintain and evaluate without application knowledge.  This module supplies
+such a syntax, so predicates can travel as text inside SOAP headers:
+
+.. code-block:: text
+
+    quantity('pink_widgets') >= 5
+    available('room-212@sydney-hilton@2007-03-12')
+    match('hotel_rooms', floor == 5 and view == true, count=1)
+    match('seats', cabin == 'economy'~, count=2)        # ~ means "or better"
+    quantity('acct:alice') >= 100 or quantity('acct:alice-savings') >= 100
+    not available('lot-17')
+
+Grammar (informal)::
+
+    predicate  := or_expr
+    or_expr    := and_expr ( 'or' and_expr )*
+    and_expr   := unary ( 'and' unary )*
+    unary      := 'not' unary | atom
+    atom       := quantity | available | match | '(' predicate ')'
+    quantity   := 'quantity' '(' STRING ')' CMP NUMBER
+    available  := 'available' '(' STRING ')'
+    match      := 'match' '(' STRING [',' prop_expr] [',' 'count' '=' NUMBER] ')'
+    prop_expr  := prop_atom ( 'and' prop_atom )*
+    prop_atom  := IDENT CMP literal ['~'] | IDENT 'in' '[' literal (',' literal)* ']'
+    literal    := NUMBER | STRING | 'true' | 'false'
+
+Property expressions are conjunctive by design; alternatives are expressed
+with a predicate-level ``or`` (which the checker handles via DNF).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from .errors import PredicateSyntaxError
+from .predicates import (
+    And,
+    InstanceAvailable,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+)
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("STRING", r"'(?:[^'\\]|\\.)*'|\"(?:[^\"\\]|\\.)*\""),
+    ("CMP", r"==|!=|<=|>=|<|>"),
+    ("TILDE", r"~"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("ASSIGN", r"="),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_]*"),
+    ("WS", r"\s+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+_KEYWORDS = {"and", "or", "not", "quantity", "available", "match", "count", "in", "true", "false"}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (for error messages)."""
+
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split ``source`` into tokens, rejecting anything unrecognised."""
+    tokens: list[Token] = []
+    position = 0
+    for match in _TOKEN_RE.finditer(source):
+        if match.start() != position:
+            raise PredicateSyntaxError(
+                f"unexpected character {source[position]!r}", position
+            )
+        kind = match.lastgroup or ""
+        text = match.group()
+        if kind == "IDENT" and text in _KEYWORDS:
+            kind = text.upper()
+        if kind != "WS":
+            tokens.append(Token(kind, text, match.start()))
+        position = match.end()
+    if position != len(source):
+        raise PredicateSyntaxError(
+            f"unexpected character {source[position]!r}", position
+        )
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: list[Token], source: str) -> None:
+        self._tokens = tokens
+        self._index = 0
+        self._source = source
+
+    # ------------------------------------------------------------ plumbing
+
+    def _peek(self) -> Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise PredicateSyntaxError("unexpected end of input", len(self._source))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise PredicateSyntaxError(
+                f"expected {kind}, found {token.text!r}", token.position
+            )
+        return token
+
+    def _peek_kind(self, offset: int) -> str | None:
+        index = self._index + offset
+        if index < len(self._tokens):
+            return self._tokens[index].kind
+        return None
+
+    def _accept(self, kind: str) -> Token | None:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return token
+        return None
+
+    # ------------------------------------------------------------- grammar
+
+    def parse(self) -> Predicate:
+        predicate = self._or_expr()
+        trailing = self._peek()
+        if trailing is not None:
+            raise PredicateSyntaxError(
+                f"unexpected trailing input {trailing.text!r}", trailing.position
+            )
+        return predicate
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        children = [left]
+        while self._accept("OR"):
+            children.append(self._and_expr())
+        if len(children) == 1:
+            return left
+        return Or.of(*children)
+
+    def _and_expr(self) -> Predicate:
+        left = self._unary()
+        children = [left]
+        while self._accept("AND"):
+            children.append(self._unary())
+        if len(children) == 1:
+            return left
+        return And.of(*children)
+
+    def _unary(self) -> Predicate:
+        if self._accept("NOT"):
+            return Not(self._unary())
+        return self._atom()
+
+    def _atom(self) -> Predicate:
+        token = self._peek()
+        if token is None:
+            raise PredicateSyntaxError("unexpected end of input", len(self._source))
+        if token.kind == "QUANTITY":
+            return self._quantity()
+        if token.kind == "AVAILABLE":
+            return self._available()
+        if token.kind == "MATCH":
+            return self._match()
+        if token.kind == "LPAREN":
+            self._next()
+            inner = self._or_expr()
+            self._expect("RPAREN")
+            return inner
+        raise PredicateSyntaxError(
+            f"expected a predicate, found {token.text!r}", token.position
+        )
+
+    def _quantity(self) -> Predicate:
+        self._expect("QUANTITY")
+        self._expect("LPAREN")
+        pool = self._string()
+        self._expect("RPAREN")
+        cmp_token = self._expect("CMP")
+        amount_token = self._expect("NUMBER")
+        amount = _number(amount_token)
+        if not isinstance(amount, int):
+            raise PredicateSyntaxError(
+                "quantity demands must be integers", amount_token.position
+            )
+        if cmp_token.text != ">=":
+            raise PredicateSyntaxError(
+                "quantity predicates support only '>=' "
+                "(availability is a lower bound)",
+                cmp_token.position,
+            )
+        return QuantityAtLeast(pool, amount)
+
+    def _available(self) -> Predicate:
+        self._expect("AVAILABLE")
+        self._expect("LPAREN")
+        instance = self._string()
+        self._expect("RPAREN")
+        return InstanceAvailable(instance)
+
+    def _match(self) -> Predicate:
+        self._expect("MATCH")
+        self._expect("LPAREN")
+        collection = self._string()
+        conditions: list[PropertyCondition] = []
+        count = 1
+        while self._accept("COMMA"):
+            token = self._peek()
+            # `count=` introduces the count clause; a bare `count` is a
+            # property name like any other (keywords are context-
+            # sensitive inside property expressions).
+            if (
+                token is not None
+                and token.kind == "COUNT"
+                and self._peek_kind(1) == "ASSIGN"
+            ):
+                self._next()
+                self._expect("ASSIGN")
+                count_token = self._expect("NUMBER")
+                parsed = _number(count_token)
+                if not isinstance(parsed, int):
+                    raise PredicateSyntaxError(
+                        "count must be an integer", count_token.position
+                    )
+                count = parsed
+                break
+            conditions.extend(self._prop_expr())
+        self._expect("RPAREN")
+        return PropertyMatch(collection, tuple(conditions), count)
+
+    def _prop_expr(self) -> list[PropertyCondition]:
+        conditions = [self._prop_atom()]
+        while self._accept("AND"):
+            conditions.append(self._prop_atom())
+        return conditions
+
+    # Keywords usable as property names inside property expressions —
+    # only the boolean operators and literals stay reserved there.
+    _NAME_KINDS = ("IDENT", "QUANTITY", "AVAILABLE", "MATCH", "COUNT")
+
+    def _prop_atom(self) -> PropertyCondition:
+        name_token = self._next()
+        if name_token.kind not in self._NAME_KINDS:
+            raise PredicateSyntaxError(
+                f"expected a property name, found {name_token.text!r}",
+                name_token.position,
+            )
+        token = self._peek()
+        if token is not None and token.kind == "IN":
+            self._next()
+            self._expect("LBRACKET")
+            values = [self._literal()]
+            while self._accept("COMMA"):
+                values.append(self._literal())
+            self._expect("RBRACKET")
+            return PropertyCondition(name_token.text, Op.IN, tuple(values))
+        cmp_token = self._expect("CMP")
+        value = self._literal()
+        or_better = self._accept("TILDE") is not None
+        if or_better and cmp_token.text != "==":
+            raise PredicateSyntaxError(
+                "'~' (or better) requires an equality condition",
+                cmp_token.position,
+            )
+        return PropertyCondition(
+            name_token.text, Op.from_symbol(cmp_token.text), value, or_better
+        )
+
+    # ------------------------------------------------------------ literals
+
+    def _string(self) -> str:
+        token = self._expect("STRING")
+        return _unquote(token.text)
+
+    def _literal(self) -> object:
+        token = self._next()
+        if token.kind == "NUMBER":
+            return _number(token)
+        if token.kind == "STRING":
+            return _unquote(token.text)
+        if token.kind == "TRUE":
+            return True
+        if token.kind == "FALSE":
+            return False
+        raise PredicateSyntaxError(
+            f"expected a literal, found {token.text!r}", token.position
+        )
+
+
+def _number(token: Token) -> int | float:
+    text = token.text
+    if "." in text:
+        return float(text)
+    return int(text)
+
+
+def _unquote(text: str) -> str:
+    body = text[1:-1]
+    return body.replace("\\'", "'").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def parse_predicate(source: str) -> Predicate:
+    """Parse ``source`` into a :class:`Predicate`.
+
+    This is the entry point a general-purpose promise manager uses to
+    accept predicates in "the agreed standard syntax" (§3).
+    """
+    return _Parser(tokenize(source), source).parse()
+
+
+# Short alias for interactive/fluent use: ``P("quantity('x') >= 5")``.
+P = parse_predicate
+
+
+def render_predicate(predicate: Predicate) -> str:
+    """Render a predicate back to parseable source text.
+
+    ``parse_predicate(render_predicate(p))`` yields a predicate equal to
+    ``p`` for every construct the language covers (property-tested).
+    """
+    return _render(predicate, top=True)
+
+
+def _render(predicate: Predicate, top: bool = False) -> str:
+    if isinstance(predicate, QuantityAtLeast):
+        return f"quantity('{predicate.pool_id}') >= {predicate.amount}"
+    if isinstance(predicate, InstanceAvailable):
+        return f"available('{predicate.instance_id}')"
+    if isinstance(predicate, PropertyMatch):
+        parts = [f"'{predicate.collection_id}'"]
+        if predicate.conditions:
+            parts.append(" and ".join(_render_condition(c) for c in predicate.conditions))
+        parts.append(f"count={predicate.count}")
+        return f"match({', '.join(parts)})"
+    if isinstance(predicate, And):
+        body = " and ".join(_render(child) for child in predicate.children)
+        return body if top else f"({body})"
+    if isinstance(predicate, Or):
+        body = " or ".join(_render(child) for child in predicate.children)
+        return body if top else f"({body})"
+    if isinstance(predicate, Not):
+        return f"not {_render(predicate.child)}"
+    raise PredicateSyntaxError(f"cannot render {type(predicate).__name__}")
+
+
+def _render_condition(condition: PropertyCondition) -> str:
+    if condition.op is Op.IN:
+        values = ", ".join(_render_literal(value) for value in condition.value)  # type: ignore[union-attr]
+        return f"{condition.name} in [{values}]"
+    suffix = "~" if condition.or_better else ""
+    return f"{condition.name} {condition.op.value} {_render_literal(condition.value)}{suffix}"
+
+
+def _render_literal(value: object) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = value.replace("\\", "\\\\").replace("'", "\\'")
+        return f"'{escaped}'"
+    raise PredicateSyntaxError(f"cannot render literal {value!r}")
+

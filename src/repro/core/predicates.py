@@ -1,0 +1,650 @@
+"""Predicate model for promises.
+
+"Predicates are simply Boolean expressions over resources" (paper, §3).
+This module gives those expressions a concrete, checkable form covering the
+paper's three resource views:
+
+* :class:`QuantityAtLeast` — the **anonymous view** (§3.1): at least N units
+  of an interchangeable pool (stock on hand, an account balance).
+* :class:`InstanceAvailable` — the **named view** (§3.2): a uniquely
+  identified instance ('room 212, Sydney Hilton, 12/3/2007') is free.
+* :class:`PropertyMatch` — the **view via properties** (§3.3): some number
+  of instances from a collection whose properties satisfy a conjunction of
+  conditions ('a 5th-floor room', 'a room with a view').
+
+Predicates compose with :class:`And`, :class:`Or` and :class:`Not`.  The
+model deliberately allows arbitrary composition (§3: "no restrictions on
+the form"); the *checking* algorithms support conjunctions and bounded
+disjunctions and raise :class:`PredicateUnsupported` beyond that — an
+explicit boundary instead of an unverifiable grant.
+
+All predicates serialise to plain dictionaries (and back) so they can ride
+inside ``<promise-request>`` SOAP header elements (§6) and be persisted in
+the promise table (§8).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Protocol, Sequence
+
+from .errors import PredicateError, PredicateUnsupported
+
+MAX_DNF_BRANCHES = 128
+"""Upper bound on disjunctive-normal-form expansion during checking."""
+
+
+# --------------------------------------------------------------------------
+# Resource state that predicates are evaluated against
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class InstanceState:
+    """Read-only snapshot of one resource instance.
+
+    ``status`` is one of ``available`` / ``promised`` / ``taken`` — the
+    'allocated tag' lifecycle of §5.
+    """
+
+    instance_id: str
+    collection_id: str
+    status: str
+    properties: Mapping[str, object]
+
+    @property
+    def is_available(self) -> bool:
+        """True when the instance may back a new promise."""
+        return self.status == "available"
+
+    @property
+    def is_taken(self) -> bool:
+        """True when the instance has been definitely consumed."""
+        return self.status == "taken"
+
+
+class ResourceStateView(Protocol):
+    """What a predicate needs to know about current resource state.
+
+    The Resource Manager provides this, bound to a transaction, so that
+    predicate evaluation sees transactionally consistent state (§8).
+    """
+
+    def pool_available(self, pool_id: str) -> int:
+        """Unallocated quantity in an anonymous pool."""
+        ...
+
+    def instance(self, instance_id: str) -> InstanceState | None:
+        """One named instance, or ``None`` when unknown."""
+        ...
+
+    def instances_in(self, collection_id: str) -> list[InstanceState]:
+        """All instances belonging to a collection."""
+        ...
+
+    def property_ordering(self, collection_id: str, name: str) -> Sequence[object] | None:
+        """Worst-to-best ordering for an ordered property, if declared."""
+        ...
+
+
+# --------------------------------------------------------------------------
+# Property conditions (the building blocks of PropertyMatch)
+# --------------------------------------------------------------------------
+
+
+class Op(enum.Enum):
+    """Comparison operators usable in property conditions."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+    IN = "in"
+
+    @classmethod
+    def from_symbol(cls, symbol: str) -> "Op":
+        """Look an operator up by its surface syntax."""
+        for op in cls:
+            if op.value == symbol:
+                return op
+        raise PredicateError(f"unknown operator {symbol!r}")
+
+
+@dataclass(frozen=True)
+class PropertyCondition:
+    """One condition over a single instance property.
+
+    ``or_better`` implements the paper's ordered-acceptability idea (§3.3):
+    a promise for an economy seat is satisfied by business class.  It only
+    makes sense with ``Op.EQ`` and requires the collection schema to declare
+    an ordering for the property.
+    """
+
+    name: str
+    op: Op
+    value: object
+    or_better: bool = False
+
+    def __post_init__(self) -> None:
+        if self.or_better and self.op is not Op.EQ:
+            raise PredicateError("or_better requires an equality condition")
+
+    def matches(
+        self,
+        properties: Mapping[str, object],
+        ordering: Sequence[object] | None = None,
+    ) -> bool:
+        """Does ``properties`` satisfy this condition?
+
+        Missing properties never match.  ``ordering`` (worst-to-best) is
+        consulted only for ``or_better`` conditions.
+        """
+        if self.name not in properties:
+            return False
+        actual = properties[self.name]
+        if self.or_better:
+            if actual == self.value:
+                return True
+            if ordering is None:
+                return False
+            try:
+                return ordering.index(actual) >= ordering.index(self.value)
+            except ValueError:
+                return False
+        try:
+            if self.op is Op.EQ:
+                return actual == self.value
+            if self.op is Op.NE:
+                return actual != self.value
+            if self.op is Op.IN:
+                return actual in self.value  # type: ignore[operator]
+            if self.op is Op.LT:
+                return actual < self.value  # type: ignore[operator]
+            if self.op is Op.LE:
+                return actual <= self.value  # type: ignore[operator]
+            if self.op is Op.GT:
+                return actual > self.value  # type: ignore[operator]
+            if self.op is Op.GE:
+                return actual >= self.value  # type: ignore[operator]
+        except TypeError:
+            return False
+        raise PredicateError(f"unhandled operator {self.op}")  # pragma: no cover
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for protocol transport / persistence."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "op": self.op.value,
+            "value": self.value,
+        }
+        if self.or_better:
+            payload["or_better"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PropertyCondition":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=str(payload["name"]),
+            op=Op.from_symbol(str(payload["op"])),
+            value=payload["value"],
+            or_better=bool(payload.get("or_better", False)),
+        )
+
+    def describe(self) -> str:
+        """Human-readable rendering."""
+        suffix = " (or better)" if self.or_better else ""
+        return f"{self.name} {self.op.value} {self.value!r}{suffix}"
+
+
+# --------------------------------------------------------------------------
+# Predicate AST
+# --------------------------------------------------------------------------
+
+
+class Predicate(ABC):
+    """Abstract base of all promise predicates."""
+
+    kind: str = "abstract"
+
+    @abstractmethod
+    def evaluate(self, state: ResourceStateView) -> bool:
+        """Is this predicate satisfied by ``state`` *in isolation*?
+
+        Evaluation ignores other outstanding promises — that interplay is
+        the checking algorithms' job (:mod:`repro.core.checking`), because
+        promises must be satisfiable by *disjoint* resources (§9).
+        """
+
+    @abstractmethod
+    def resources(self) -> frozenset[str]:
+        """Identifiers of every pool/instance/collection mentioned."""
+
+    @abstractmethod
+    def to_dict(self) -> dict[str, object]:
+        """Serialise to a plain dictionary (tagged by ``kind``)."""
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable rendering for logs and error messages."""
+
+    # -- composition ------------------------------------------------------
+
+    def __and__(self, other: "Predicate") -> "And":
+        return And.of(self, other)
+
+    def __or__(self, other: "Predicate") -> "Or":
+        return Or.of(self, other)
+
+    def __invert__(self) -> "Not":
+        return Not(self)
+
+    # -- normal forms -----------------------------------------------------
+
+    def conjuncts(self) -> list["AtomicPredicate"]:
+        """Flatten a pure conjunction into its atoms.
+
+        Raises :class:`PredicateUnsupported` when the predicate contains
+        ``Or``/``Not`` — callers wanting disjunction support use
+        :meth:`dnf`.
+        """
+        branches = self.dnf()
+        if len(branches) != 1:
+            raise PredicateUnsupported(
+                f"{self.describe()} is not a pure conjunction"
+            )
+        return branches[0]
+
+    def dnf(self) -> list[list["AtomicPredicate"]]:
+        """Expand to disjunctive normal form: a list of atom-conjunctions.
+
+        ``Not`` is rejected — negative promises ('this will NOT hold') are
+        outside the paper's model.  Expansion is capped at
+        :data:`MAX_DNF_BRANCHES` branches.
+        """
+        branches = self._dnf()
+        if len(branches) > MAX_DNF_BRANCHES:
+            raise PredicateUnsupported(
+                f"predicate expands to {len(branches)} DNF branches "
+                f"(limit {MAX_DNF_BRANCHES})"
+            )
+        return branches
+
+    @abstractmethod
+    def _dnf(self) -> list[list["AtomicPredicate"]]: ...
+
+    # -- serialisation ----------------------------------------------------
+
+    @staticmethod
+    def from_dict(payload: Mapping[str, object]) -> "Predicate":
+        """Deserialise any predicate produced by :meth:`to_dict`."""
+        kind = payload.get("kind")
+        codec = _PREDICATE_KINDS.get(str(kind))
+        if codec is None:
+            raise PredicateError(f"unknown predicate kind {kind!r}")
+        return codec(payload)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} {self.describe()}>"
+
+
+class AtomicPredicate(Predicate):
+    """A leaf predicate — the unit the checking algorithms consume."""
+
+    def _dnf(self) -> list[list["AtomicPredicate"]]:
+        return [[self]]
+
+
+@dataclass(frozen=True, repr=False)
+class QuantityAtLeast(AtomicPredicate):
+    """Anonymous view: at least ``amount`` units available in ``pool_id``.
+
+    "the sum of all promised resources should not exceed the resources
+    that are actually available" (§3.1) — the checking algorithm sums
+    these demands.
+    """
+
+    pool_id: str
+    amount: int
+    kind = "quantity"
+
+    def __post_init__(self) -> None:
+        if self.amount <= 0:
+            raise PredicateError("quantity demands must be positive")
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        return state.pool_available(self.pool_id) >= self.amount
+
+    def resources(self) -> frozenset[str]:
+        return frozenset({self.pool_id})
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "pool": self.pool_id, "amount": self.amount}
+
+    def describe(self) -> str:
+        return f"quantity({self.pool_id!r}) >= {self.amount}"
+
+
+@dataclass(frozen=True, repr=False)
+class InstanceAvailable(AtomicPredicate):
+    """Named view: the uniquely identified ``instance_id`` is available.
+
+    "A single named resource instance cannot be promised to more than one
+    client application at the same time" (§3.2).
+    """
+
+    instance_id: str
+    kind = "instance"
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        instance = state.instance(self.instance_id)
+        return instance is not None and not instance.is_taken
+
+    def resources(self) -> frozenset[str]:
+        return frozenset({self.instance_id})
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "instance": self.instance_id}
+
+    def describe(self) -> str:
+        return f"available({self.instance_id!r})"
+
+
+@dataclass(frozen=True, repr=False)
+class PropertyMatch(AtomicPredicate):
+    """Property view: ``count`` instances of ``collection_id`` matching all
+    ``conditions``.
+
+    An empty condition tuple asks for *any* ``count`` instances of the
+    collection — the anonymous-over-named access of §3.2 (any economy seat
+    on the flight).
+    """
+
+    collection_id: str
+    conditions: tuple[PropertyCondition, ...] = field(default_factory=tuple)
+    count: int = 1
+    kind = "property"
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise PredicateError("property demands must request >= 1 instance")
+
+    def matches_instance(
+        self, instance: InstanceState, state: ResourceStateView | None = None
+    ) -> bool:
+        """Does a single instance satisfy every condition?"""
+        for condition in self.conditions:
+            ordering = None
+            if condition.or_better and state is not None:
+                ordering = state.property_ordering(
+                    self.collection_id, condition.name
+                )
+            if not condition.matches(instance.properties, ordering):
+                return False
+        return True
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        matching = sum(
+            1
+            for instance in state.instances_in(self.collection_id)
+            if not instance.is_taken and self.matches_instance(instance, state)
+        )
+        return matching >= self.count
+
+    def resources(self) -> frozenset[str]:
+        return frozenset({self.collection_id})
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "collection": self.collection_id,
+            "conditions": [condition.to_dict() for condition in self.conditions],
+            "count": self.count,
+        }
+
+    def describe(self) -> str:
+        if not self.conditions:
+            body = "any"
+        else:
+            body = " and ".join(c.describe() for c in self.conditions)
+        return f"match({self.collection_id!r}, {body}, count={self.count})"
+
+
+class _Combinator(Predicate):
+    """Shared machinery for And/Or."""
+
+    children: tuple[Predicate, ...]
+
+    def resources(self) -> frozenset[str]:
+        gathered: frozenset[str] = frozenset()
+        for child in self.children:
+            gathered |= child.resources()
+        return gathered
+
+
+@dataclass(frozen=True, repr=False)
+class And(_Combinator):
+    """Conjunction: every child must hold (and be jointly satisfiable)."""
+
+    children: tuple[Predicate, ...]
+    kind = "and"
+
+    @classmethod
+    def of(cls, *predicates: Predicate) -> "Predicate":
+        """Build a conjunction, flattening nested ``And`` nodes.
+
+        A single-child conjunction collapses to the child itself, keeping
+        predicates in a canonical form (so serialisation round-trips).
+        """
+        flat: list[Predicate] = []
+        for predicate in predicates:
+            if isinstance(predicate, And):
+                flat.extend(predicate.children)
+            else:
+                flat.append(predicate)
+        if not flat:
+            raise PredicateError("And requires at least one child")
+        if len(flat) == 1:
+            return flat[0]
+        return cls(tuple(flat))
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        return all(child.evaluate(state) for child in self.children)
+
+    def _dnf(self) -> list[list[AtomicPredicate]]:
+        child_branches = [child._dnf() for child in self.children]
+        combined: list[list[AtomicPredicate]] = []
+        for combo in itertools.product(*child_branches):
+            merged: list[AtomicPredicate] = []
+            for branch in combo:
+                merged.extend(branch)
+            combined.append(merged)
+            if len(combined) > MAX_DNF_BRANCHES:
+                raise PredicateUnsupported(
+                    f"DNF expansion exceeds {MAX_DNF_BRANCHES} branches"
+                )
+        return combined
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def describe(self) -> str:
+        return "(" + " and ".join(c.describe() for c in self.children) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Or(_Combinator):
+    """Disjunction: at least one child must hold.
+
+    Checking tries each branch; §3.3's essential-vs-desirable negotiation
+    is expressible as an ``Or`` of a strong and a weaker conjunction.
+    """
+
+    children: tuple[Predicate, ...]
+    kind = "or"
+
+    @classmethod
+    def of(cls, *predicates: Predicate) -> "Predicate":
+        """Build a disjunction, flattening nested ``Or`` nodes.
+
+        A single-child disjunction collapses to the child itself (canonical
+        form).
+        """
+        flat: list[Predicate] = []
+        for predicate in predicates:
+            if isinstance(predicate, Or):
+                flat.extend(predicate.children)
+            else:
+                flat.append(predicate)
+        if not flat:
+            raise PredicateError("Or requires at least one child")
+        if len(flat) == 1:
+            return flat[0]
+        return cls(tuple(flat))
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        return any(child.evaluate(state) for child in self.children)
+
+    def _dnf(self) -> list[list[AtomicPredicate]]:
+        branches: list[list[AtomicPredicate]] = []
+        for child in self.children:
+            branches.extend(child._dnf())
+            if len(branches) > MAX_DNF_BRANCHES:
+                raise PredicateUnsupported(
+                    f"DNF expansion exceeds {MAX_DNF_BRANCHES} branches"
+                )
+        return branches
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def describe(self) -> str:
+        return "(" + " or ".join(c.describe() for c in self.children) + ")"
+
+
+@dataclass(frozen=True, repr=False)
+class Not(Predicate):
+    """Negation.
+
+    Supported for *evaluation* only.  Negative guarantees cannot be checked
+    for mutual satisfiability with positive demands, so :meth:`dnf` (and
+    therefore promise granting) rejects it.
+    """
+
+    child: Predicate
+    kind = "not"
+
+    def evaluate(self, state: ResourceStateView) -> bool:
+        return not self.child.evaluate(state)
+
+    def resources(self) -> frozenset[str]:
+        return self.child.resources()
+
+    def _dnf(self) -> list[list[AtomicPredicate]]:
+        raise PredicateUnsupported(
+            "negated predicates cannot be promised (only evaluated)"
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {"kind": self.kind, "child": self.child.to_dict()}
+
+    def describe(self) -> str:
+        return f"not {self.child.describe()}"
+
+
+# --------------------------------------------------------------------------
+# Convenience constructors (the public predicate-building API)
+# --------------------------------------------------------------------------
+
+
+def quantity_at_least(pool_id: str, amount: int) -> QuantityAtLeast:
+    """Anonymous-view demand: ``amount`` units of ``pool_id`` available."""
+    return QuantityAtLeast(pool_id, amount)
+
+
+def named_available(instance_id: str) -> InstanceAvailable:
+    """Named-view demand: the specific ``instance_id`` is available."""
+    return InstanceAvailable(instance_id)
+
+
+def property_match(
+    collection_id: str,
+    conditions: Iterable[PropertyCondition] | None = None,
+    count: int = 1,
+) -> PropertyMatch:
+    """Property-view demand: ``count`` matching instances available."""
+    return PropertyMatch(collection_id, tuple(conditions or ()), count)
+
+
+def where(name: str, op: str | Op, value: object, or_better: bool = False) -> PropertyCondition:
+    """Build a property condition: ``where('floor', '==', 5)``."""
+    resolved = op if isinstance(op, Op) else Op.from_symbol(op)
+    return PropertyCondition(name, resolved, value, or_better)
+
+
+# --------------------------------------------------------------------------
+# Deserialisation registry
+# --------------------------------------------------------------------------
+
+
+def _decode_quantity(payload: Mapping[str, object]) -> Predicate:
+    return QuantityAtLeast(str(payload["pool"]), int(payload["amount"]))  # type: ignore[arg-type]
+
+
+def _decode_instance(payload: Mapping[str, object]) -> Predicate:
+    return InstanceAvailable(str(payload["instance"]))
+
+
+def _decode_property(payload: Mapping[str, object]) -> Predicate:
+    raw_conditions = payload.get("conditions", [])
+    if not isinstance(raw_conditions, list):
+        raise PredicateError("property predicate conditions must be a list")
+    conditions = tuple(
+        PropertyCondition.from_dict(entry) for entry in raw_conditions
+    )
+    return PropertyMatch(
+        str(payload["collection"]), conditions, int(payload.get("count", 1))  # type: ignore[arg-type]
+    )
+
+
+def _decode_children(payload: Mapping[str, object]) -> tuple[Predicate, ...]:
+    raw = payload.get("children")
+    if not isinstance(raw, list) or not raw:
+        raise PredicateError("combinator requires a non-empty children list")
+    return tuple(Predicate.from_dict(entry) for entry in raw)
+
+
+def _decode_and(payload: Mapping[str, object]) -> Predicate:
+    return And(_decode_children(payload))
+
+
+def _decode_or(payload: Mapping[str, object]) -> Predicate:
+    return Or(_decode_children(payload))
+
+
+def _decode_not(payload: Mapping[str, object]) -> Predicate:
+    child = payload.get("child")
+    if not isinstance(child, Mapping):
+        raise PredicateError("not-predicate requires a child mapping")
+    return Not(Predicate.from_dict(child))
+
+
+_PREDICATE_KINDS = {
+    "quantity": _decode_quantity,
+    "instance": _decode_instance,
+    "property": _decode_property,
+    "and": _decode_and,
+    "or": _decode_or,
+    "not": _decode_not,
+}

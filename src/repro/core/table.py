@@ -1,0 +1,154 @@
+"""The promise table (paper, §8).
+
+"The promise manager keeps a record of all non-expired promises and their
+predicates in a 'promise table'.  Promises are placed in this table when
+they are granted and removed when they are released."
+
+The table lives in the transactional store, so insertions and status
+changes participate in the same transaction as the application action and
+the resource-state reads — the "special care" §8 says is needed to keep
+promise state and resource state mutually consistent.  Rather than
+physically deleting released/expired rows we mark their status, preserving
+an audit trail; :meth:`PromiseTable.vacuum` removes dead rows.
+"""
+
+from __future__ import annotations
+
+from ..storage.transactions import Transaction
+from .errors import UnknownPromise
+from .promise import Promise, PromiseStatus
+
+PROMISES_TABLE = "promise_table"
+PROMISE_INDEX_TABLE = "promise_index"
+_ACTIVE_KEY = "active"
+
+
+class PromiseTable:
+    """Persistent set of promises, keyed by promise id.
+
+    An ``active`` index row lists the ids of live promises so the hot
+    paths (grant-time checking, the post-action sweep) read only live
+    rows instead of scanning the whole audit trail.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        store.create_table(PROMISES_TABLE)
+        store.create_table(PROMISE_INDEX_TABLE)
+
+    def insert(self, txn: Transaction, promise: Promise) -> None:
+        """Record a newly granted promise."""
+        txn.insert(PROMISES_TABLE, promise.promise_id, promise.to_dict())
+        if promise.is_active:
+            self._index_add(txn, promise.promise_id)
+
+    def get(self, txn: Transaction, promise_id: str) -> Promise:
+        """Load one promise; raises :class:`UnknownPromise` when absent."""
+        payload = txn.get_or_none(PROMISES_TABLE, promise_id)
+        if payload is None:
+            raise UnknownPromise(promise_id)
+        return Promise.from_dict(payload)  # type: ignore[arg-type]
+
+    def get_or_none(self, txn: Transaction, promise_id: str) -> Promise | None:
+        """Load one promise, or ``None`` when absent."""
+        payload = txn.get_or_none(PROMISES_TABLE, promise_id)
+        if payload is None:
+            return None
+        return Promise.from_dict(payload)  # type: ignore[arg-type]
+
+    def update(self, txn: Transaction, promise: Promise) -> None:
+        """Persist changed status/metadata of an existing promise."""
+        if not txn.exists(PROMISES_TABLE, promise.promise_id):
+            raise UnknownPromise(promise.promise_id)
+        txn.put(PROMISES_TABLE, promise.promise_id, promise.to_dict())
+        if promise.is_active:
+            self._index_add(txn, promise.promise_id)
+        else:
+            self._index_remove(txn, promise.promise_id)
+
+    def mark(
+        self, txn: Transaction, promise_id: str, status: PromiseStatus
+    ) -> Promise:
+        """Set a promise's status and return the updated promise."""
+        promise = self.get(txn, promise_id)
+        promise.status = status
+        self.update(txn, promise)
+        return promise
+
+    def all_promises(self, txn: Transaction) -> list[Promise]:
+        """Every promise, regardless of status (audit trail included)."""
+        return [
+            Promise.from_dict(payload)  # type: ignore[arg-type]
+            for __, payload in txn.scan(PROMISES_TABLE)
+        ]
+
+    def active(self, txn: Transaction, now: int | None = None) -> list[Promise]:
+        """Live promises; with ``now`` given, excludes ones already due
+        to expire (they bind nothing once the sweep runs).  Served from
+        the active index."""
+        promises = []
+        for promise in self._active_rows(txn):
+            if now is not None and promise.is_expired_at(now):
+                continue
+            promises.append(promise)
+        return promises
+
+    def due_for_expiry(self, txn: Transaction, now: int) -> list[Promise]:
+        """ACTIVE promises whose duration has elapsed at ``now``."""
+        return [
+            promise
+            for promise in self._active_rows(txn)
+            if promise.is_expired_at(now)
+        ]
+
+    def _active_rows(self, txn: Transaction) -> list[Promise]:
+        index = txn.get_or_none(PROMISE_INDEX_TABLE, _ACTIVE_KEY) or []
+        promises = []
+        for promise_id in index:  # type: ignore[union-attr]
+            promise = self.get_or_none(txn, str(promise_id))
+            if promise is not None and promise.is_active:
+                promises.append(promise)
+        return promises
+
+    def _index_add(self, txn: Transaction, promise_id: str) -> None:
+        index = txn.get_or_none(PROMISE_INDEX_TABLE, _ACTIVE_KEY) or []
+        if promise_id not in index:  # type: ignore[operator]
+            txn.put(
+                PROMISE_INDEX_TABLE,
+                _ACTIVE_KEY,
+                sorted([*index, promise_id]),  # type: ignore[misc]
+            )
+
+    def _index_remove(self, txn: Transaction, promise_id: str) -> None:
+        index = txn.get_or_none(PROMISE_INDEX_TABLE, _ACTIVE_KEY)
+        if index is None:
+            return
+        txn.put(
+            PROMISE_INDEX_TABLE,
+            _ACTIVE_KEY,
+            [entry for entry in index if entry != promise_id],  # type: ignore[union-attr]
+        )
+
+    def by_client(self, txn: Transaction, client_id: str) -> list[Promise]:
+        """All promises granted to one client."""
+        return [
+            promise
+            for promise in self.all_promises(txn)
+            if promise.client_id == client_id
+        ]
+
+    def count_active(self, txn: Transaction, now: int | None = None) -> int:
+        """Number of live promises."""
+        return len(self.active(txn, now))
+
+    def vacuum(self, txn: Transaction) -> int:
+        """Physically delete released/expired rows; returns rows removed."""
+        dead = [
+            promise.promise_id
+            for promise in self.all_promises(txn)
+            if not promise.is_active
+        ]
+        for promise_id in dead:
+            txn.delete(PROMISES_TABLE, promise_id)
+            self._index_remove(txn, promise_id)
+        return len(dead)

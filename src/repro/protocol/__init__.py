@@ -1,0 +1,42 @@
+"""Promise message protocol (paper, Section 6).
+
+SOAP-envelope messages whose headers carry ``<promise-request>``,
+``<promise-response>`` and ``<environment>`` elements and whose bodies
+carry application actions; plus an in-process transport, a service-side
+endpoint implementing the Figure-2 message split, and a client stub.
+"""
+
+from .client import PromiseClient
+from .correlation import CorrelationTracker, MatchedExchange
+from .endpoint import ActionResolver, PromiseEndpoint
+from .errors import (
+    CorrelationError,
+    MalformedMessage,
+    ProtocolError,
+    TransportFailure,
+    UnknownEndpoint,
+)
+from .messages import ActionOutcomePayload, ActionPayload, Message
+from .soap import PROMISE_NS, SOAP_NS, SoapCodec
+from .transport import InProcessTransport, TransportStats
+
+__all__ = [
+    "ActionOutcomePayload",
+    "ActionPayload",
+    "ActionResolver",
+    "CorrelationError",
+    "CorrelationTracker",
+    "InProcessTransport",
+    "MalformedMessage",
+    "MatchedExchange",
+    "Message",
+    "PROMISE_NS",
+    "PromiseClient",
+    "PromiseEndpoint",
+    "ProtocolError",
+    "SOAP_NS",
+    "SoapCodec",
+    "TransportFailure",
+    "TransportStats",
+    "UnknownEndpoint",
+]

@@ -1,0 +1,186 @@
+"""Client-side helper for the promise protocol.
+
+Builds the §6 messages a promise-aware client sends: promise requests,
+application requests under a promise environment, combined
+promise-request+action messages, and pure release messages.  Everything
+returns the decoded reply parts, so application code never touches XML.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.environment import Environment
+from ..core.errors import PromiseRejected
+from ..core.predicates import Predicate
+from ..core.promise import IdGenerator, PromiseRequest, PromiseResponse
+from .errors import ProtocolError
+from .messages import ActionOutcomePayload, ActionPayload, Message
+from .transport import InProcessTransport
+
+
+class PromiseClient:
+    """A promise-aware client application's protocol stub."""
+
+    def __init__(self, name: str, transport: InProcessTransport) -> None:
+        self.name = name
+        self._transport = transport
+        self._message_ids = IdGenerator(f"{name}:msg")
+        self._request_ids = IdGenerator(f"{name}:req")
+
+    # ------------------------------------------------------------ messages
+
+    def request_promise(
+        self,
+        endpoint: str,
+        predicates: Sequence[Predicate],
+        duration: int,
+        releases: Sequence[str] = (),
+    ) -> PromiseResponse:
+        """Send a ``<promise-request>`` and return the response element."""
+        request = PromiseRequest(
+            request_id=self._request_ids.next_id(),
+            client_id=self.name,
+            predicates=tuple(predicates),
+            duration=duration,
+            releases=tuple(releases),
+        )
+        reply = self._send(
+            Message(
+                message_id=self._message_ids.next_id(),
+                sender=self.name,
+                recipient=endpoint,
+                promise_requests=(request,),
+            )
+        )
+        return self._single_response(reply, request.request_id)
+
+    def require_promise(
+        self,
+        endpoint: str,
+        predicates: Sequence[Predicate],
+        duration: int,
+        releases: Sequence[str] = (),
+    ) -> str:
+        """Like :meth:`request_promise` but raise on rejection.
+
+        Returns the granted promise id, letting client code follow the
+        paper's intended style: treat rejection as flow control where
+        expected, or as an error via this method where not.
+        """
+        response = self.request_promise(endpoint, predicates, duration, releases)
+        if not response.accepted or response.promise_id is None:
+            raise PromiseRejected(response.correlation, response.reason)
+        return response.promise_id
+
+    def call(
+        self,
+        endpoint: str,
+        service: str,
+        operation: str,
+        params: Mapping[str, object] | None = None,
+        environment: Environment | None = None,
+    ) -> ActionOutcomePayload:
+        """Send an application request, optionally under an environment."""
+        reply = self._send(
+            Message(
+                message_id=self._message_ids.next_id(),
+                sender=self.name,
+                recipient=endpoint,
+                environment=environment,
+                action=ActionPayload(
+                    service=service, operation=operation, params=dict(params or {})
+                ),
+            )
+        )
+        if reply.action_outcome is None:
+            raise ProtocolError(
+                f"no action outcome in reply (faults: {list(reply.faults)})"
+            )
+        return reply.action_outcome
+
+    def call_with_promise(
+        self,
+        endpoint: str,
+        predicates: Sequence[Predicate],
+        duration: int,
+        service: str,
+        operation: str,
+        params: Mapping[str, object] | None = None,
+    ) -> tuple[PromiseResponse, ActionOutcomePayload | None]:
+        """A combined message: promise request + action in one envelope.
+
+        "Promise release requests can be combined with application request
+        messages" (§2) — and so can promise requests; the endpoint runs
+        the action only when the promise part was granted.
+        """
+        request = PromiseRequest(
+            request_id=self._request_ids.next_id(),
+            client_id=self.name,
+            predicates=tuple(predicates),
+            duration=duration,
+        )
+        reply = self._send(
+            Message(
+                message_id=self._message_ids.next_id(),
+                sender=self.name,
+                recipient=endpoint,
+                promise_requests=(request,),
+                action=ActionPayload(
+                    service=service, operation=operation, params=dict(params or {})
+                ),
+            )
+        )
+        return self._single_response(reply, request.request_id), reply.action_outcome
+
+    def negotiate(
+        self,
+        endpoint: str,
+        alternatives: Sequence[Sequence[Predicate]],
+        duration: int,
+        releases: Sequence[str] = (),
+    ) -> tuple[int, PromiseResponse]:
+        """Try ranked predicate alternatives; first grant wins (§3.3).
+
+        Client-side negotiation over the wire: one promise-request
+        message per alternative, stopping at the first acceptance.
+        Returns ``(index, response)``; ``index`` is -1 when every
+        alternative was rejected.
+        """
+        if not alternatives:
+            raise ValueError("negotiation needs at least one alternative")
+        response: PromiseResponse | None = None
+        for index, predicates in enumerate(alternatives):
+            response = self.request_promise(
+                endpoint, predicates, duration, releases
+            )
+            if response.accepted:
+                return index, response
+        assert response is not None
+        return -1, response
+
+    def release(self, endpoint: str, *promise_ids: str) -> tuple[str, ...]:
+        """Send a pure promise-release message; returns reply faults."""
+        reply = self._send(
+            Message(
+                message_id=self._message_ids.next_id(),
+                sender=self.name,
+                recipient=endpoint,
+                environment=Environment.of(*promise_ids, release=promise_ids),
+            )
+        )
+        return reply.faults
+
+    # ------------------------------------------------------------ internals
+
+    def _send(self, message: Message) -> Message:
+        return self._transport.send(message)
+
+    @staticmethod
+    def _single_response(reply: Message, request_id: str) -> PromiseResponse:
+        for response in reply.promise_responses:
+            if response.correlation == request_id:
+                return response
+        raise ProtocolError(
+            f"reply carries no promise-response for request {request_id!r}"
+        )

@@ -1,0 +1,66 @@
+"""Correlation tracking for promise requests and responses.
+
+Section 6: "A request identifier ... is used to correlate promise-requests
+and promise-responses", and a reply may carry "a piggybacked response
+reporting on the outcome of a previous request".  The tracker keeps the
+set of outstanding request ids and matches responses as they arrive — in
+any order, possibly piggybacked on unrelated messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.promise import PromiseRequest, PromiseResponse
+from .errors import CorrelationError
+
+
+@dataclass(frozen=True)
+class MatchedExchange:
+    """A request paired with its response."""
+
+    request: PromiseRequest
+    response: PromiseResponse
+
+
+class CorrelationTracker:
+    """Matches promise responses to their outstanding requests."""
+
+    def __init__(self) -> None:
+        self._pending: dict[str, PromiseRequest] = {}
+        self._matched: list[MatchedExchange] = []
+
+    def sent(self, request: PromiseRequest) -> None:
+        """Record an outgoing request as awaiting its response."""
+        if request.request_id in self._pending:
+            raise CorrelationError(
+                f"request id {request.request_id!r} already outstanding"
+            )
+        self._pending[request.request_id] = request
+
+    def received(self, response: PromiseResponse) -> MatchedExchange:
+        """Match an incoming response; raises when nothing is waiting."""
+        request = self._pending.pop(response.correlation, None)
+        if request is None:
+            raise CorrelationError(
+                f"response correlates to unknown request "
+                f"{response.correlation!r}"
+            )
+        exchange = MatchedExchange(request=request, response=response)
+        self._matched.append(exchange)
+        return exchange
+
+    def outstanding(self) -> list[str]:
+        """Request ids still awaiting responses."""
+        return sorted(self._pending)
+
+    def history(self) -> list[MatchedExchange]:
+        """All matched exchanges, oldest first."""
+        return list(self._matched)
+
+    def abandon(self, request_id: str) -> PromiseRequest:
+        """Give up on an outstanding request (e.g. transport failure)."""
+        request = self._pending.pop(request_id, None)
+        if request is None:
+            raise CorrelationError(f"no outstanding request {request_id!r}")
+        return request

@@ -1,0 +1,145 @@
+"""Service-side protocol endpoint (the message front of Figure 2).
+
+"The promise manager receives each message as it arrives from the client
+and breaks it up into its Promise and Action component pieces.  If a
+message contains a Promise part, this is split into its promise request
+and promise environment parts and any new promise requests are checked for
+consistency against the existing promises and resource availability.
+After this step, any Action is passed on to the associated application and
+the promise manager waits for a response." (paper, §8)
+
+The endpoint performs exactly that split and translates the promise-core
+exceptions into protocol faults ('promise-expired', 'unknown-promise',
+'promise-violated') for the reply message.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.environment import Environment
+from ..core.errors import (
+    PredicateError,
+    PromiseExpired,
+    PromiseStateError,
+    UnknownPromise,
+)
+from ..core.manager import Action, PromiseManager
+from ..core.promise import IdGenerator, PromiseResponse
+from .errors import MalformedMessage
+from .messages import ActionOutcomePayload, ActionPayload, Message
+
+ActionResolver = Callable[[ActionPayload], Action]
+"""Maps a body action element to the application callable implementing it.
+
+The services layer provides one (see
+:meth:`repro.services.base.ServiceRegistry.resolver`)."""
+
+
+class PromiseEndpoint:
+    """Wraps a :class:`PromiseManager` behind the message protocol."""
+
+    def __init__(
+        self,
+        manager: PromiseManager,
+        resolve: ActionResolver,
+        name: str | None = None,
+    ) -> None:
+        self.manager = manager
+        self._resolve = resolve
+        self.name = name or manager.name
+        self._message_ids = IdGenerator(f"{self.name}:msg")
+
+    def handle(self, message: Message) -> Message:
+        """Process one inbound message and build the reply.
+
+        Promise requests are processed first; when a combined message's
+        promise part is rejected, the action is *not* attempted (the
+        client asked to act under guarantees it did not get) and a fault
+        reports the skip.
+        """
+        responses: list[PromiseResponse] = []
+        faults: list[str] = []
+        rejected = False
+
+        for request in message.promise_requests:
+            try:
+                response = self.manager.request_promise(request)
+            except (PredicateError, UnknownPromise, PromiseStateError) as exc:
+                response = PromiseResponse.rejected(request.request_id, str(exc))
+            except PromiseExpired as exc:
+                faults.append(f"promise-expired: {exc.promise_id}")
+                response = PromiseResponse.rejected(request.request_id, str(exc))
+            responses.append(response)
+            rejected = rejected or not response.accepted
+
+        outcome: ActionOutcomePayload | None = None
+        if message.action is not None:
+            if rejected:
+                faults.append("action-skipped: promise request rejected")
+            else:
+                outcome = self._run_action(message, faults)
+        elif message.environment is not None:
+            self._pure_release(message.environment, faults)
+
+        return message.reply(
+            message_id=self._message_ids.next_id(),
+            promise_responses=tuple(responses),
+            action_outcome=outcome,
+            faults=tuple(faults),
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _run_action(
+        self, message: Message, faults: list[str]
+    ) -> ActionOutcomePayload | None:
+        assert message.action is not None
+        try:
+            action = self._resolve(message.action)
+        except (LookupError, MalformedMessage) as exc:
+            faults.append(f"unknown-action: {exc}")
+            return None
+        environment = message.environment or Environment.empty()
+        try:
+            result = self.manager.execute(
+                action, environment, client_id=message.sender
+            )
+        except PromiseExpired as exc:
+            faults.append(f"promise-expired: {exc.promise_id}")
+            return None
+        except UnknownPromise as exc:
+            faults.append(f"unknown-promise: {exc.promise_id}")
+            return None
+        except PromiseStateError as exc:
+            faults.append(f"promise-state: {exc}")
+            return None
+        except Exception as exc:  # noqa: BLE001 - service boundary
+            # An unexpected application error must not take the endpoint
+            # down; the manager already rolled the transaction back, so
+            # report it as a fault like any SOAP server would.
+            faults.append(f"internal-error: {type(exc).__name__}: {exc}")
+            return None
+        if result.violations:
+            faults.append("promise-violated: action rolled back")
+        return ActionOutcomePayload(
+            success=result.success,
+            value=result.value,
+            reason=result.reason,
+            released=result.released,
+            violations=tuple(
+                violation.promise_id for violation in result.violations
+            ),
+        )
+
+    def _pure_release(self, environment: Environment, faults: list[str]) -> None:
+        """A promise-release message: environment, no action (§6)."""
+        for promise_id in environment.releases():
+            try:
+                self.manager.release(promise_id, consume=False)
+            except PromiseExpired as exc:
+                faults.append(f"promise-expired: {exc.promise_id}")
+            except UnknownPromise as exc:
+                faults.append(f"unknown-promise: {exc.promise_id}")
+            except PromiseStateError as exc:
+                faults.append(f"promise-state: {exc}")

@@ -1,0 +1,27 @@
+"""Errors raised by the promise message protocol layer."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Base class for protocol-layer failures."""
+
+
+class MalformedMessage(ProtocolError):
+    """A message (or its XML encoding) violates the protocol structure."""
+
+
+class UnknownEndpoint(ProtocolError):
+    """A message was addressed to a service the transport doesn't know."""
+
+    def __init__(self, endpoint: str) -> None:
+        super().__init__(f"unknown endpoint {endpoint!r}")
+        self.endpoint = endpoint
+
+
+class TransportFailure(ProtocolError):
+    """The (simulated) transport dropped or failed to deliver a message."""
+
+
+class CorrelationError(ProtocolError):
+    """A response arrived that matches no outstanding request."""

@@ -1,0 +1,136 @@
+"""Message model for the Promise protocol (paper, §6).
+
+"All of our promise protocol messages can be transferred as elements in
+SOAP message headers and the associated actions can be carried within the
+body of the same SOAP messages." (§2)
+
+A :class:`Message` therefore has a *header* carrying any subset of
+``<promise-request>``, ``<promise-response>`` and ``<environment>``
+elements, and a *body* optionally carrying one application action or its
+result: "each message may contain any subset of the different elements
+relating to promises, and these may be related to the message body or
+unrelated ... it can also carry a piggybacked response reporting on the
+outcome of a previous request" (§6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..core.environment import Environment
+from ..core.promise import PromiseRequest, PromiseResponse
+from .errors import MalformedMessage
+
+
+@dataclass(frozen=True)
+class ActionPayload:
+    """The application request carried in a message body."""
+
+    service: str
+    operation: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for the codec."""
+        return {
+            "service": self.service,
+            "operation": self.operation,
+            "params": dict(self.params),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ActionPayload":
+        """Inverse of :meth:`to_dict`."""
+        params = payload.get("params", {})
+        if not isinstance(params, Mapping):
+            raise MalformedMessage("action params must be a mapping")
+        return cls(
+            service=str(payload["service"]),
+            operation=str(payload["operation"]),
+            params=dict(params),
+        )
+
+
+@dataclass(frozen=True)
+class ActionOutcomePayload:
+    """The application response carried back in a message body."""
+
+    success: bool
+    value: object = None
+    reason: str = ""
+    released: tuple[str, ...] = ()
+    violations: tuple[str, ...] = ()
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for the codec."""
+        return {
+            "success": self.success,
+            "value": self.value,
+            "reason": self.reason,
+            "released": list(self.released),
+            "violations": list(self.violations),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ActionOutcomePayload":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            success=bool(payload.get("success")),
+            value=payload.get("value"),
+            reason=str(payload.get("reason", "")),
+            released=tuple(str(x) for x in payload.get("released", ())),  # type: ignore[union-attr]
+            violations=tuple(str(x) for x in payload.get("violations", ())),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class Message:
+    """One protocol message: header promise elements plus optional body.
+
+    ``faults`` carries protocol-level errors ('promise-expired',
+    'unknown-promise') on the return path, mirroring SOAP faults.
+    """
+
+    message_id: str
+    sender: str
+    recipient: str
+    promise_requests: tuple[PromiseRequest, ...] = ()
+    promise_responses: tuple[PromiseResponse, ...] = ()
+    environment: Environment | None = None
+    action: ActionPayload | None = None
+    action_outcome: ActionOutcomePayload | None = None
+    faults: tuple[str, ...] = ()
+    correlation: str = ""
+
+    @property
+    def has_promise_part(self) -> bool:
+        """True when the header carries any promise element (§8 split)."""
+        return bool(
+            self.promise_requests
+            or self.promise_responses
+            or self.environment is not None
+        )
+
+    @property
+    def has_action_part(self) -> bool:
+        """True when the body carries an application request."""
+        return self.action is not None
+
+    def reply(
+        self,
+        message_id: str,
+        promise_responses: tuple[PromiseResponse, ...] = (),
+        action_outcome: ActionOutcomePayload | None = None,
+        faults: tuple[str, ...] = (),
+    ) -> "Message":
+        """Build the response message for this request."""
+        return Message(
+            message_id=message_id,
+            sender=self.recipient,
+            recipient=self.sender,
+            promise_responses=promise_responses,
+            action_outcome=action_outcome,
+            faults=faults,
+            correlation=self.message_id,
+        )

@@ -1,0 +1,342 @@
+"""SOAP-envelope XML codec for promise messages (paper, §2, §6).
+
+"Our proposed Promise protocol fits very naturally into the SOAP protocol
+and the Web Services model.  All of our promise protocol messages can be
+transferred as elements in SOAP message headers and the associated actions
+can be carried within the body of the same SOAP messages."
+
+The codec renders each :class:`~repro.protocol.messages.Message` as an
+``<Envelope>`` whose ``<Header>`` holds the ``<promise-request>``,
+``<promise-response>`` and ``<environment>`` elements exactly as §6
+defines them, and whose ``<Body>`` holds the action or its outcome.
+Predicates travel as text in the expression language of
+:mod:`repro.core.parser` — the "agreed standard syntax" of §3 — so a
+general-purpose promise manager can parse them with no application
+knowledge.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Mapping
+
+from ..core.environment import Environment
+from ..core.parser import parse_predicate, render_predicate
+from ..core.promise import PromiseRequest, PromiseResponse, PromiseResult
+from .errors import MalformedMessage
+from .messages import ActionOutcomePayload, ActionPayload, Message
+
+SOAP_NS = "http://schemas.xmlsoap.org/soap/envelope/"
+PROMISE_NS = "urn:promises:2007"
+
+
+class SoapCodec:
+    """Encode/decode messages to and from SOAP-envelope XML text."""
+
+    def encode(self, message: Message) -> str:
+        """Render ``message`` as an XML string."""
+        envelope = ET.Element("Envelope", {"xmlns": SOAP_NS})
+        header = ET.SubElement(envelope, "Header")
+        ET.SubElement(
+            header,
+            "routing",
+            {
+                "message-id": message.message_id,
+                "sender": message.sender,
+                "recipient": message.recipient,
+                "correlation": message.correlation,
+            },
+        )
+        for request in message.promise_requests:
+            self._encode_request(header, request)
+        for response in message.promise_responses:
+            self._encode_response(header, response)
+        if message.environment is not None:
+            self._encode_environment(header, message.environment)
+        for fault in message.faults:
+            ET.SubElement(header, "fault").text = fault
+
+        body = ET.SubElement(envelope, "Body")
+        if message.action is not None:
+            self._encode_action(body, message.action)
+        if message.action_outcome is not None:
+            self._encode_outcome(body, message.action_outcome)
+        return ET.tostring(envelope, encoding="unicode")
+
+    def decode(self, text: str) -> Message:
+        """Parse XML text produced by :meth:`encode`."""
+        try:
+            envelope = ET.fromstring(text)
+        except ET.ParseError as exc:
+            raise MalformedMessage(f"invalid XML: {exc}") from exc
+        header = envelope.find(self._q("Header"))
+        body = envelope.find(self._q("Body"))
+        if header is None or body is None:
+            raise MalformedMessage("envelope missing Header or Body")
+        routing = header.find(self._q("routing"))
+        if routing is None:
+            raise MalformedMessage("header missing routing element")
+
+        requests = tuple(
+            self._decode_request(element)
+            for element in header.findall(self._q("promise-request"))
+        )
+        responses = tuple(
+            self._decode_response(element)
+            for element in header.findall(self._q("promise-response"))
+        )
+        environment_el = header.find(self._q("environment"))
+        environment = (
+            self._decode_environment(environment_el)
+            if environment_el is not None
+            else None
+        )
+        faults = tuple(
+            element.text or "" for element in header.findall(self._q("fault"))
+        )
+
+        action_el = body.find(self._q("action"))
+        outcome_el = body.find(self._q("action-outcome"))
+        return Message(
+            message_id=routing.get("message-id", ""),
+            sender=routing.get("sender", ""),
+            recipient=routing.get("recipient", ""),
+            correlation=routing.get("correlation", ""),
+            promise_requests=requests,
+            promise_responses=responses,
+            environment=environment,
+            faults=faults,
+            action=self._decode_action(action_el) if action_el is not None else None,
+            action_outcome=(
+                self._decode_outcome(outcome_el) if outcome_el is not None else None
+            ),
+        )
+
+    # --------------------------------------------------------- header parts
+
+    def _encode_request(self, header: ET.Element, request: PromiseRequest) -> None:
+        element = ET.SubElement(
+            header,
+            "promise-request",
+            {
+                "id": request.request_id,
+                "client": request.client_id,
+                "duration": str(request.duration),
+            },
+        )
+        for predicate in request.predicates:
+            ET.SubElement(element, "predicate").text = render_predicate(predicate)
+        for resource in sorted(request.resources):
+            ET.SubElement(element, "resource", {"id": resource})
+        for promise_id in request.releases:
+            ET.SubElement(element, "release", {"promise": promise_id})
+
+    def _decode_request(self, element: ET.Element) -> PromiseRequest:
+        predicates = tuple(
+            parse_predicate(child.text or "")
+            for child in element.findall(self._q("predicate"))
+        )
+        releases = tuple(
+            child.get("promise", "")
+            for child in element.findall(self._q("release"))
+        )
+        try:
+            return PromiseRequest(
+                request_id=element.get("id", ""),
+                client_id=element.get("client", "anonymous"),
+                predicates=predicates,
+                duration=int(element.get("duration", "0")),
+                releases=releases,
+            )
+        except Exception as exc:
+            raise MalformedMessage(f"bad promise-request: {exc}") from exc
+
+    def _encode_response(self, header: ET.Element, response: PromiseResponse) -> None:
+        attributes = {
+            "result": response.result.value,
+            "duration": str(response.duration),
+            "correlation": response.correlation,
+            "reason": response.reason,
+        }
+        if response.promise_id is not None:
+            attributes["promise"] = response.promise_id
+        element = ET.SubElement(header, "promise-response", attributes)
+        if response.counter is not None:
+            ET.SubElement(element, "counter").text = render_predicate(
+                response.counter
+            )
+
+    def _decode_response(self, element: ET.Element) -> PromiseResponse:
+        counter_el = element.find(self._q("counter"))
+        counter = (
+            parse_predicate(counter_el.text or "")
+            if counter_el is not None
+            else None
+        )
+        try:
+            return PromiseResponse(
+                promise_id=element.get("promise"),
+                result=PromiseResult(element.get("result", "rejected")),
+                duration=int(element.get("duration", "0")),
+                correlation=element.get("correlation", ""),
+                reason=element.get("reason", ""),
+                counter=counter,
+            )
+        except ValueError as exc:
+            raise MalformedMessage(f"bad promise-response: {exc}") from exc
+
+    def _encode_environment(
+        self, header: ET.Element, environment: Environment
+    ) -> None:
+        element = ET.SubElement(header, "environment")
+        for promise_id in environment.promise_ids:
+            ET.SubElement(
+                element,
+                "promise",
+                {
+                    "id": promise_id,
+                    "release": (
+                        "true"
+                        if environment.release_after.get(promise_id)
+                        else "false"
+                    ),
+                },
+            )
+
+    def _decode_environment(self, element: ET.Element) -> Environment:
+        promise_ids = []
+        release_after = {}
+        for child in element.findall(self._q("promise")):
+            promise_id = child.get("id", "")
+            promise_ids.append(promise_id)
+            release_after[promise_id] = child.get("release") == "true"
+        return Environment(
+            promise_ids=tuple(promise_ids), release_after=release_after
+        )
+
+    # ----------------------------------------------------------- body parts
+
+    def _encode_action(self, body: ET.Element, action: ActionPayload) -> None:
+        element = ET.SubElement(
+            body,
+            "action",
+            {"service": action.service, "operation": action.operation},
+        )
+        params = ET.SubElement(element, "params")
+        for key in sorted(action.params):
+            item = ET.SubElement(params, "param", {"name": key})
+            _encode_value(item, action.params[key])
+
+    def _decode_action(self, element: ET.Element) -> ActionPayload:
+        params: dict[str, object] = {}
+        params_el = element.find(self._q("params"))
+        if params_el is not None:
+            for item in params_el.findall(self._q("param")):
+                value_el = item.find(self._q("value"))
+                if value_el is None:
+                    raise MalformedMessage("param missing value")
+                params[item.get("name", "")] = _decode_value(value_el, self._q)
+        return ActionPayload(
+            service=element.get("service", ""),
+            operation=element.get("operation", ""),
+            params=params,
+        )
+
+    def _encode_outcome(
+        self, body: ET.Element, outcome: ActionOutcomePayload
+    ) -> None:
+        element = ET.SubElement(
+            body,
+            "action-outcome",
+            {
+                "success": "true" if outcome.success else "false",
+                "reason": outcome.reason,
+            },
+        )
+        _encode_value(element, outcome.value)
+        for promise_id in outcome.released:
+            ET.SubElement(element, "released", {"promise": promise_id})
+        for promise_id in outcome.violations:
+            ET.SubElement(element, "violation", {"promise": promise_id})
+
+    def _decode_outcome(self, element: ET.Element) -> ActionOutcomePayload:
+        value_el = element.find(self._q("value"))
+        value = _decode_value(value_el, self._q) if value_el is not None else None
+        return ActionOutcomePayload(
+            success=element.get("success") == "true",
+            reason=element.get("reason", ""),
+            value=value,
+            released=tuple(
+                child.get("promise", "")
+                for child in element.findall(self._q("released"))
+            ),
+            violations=tuple(
+                child.get("promise", "")
+                for child in element.findall(self._q("violation"))
+            ),
+        )
+
+    @staticmethod
+    def _q(tag: str) -> str:
+        """Qualify a tag with the default (SOAP) namespace."""
+        return f"{{{SOAP_NS}}}{tag}"
+
+
+def _encode_value(parent: ET.Element, value: object) -> None:
+    """Encode one Python value as a typed ``<value>`` element."""
+    if value is None:
+        ET.SubElement(parent, "value", {"type": "null"})
+    elif isinstance(value, bool):
+        element = ET.SubElement(parent, "value", {"type": "bool"})
+        element.text = "true" if value else "false"
+    elif isinstance(value, int):
+        element = ET.SubElement(parent, "value", {"type": "int"})
+        element.text = str(value)
+    elif isinstance(value, float):
+        element = ET.SubElement(parent, "value", {"type": "float"})
+        element.text = repr(value)
+    elif isinstance(value, str):
+        element = ET.SubElement(parent, "value", {"type": "str"})
+        element.text = value
+    elif isinstance(value, (list, tuple)):
+        element = ET.SubElement(parent, "value", {"type": "list"})
+        for entry in value:
+            _encode_value(element, entry)
+    elif isinstance(value, Mapping):
+        element = ET.SubElement(parent, "value", {"type": "dict"})
+        for key in sorted(value):
+            item = ET.SubElement(element, "item", {"key": str(key)})
+            _encode_value(item, value[key])
+    else:
+        raise MalformedMessage(
+            f"cannot encode value of type {type(value).__name__}"
+        )
+
+
+def _decode_value(element: ET.Element, q) -> object:
+    """Inverse of :func:`_encode_value`."""
+    value_type = element.get("type", "null")
+    text = element.text or ""
+    if value_type == "null":
+        return None
+    if value_type == "bool":
+        return text == "true"
+    if value_type == "int":
+        return int(text)
+    if value_type == "float":
+        return float(text)
+    if value_type == "str":
+        return text
+    if value_type == "list":
+        return [
+            _decode_value(child, q) for child in element.findall(q("value"))
+        ]
+    if value_type == "dict":
+        decoded: dict[str, object] = {}
+        for item in element.findall(q("item")):
+            child = item.find(q("value"))
+            if child is None:
+                raise MalformedMessage("dict item missing value")
+            decoded[item.get("key", "")] = _decode_value(child, q)
+        return decoded
+    raise MalformedMessage(f"unknown value type {value_type!r}")

@@ -1,0 +1,116 @@
+"""In-process message transport.
+
+Stands in for the SOAP/HTTP stack under the paper's prototype (Figure 2).
+Endpoints register a handler; :meth:`InProcessTransport.send` routes a
+request message to its recipient and returns the reply.  To keep the
+substrate honest, every message is round-tripped through the
+:class:`~repro.protocol.soap.SoapCodec` by default — services only ever
+see what actually survives serialisation.
+
+The transport also supports deterministic fault injection (drop the
+request or the reply on chosen deliveries) so tests can exercise the
+failure paths that motivate promises in the first place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .errors import TransportFailure, UnknownEndpoint
+from .messages import Message
+from .soap import SoapCodec
+
+Handler = Callable[[Message], Message]
+
+
+@dataclass
+class TransportStats:
+    """Counters the benchmarks read."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped_requests: int = 0
+    dropped_replies: int = 0
+    bytes_on_wire: int = 0
+
+
+@dataclass
+class _FaultPlan:
+    """Deterministic drop schedule: deliveries (1-based) to fail."""
+
+    drop_requests: set[int] = field(default_factory=set)
+    drop_replies: set[int] = field(default_factory=set)
+
+
+class InProcessTransport:
+    """Synchronous request/reply routing between named endpoints."""
+
+    def __init__(self, codec: SoapCodec | None = None, wire_format: bool = True) -> None:
+        self._handlers: dict[str, Handler] = {}
+        self._codec = codec or SoapCodec()
+        self._wire_format = wire_format
+        self._faults = _FaultPlan()
+        self.stats = TransportStats()
+        self._log: list[str] = []
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Expose ``handler`` under the endpoint name ``endpoint``."""
+        self._handlers[endpoint] = handler
+
+    def endpoints(self) -> list[str]:
+        """Names of all registered endpoints."""
+        return sorted(self._handlers)
+
+    def plan_request_drop(self, delivery_number: int) -> None:
+        """Drop the Nth (1-based) request before it reaches the endpoint."""
+        self._faults.drop_requests.add(delivery_number)
+
+    def plan_reply_drop(self, delivery_number: int) -> None:
+        """Drop the Nth (1-based) reply on its way back."""
+        self._faults.drop_replies.add(delivery_number)
+
+    def send(self, message: Message) -> Message:
+        """Deliver ``message`` and return the endpoint's reply.
+
+        Raises :class:`UnknownEndpoint` for unroutable recipients and
+        :class:`TransportFailure` when a fault plan drops the request or
+        the reply.
+        """
+        self.stats.sent += 1
+        delivery = self.stats.sent
+        handler = self._handlers.get(message.recipient)
+        if handler is None:
+            raise UnknownEndpoint(message.recipient)
+
+        if delivery in self._faults.drop_requests:
+            self.stats.dropped_requests += 1
+            raise TransportFailure(
+                f"request {message.message_id} lost in transit"
+            )
+
+        inbound = self._round_trip(message)
+        reply = handler(inbound)
+
+        if delivery in self._faults.drop_replies:
+            self.stats.dropped_replies += 1
+            raise TransportFailure(
+                f"reply to {message.message_id} lost in transit"
+            )
+
+        outbound = self._round_trip(reply)
+        self.stats.delivered += 1
+        return outbound
+
+    @property
+    def wire_log(self) -> list[str]:
+        """XML of every message that crossed the wire (newest last)."""
+        return list(self._log)
+
+    def _round_trip(self, message: Message) -> Message:
+        if not self._wire_format:
+            return message
+        encoded = self._codec.encode(message)
+        self.stats.bytes_on_wire += len(encoded)
+        self._log.append(encoded)
+        return self._codec.decode(encoded)

@@ -1,0 +1,38 @@
+"""Resource model: pools, instances, collections, and the Resource Manager.
+
+Implements the availability-tracking substrate of the paper's prototype
+(Section 8) and the three resource views of Section 3.
+"""
+
+from .manager import InsufficientResources, ResourceManager, TxnResourceReader
+from .records import (
+    COLLECTIONS_TABLE,
+    INSTANCES_TABLE,
+    POOLS_TABLE,
+    InstanceRecord,
+    InstanceStatus,
+    PoolRecord,
+    RecordError,
+)
+from .schema import CollectionSchema, PropertyDef, PropertyType, SchemaError
+from .views import AnonymousView, NamedView, PropertyView
+
+__all__ = [
+    "AnonymousView",
+    "COLLECTIONS_TABLE",
+    "CollectionSchema",
+    "INSTANCES_TABLE",
+    "InstanceRecord",
+    "InstanceStatus",
+    "InsufficientResources",
+    "NamedView",
+    "POOLS_TABLE",
+    "PoolRecord",
+    "PropertyDef",
+    "PropertyType",
+    "PropertyView",
+    "RecordError",
+    "ResourceManager",
+    "SchemaError",
+    "TxnResourceReader",
+]

@@ -1,0 +1,347 @@
+"""The Resource Manager.
+
+"The role of the RM is to store the state of the system, and to process
+queries and updates on this data as requested by the application and the
+promise manager." (paper, §8)
+
+Every method takes the :class:`~repro.storage.transactions.Transaction` it
+must run in — the promise manager wraps each client request in one store
+transaction covering the application action *and* promise checking, so the
+RM never opens transactions of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..core.errors import UnknownResource
+from ..core.predicates import InstanceState
+from ..storage.transactions import Transaction
+from .records import (
+    COLLECTIONS_TABLE,
+    INSTANCE_INDEX_TABLE,
+    INSTANCES_TABLE,
+    POOLS_TABLE,
+    InstanceRecord,
+    InstanceStatus,
+    PoolRecord,
+)
+from .schema import CollectionSchema
+
+
+class InsufficientResources(Exception):
+    """A pool withdrawal or reservation exceeded availability."""
+
+    def __init__(self, pool_id: str, requested: int, available: int) -> None:
+        super().__init__(
+            f"pool {pool_id!r}: requested {requested}, only {available} available"
+        )
+        self.pool_id = pool_id
+        self.requested = requested
+        self.available = available
+
+
+class ResourceManager:
+    """Typed access to pools, instances and collections in the store."""
+
+    def __init__(self, store) -> None:
+        self._store = store
+        for table in (
+            POOLS_TABLE,
+            INSTANCES_TABLE,
+            COLLECTIONS_TABLE,
+            INSTANCE_INDEX_TABLE,
+        ):
+            store.create_table(table)
+
+    @property
+    def store(self):
+        """The underlying transactional store."""
+        return self._store
+
+    # ------------------------------------------------------------- pools
+
+    def create_pool(
+        self,
+        txn: Transaction,
+        pool_id: str,
+        quantity: int,
+        unit: str = "unit",
+    ) -> PoolRecord:
+        """Create an anonymous pool with ``quantity`` units available."""
+        record = PoolRecord(pool_id=pool_id, available=quantity, unit=unit)
+        txn.insert(POOLS_TABLE, pool_id, record.to_dict())
+        return record
+
+    def pool(self, txn: Transaction, pool_id: str) -> PoolRecord:
+        """Load one pool record."""
+        payload = txn.get_or_none(POOLS_TABLE, pool_id)
+        if payload is None:
+            raise UnknownResource(pool_id)
+        return PoolRecord.from_dict(payload)  # type: ignore[arg-type]
+
+    def pool_exists(self, txn: Transaction, pool_id: str) -> bool:
+        """True when ``pool_id`` is a known pool."""
+        return txn.exists(POOLS_TABLE, pool_id)
+
+    def pools(self, txn: Transaction) -> list[PoolRecord]:
+        """All pool records."""
+        return [
+            PoolRecord.from_dict(value)  # type: ignore[arg-type]
+            for __, value in txn.scan(POOLS_TABLE)
+        ]
+
+    def add_stock(self, txn: Transaction, pool_id: str, amount: int) -> PoolRecord:
+        """Increase a pool's available quantity (goods received)."""
+        if amount < 0:
+            raise ValueError("use remove_stock to decrease quantity")
+        return self._update_pool(
+            txn, pool_id, lambda p: PoolRecord(
+                p.pool_id, p.available + amount, p.allocated, p.unit
+            )
+        )
+
+    def remove_stock(self, txn: Transaction, pool_id: str, amount: int) -> PoolRecord:
+        """Decrease available quantity; the unprotected 'sell' operation.
+
+        Raises :class:`InsufficientResources` when the pool cannot cover
+        the withdrawal.
+        """
+        if amount < 0:
+            raise ValueError("use add_stock to increase quantity")
+
+        def shrink(pool: PoolRecord) -> PoolRecord:
+            if pool.available < amount:
+                raise InsufficientResources(pool_id, amount, pool.available)
+            return PoolRecord(
+                pool.pool_id, pool.available - amount, pool.allocated, pool.unit
+            )
+
+        return self._update_pool(txn, pool_id, shrink)
+
+    def reserve(self, txn: Transaction, pool_id: str, amount: int) -> PoolRecord:
+        """Move units from *available* to *allocated* (escrow in, §5)."""
+        def move(pool: PoolRecord) -> PoolRecord:
+            if pool.available < amount:
+                raise InsufficientResources(pool_id, amount, pool.available)
+            return PoolRecord(
+                pool.pool_id,
+                pool.available - amount,
+                pool.allocated + amount,
+                pool.unit,
+            )
+
+        return self._update_pool(txn, pool_id, move)
+
+    def unreserve(self, txn: Transaction, pool_id: str, amount: int) -> PoolRecord:
+        """Return allocated units to the available pool (promise released)."""
+        def move(pool: PoolRecord) -> PoolRecord:
+            if pool.allocated < amount:
+                raise InsufficientResources(pool_id, amount, pool.allocated)
+            return PoolRecord(
+                pool.pool_id,
+                pool.available + amount,
+                pool.allocated - amount,
+                pool.unit,
+            )
+
+        return self._update_pool(txn, pool_id, move)
+
+    def consume_allocated(
+        self, txn: Transaction, pool_id: str, amount: int
+    ) -> PoolRecord:
+        """Remove units from the allocated pool (promised goods shipped)."""
+        def move(pool: PoolRecord) -> PoolRecord:
+            if pool.allocated < amount:
+                raise InsufficientResources(pool_id, amount, pool.allocated)
+            return PoolRecord(
+                pool.pool_id, pool.available, pool.allocated - amount, pool.unit
+            )
+
+        return self._update_pool(txn, pool_id, move)
+
+    def _update_pool(
+        self,
+        txn: Transaction,
+        pool_id: str,
+        mutate: Callable[[PoolRecord], PoolRecord],
+    ) -> PoolRecord:
+        current = self.pool(txn, pool_id)
+        updated = mutate(current)
+        txn.put(POOLS_TABLE, pool_id, updated.to_dict())
+        return updated
+
+    # -------------------------------------------------------- collections
+
+    def define_collection(self, txn: Transaction, schema: CollectionSchema) -> None:
+        """Register a collection and its property schema."""
+        txn.insert(COLLECTIONS_TABLE, schema.collection_id, schema.to_dict())
+
+    def collection_schema(
+        self, txn: Transaction, collection_id: str
+    ) -> CollectionSchema:
+        """Load a collection's schema."""
+        payload = txn.get_or_none(COLLECTIONS_TABLE, collection_id)
+        if payload is None:
+            raise UnknownResource(collection_id)
+        return CollectionSchema.from_dict(payload)  # type: ignore[arg-type]
+
+    def collection_exists(self, txn: Transaction, collection_id: str) -> bool:
+        """True when ``collection_id`` is a known collection."""
+        return txn.exists(COLLECTIONS_TABLE, collection_id)
+
+    # ---------------------------------------------------------- instances
+
+    def add_instance(
+        self,
+        txn: Transaction,
+        instance_id: str,
+        collection_id: str,
+        properties: dict[str, object] | None = None,
+        status: InstanceStatus = InstanceStatus.AVAILABLE,
+    ) -> InstanceRecord:
+        """Add an instance, validating properties against the schema."""
+        schema = self.collection_schema(txn, collection_id)
+        props = dict(properties or {})
+        schema.validate_instance(props)
+        record = InstanceRecord(
+            instance_id=instance_id,
+            collection_id=collection_id,
+            status=status,
+            properties=props,
+        )
+        txn.insert(INSTANCES_TABLE, instance_id, record.to_dict())
+        self._index_add(txn, collection_id, instance_id)
+        return record
+
+    def instance(self, txn: Transaction, instance_id: str) -> InstanceRecord:
+        """Load one instance record."""
+        payload = txn.get_or_none(INSTANCES_TABLE, instance_id)
+        if payload is None:
+            raise UnknownResource(instance_id)
+        return InstanceRecord.from_dict(payload)  # type: ignore[arg-type]
+
+    def instance_exists(self, txn: Transaction, instance_id: str) -> bool:
+        """True when ``instance_id`` is a known instance."""
+        return txn.exists(INSTANCES_TABLE, instance_id)
+
+    def instances_in(
+        self, txn: Transaction, collection_id: str
+    ) -> list[InstanceRecord]:
+        """All instances of one collection.
+
+        Served from the membership index, so the cost scales with the
+        collection rather than with every instance in the store.
+        """
+        index = txn.get_or_none(INSTANCE_INDEX_TABLE, collection_id)
+        if index is None:
+            return []
+        records = []
+        for instance_id in index:  # type: ignore[union-attr]
+            payload = txn.get_or_none(INSTANCES_TABLE, str(instance_id))
+            if payload is not None:
+                records.append(InstanceRecord.from_dict(payload))  # type: ignore[arg-type]
+        return records
+
+    def set_instance_status(
+        self,
+        txn: Transaction,
+        instance_id: str,
+        status: InstanceStatus,
+        promise_id: str | None = None,
+        tentative: bool = False,
+    ) -> InstanceRecord:
+        """Advance an instance's allocated tag (available/promised/taken)."""
+        record = self.instance(txn, instance_id).with_status(
+            status, promise_id, tentative
+        )
+        txn.put(INSTANCES_TABLE, instance_id, record.to_dict())
+        return record
+
+    def remove_instance(self, txn: Transaction, instance_id: str) -> None:
+        """Delete an instance (retired resource)."""
+        payload = txn.get_or_none(INSTANCES_TABLE, instance_id)
+        if payload is None:
+            raise UnknownResource(instance_id)
+        collection_id = str(payload.get("collection_id", ""))  # type: ignore[union-attr]
+        txn.delete(INSTANCES_TABLE, instance_id)
+        self._index_remove(txn, collection_id, instance_id)
+
+    # ------------------------------------------------------------ indexing
+
+    def _index_add(
+        self, txn: Transaction, collection_id: str, instance_id: str
+    ) -> None:
+        index = txn.get_or_none(INSTANCE_INDEX_TABLE, collection_id) or []
+        if instance_id not in index:  # type: ignore[operator]
+            index = sorted([*index, instance_id])  # type: ignore[misc]
+            txn.put(INSTANCE_INDEX_TABLE, collection_id, index)
+
+    def _index_remove(
+        self, txn: Transaction, collection_id: str, instance_id: str
+    ) -> None:
+        index = txn.get_or_none(INSTANCE_INDEX_TABLE, collection_id)
+        if index is None:
+            return
+        remaining = [entry for entry in index if entry != instance_id]  # type: ignore[union-attr]
+        txn.put(INSTANCE_INDEX_TABLE, collection_id, remaining)
+
+    # ------------------------------------------------------------- reader
+
+    def reader(self, txn: Transaction) -> "TxnResourceReader":
+        """A :class:`ResourceStateView` bound to ``txn``.
+
+        This is what predicates evaluate against, guaranteeing they see the
+        same transactionally consistent state the action ran under (§8).
+        """
+        return TxnResourceReader(self, txn)
+
+
+class TxnResourceReader:
+    """Read-only resource state bound to a transaction.
+
+    Implements the :class:`~repro.core.predicates.ResourceStateView`
+    protocol consumed by predicate evaluation and promise checking.
+    """
+
+    def __init__(self, manager: ResourceManager, txn: Transaction) -> None:
+        self._manager = manager
+        self._txn = txn
+
+    def pool_available(self, pool_id: str) -> int:
+        """Unallocated quantity of ``pool_id`` (0 for unknown pools)."""
+        if not self._manager.pool_exists(self._txn, pool_id):
+            return 0
+        return self._manager.pool(self._txn, pool_id).available
+
+    def instance(self, instance_id: str) -> InstanceState | None:
+        """Snapshot one instance, or ``None`` when unknown."""
+        if not self._manager.instance_exists(self._txn, instance_id):
+            return None
+        record = self._manager.instance(self._txn, instance_id)
+        return _to_state(record)
+
+    def instances_in(self, collection_id: str) -> list[InstanceState]:
+        """Snapshot every instance of ``collection_id``."""
+        return [
+            _to_state(record)
+            for record in self._manager.instances_in(self._txn, collection_id)
+        ]
+
+    def property_ordering(
+        self, collection_id: str, name: str
+    ) -> Sequence[object] | None:
+        """Declared worst-to-best ordering of a property, if any."""
+        if not self._manager.collection_exists(self._txn, collection_id):
+            return None
+        schema = self._manager.collection_schema(self._txn, collection_id)
+        return schema.ordering(name)
+
+
+def _to_state(record: InstanceRecord) -> InstanceState:
+    return InstanceState(
+        instance_id=record.instance_id,
+        collection_id=record.collection_id,
+        status=record.status.value,
+        properties=dict(record.properties),
+    )

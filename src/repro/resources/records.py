@@ -1,0 +1,160 @@
+"""Record shapes stored by the Resource Manager.
+
+Three tables back the resource model, mirroring the availability-tracking
+idioms the paper catalogues:
+
+* ``pools`` — anonymous pools with 'quantity on hand'-style counters
+  (§3.1), split into *available* and *allocated* so the resource-pool
+  (escrow-like) strategy of §5 can move promised units aside.
+* ``instances`` — named / property-described instances with the
+  available→promised→taken 'allocated tag' lifecycle of §5.
+* ``collections`` — property schemas (see :mod:`repro.resources.schema`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+POOLS_TABLE = "pools"
+INSTANCES_TABLE = "instances"
+COLLECTIONS_TABLE = "collections"
+INSTANCE_INDEX_TABLE = "instance_index"
+
+
+class RecordError(Exception):
+    """A stored record failed validation on read or write."""
+
+
+class InstanceStatus(enum.Enum):
+    """Allocated-tag lifecycle of an instance (paper, §5)."""
+
+    AVAILABLE = "available"
+    PROMISED = "promised"
+    TAKEN = "taken"
+
+
+@dataclass(frozen=True)
+class PoolRecord:
+    """One anonymous pool.
+
+    ``available`` is the unpromised quantity; ``allocated`` holds units
+    moved aside for granted promises by the resource-pool strategy.  Their
+    sum is the physical quantity on hand.
+    """
+
+    pool_id: str
+    available: int
+    allocated: int = 0
+    unit: str = "unit"
+
+    def __post_init__(self) -> None:
+        if self.available < 0:
+            raise RecordError(
+                f"pool {self.pool_id!r} cannot have negative availability"
+            )
+        if self.allocated < 0:
+            raise RecordError(
+                f"pool {self.pool_id!r} cannot have negative allocation"
+            )
+
+    @property
+    def on_hand(self) -> int:
+        """Total physical quantity (available + allocated)."""
+        return self.available + self.allocated
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for storage."""
+        return {
+            "pool_id": self.pool_id,
+            "available": self.available,
+            "allocated": self.allocated,
+            "unit": self.unit,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PoolRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                pool_id=str(payload["pool_id"]),
+                available=int(payload["available"]),  # type: ignore[arg-type]
+                allocated=int(payload.get("allocated", 0)),  # type: ignore[arg-type]
+                unit=str(payload.get("unit", "unit")),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordError(f"malformed pool record: {payload!r}") from exc
+
+
+@dataclass(frozen=True)
+class InstanceRecord:
+    """One named or property-described instance.
+
+    ``promise_id`` ties a PROMISED instance back to the promise holding it
+    (allocated-tags and tentative-allocation strategies); ``tentative`` is
+    True when that tie may be re-arranged to admit new promises (§5,
+    tentative allocation).
+    """
+
+    instance_id: str
+    collection_id: str
+    status: InstanceStatus = InstanceStatus.AVAILABLE
+    properties: Mapping[str, object] = field(default_factory=dict)
+    promise_id: str | None = None
+    tentative: bool = False
+
+    def __post_init__(self) -> None:
+        if self.status is InstanceStatus.AVAILABLE and self.promise_id:
+            raise RecordError(
+                f"available instance {self.instance_id!r} cannot carry a promise"
+            )
+        if self.tentative and self.status is not InstanceStatus.PROMISED:
+            raise RecordError(
+                f"instance {self.instance_id!r} can only be tentative while promised"
+            )
+
+    def with_status(
+        self,
+        status: InstanceStatus,
+        promise_id: str | None = None,
+        tentative: bool = False,
+    ) -> "InstanceRecord":
+        """Copy with a new allocated-tag state."""
+        return InstanceRecord(
+            instance_id=self.instance_id,
+            collection_id=self.collection_id,
+            status=status,
+            properties=dict(self.properties),
+            promise_id=promise_id,
+            tentative=tentative,
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for storage."""
+        return {
+            "instance_id": self.instance_id,
+            "collection_id": self.collection_id,
+            "status": self.status.value,
+            "properties": dict(self.properties),
+            "promise_id": self.promise_id,
+            "tentative": self.tentative,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "InstanceRecord":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            properties = payload.get("properties", {})
+            if not isinstance(properties, Mapping):
+                raise RecordError("instance properties must be a mapping")
+            return cls(
+                instance_id=str(payload["instance_id"]),
+                collection_id=str(payload["collection_id"]),
+                status=InstanceStatus(str(payload.get("status", "available"))),
+                properties=dict(properties),
+                promise_id=payload.get("promise_id"),  # type: ignore[arg-type]
+                tentative=bool(payload.get("tentative", False)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RecordError(f"malformed instance record: {payload!r}") from exc

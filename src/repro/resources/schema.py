@@ -1,0 +1,167 @@
+"""Property schemas for resource collections.
+
+Section 3.3 of the paper grounds property-view promises in "defined
+resource availability data that is specified using standard schemas".  A
+:class:`CollectionSchema` declares which properties a collection's
+instances expose, their types, and — for ordered properties — the
+worst-to-best acceptability ordering that powers 'or better' promises
+(economy seat satisfied by business class).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class SchemaError(Exception):
+    """A schema declaration or an instance's properties are invalid."""
+
+
+class PropertyType(enum.Enum):
+    """Types a declared property may take."""
+
+    INT = "int"
+    FLOAT = "float"
+    STRING = "string"
+    BOOL = "bool"
+    ORDERED = "ordered"
+
+    def accepts(self, value: object) -> bool:
+        """Type check one value (ORDERED values are checked by the def)."""
+        if self is PropertyType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is PropertyType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(value, bool)
+        if self is PropertyType.STRING:
+            return isinstance(value, str)
+        if self is PropertyType.BOOL:
+            return isinstance(value, bool)
+        return True  # ORDERED: membership checked against the ordering
+
+
+@dataclass(frozen=True)
+class PropertyDef:
+    """Declaration of one property.
+
+    ``ordering`` lists allowed values worst-to-best and is required for
+    (and exclusive to) :data:`PropertyType.ORDERED` properties.
+    """
+
+    name: str
+    ptype: PropertyType
+    ordering: tuple[object, ...] = ()
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.ptype is PropertyType.ORDERED and not self.ordering:
+            raise SchemaError(
+                f"ordered property {self.name!r} needs an ordering"
+            )
+        if self.ptype is not PropertyType.ORDERED and self.ordering:
+            raise SchemaError(
+                f"property {self.name!r} is not ordered but has an ordering"
+            )
+
+    def validate(self, value: object) -> None:
+        """Raise :class:`SchemaError` when ``value`` is unacceptable."""
+        if self.ptype is PropertyType.ORDERED:
+            if value not in self.ordering:
+                raise SchemaError(
+                    f"{value!r} is not an allowed value of ordered "
+                    f"property {self.name!r} (allowed: {list(self.ordering)})"
+                )
+            return
+        if not self.ptype.accepts(value):
+            raise SchemaError(
+                f"property {self.name!r} expects {self.ptype.value}, "
+                f"got {value!r}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for persistence in the collections table."""
+        payload: dict[str, object] = {
+            "name": self.name,
+            "type": self.ptype.value,
+            "required": self.required,
+        }
+        if self.ordering:
+            payload["ordering"] = list(self.ordering)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "PropertyDef":
+        """Inverse of :meth:`to_dict`."""
+        ordering = payload.get("ordering", [])
+        if not isinstance(ordering, (list, tuple)):
+            raise SchemaError("ordering must be a list")
+        return cls(
+            name=str(payload["name"]),
+            ptype=PropertyType(str(payload["type"])),
+            ordering=tuple(ordering),
+            required=bool(payload.get("required", True)),
+        )
+
+
+@dataclass(frozen=True)
+class CollectionSchema:
+    """Schema of a collection of property-described instances."""
+
+    collection_id: str
+    properties: tuple[PropertyDef, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [definition.name for definition in self.properties]
+        if len(names) != len(set(names)):
+            raise SchemaError(
+                f"collection {self.collection_id!r} declares duplicate properties"
+            )
+
+    def property_def(self, name: str) -> PropertyDef | None:
+        """Look a property declaration up by name."""
+        for definition in self.properties:
+            if definition.name == name:
+                return definition
+        return None
+
+    def ordering(self, name: str) -> tuple[object, ...] | None:
+        """Worst-to-best ordering of ``name``, or ``None`` if unordered."""
+        definition = self.property_def(name)
+        if definition is not None and definition.ordering:
+            return definition.ordering
+        return None
+
+    def validate_instance(self, properties: Mapping[str, object]) -> None:
+        """Check an instance's property mapping against this schema."""
+        for definition in self.properties:
+            if definition.name in properties:
+                definition.validate(properties[definition.name])
+            elif definition.required:
+                raise SchemaError(
+                    f"instance is missing required property {definition.name!r}"
+                )
+        declared = {definition.name for definition in self.properties}
+        extras = set(properties) - declared
+        if extras:
+            raise SchemaError(
+                f"instance has undeclared properties {sorted(extras)}"
+            )
+
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for persistence in the collections table."""
+        return {
+            "collection": self.collection_id,
+            "properties": [definition.to_dict() for definition in self.properties],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "CollectionSchema":
+        """Inverse of :meth:`to_dict`."""
+        raw = payload.get("properties", [])
+        if not isinstance(raw, list):
+            raise SchemaError("schema properties must be a list")
+        return cls(
+            collection_id=str(payload["collection"]),
+            properties=tuple(PropertyDef.from_dict(entry) for entry in raw),
+        )

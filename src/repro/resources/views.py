@@ -1,0 +1,131 @@
+"""The three ways of viewing resources (paper, §3).
+
+"The concepts of named and anonymous resources are about the way client
+applications view the resources, not about the resources themselves."
+These small helpers make that explicit in the API: the *same* underlying
+instances can be addressed through a :class:`NamedView` (seat 24G), an
+anonymous :class:`PropertyView` with no conditions (any economy seat), or a
+conditioned :class:`PropertyView` (a 5th-floor room with a view), and pure
+counters are addressed through an :class:`AnonymousView` (account balance,
+widgets on hand).
+
+Each view builds the appropriate predicate for a promise request and can
+report current availability through a
+:class:`~repro.core.predicates.ResourceStateView`.
+"""
+
+from __future__ import annotations
+
+from ..core.predicates import (
+    InstanceAvailable,
+    InstanceState,
+    Op,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+    ResourceStateView,
+)
+
+
+class AnonymousView:
+    """Anonymous access to a pool of interchangeable units (§3.1)."""
+
+    def __init__(self, pool_id: str) -> None:
+        self.pool_id = pool_id
+
+    def at_least(self, amount: int) -> QuantityAtLeast:
+        """Predicate: at least ``amount`` units will be available."""
+        return QuantityAtLeast(self.pool_id, amount)
+
+    def available(self, state: ResourceStateView) -> int:
+        """Units currently unpromised."""
+        return state.pool_available(self.pool_id)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AnonymousView({self.pool_id!r})"
+
+
+class NamedView:
+    """Named access to one uniquely identified instance (§3.2)."""
+
+    def __init__(self, instance_id: str) -> None:
+        self.instance_id = instance_id
+
+    def available_predicate(self) -> InstanceAvailable:
+        """Predicate: this exact instance will be available."""
+        return InstanceAvailable(self.instance_id)
+
+    def snapshot(self, state: ResourceStateView) -> InstanceState | None:
+        """Current state of the instance (``None`` when unknown)."""
+        return state.instance(self.instance_id)
+
+    def is_available(self, state: ResourceStateView) -> bool:
+        """True when the instance exists and is not taken."""
+        snapshot = self.snapshot(state)
+        return snapshot is not None and snapshot.is_available
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"NamedView({self.instance_id!r})"
+
+
+class PropertyView:
+    """Property-based access to a collection (§3.3).
+
+    Fluent builder: conditions accumulate via :meth:`where` /
+    :meth:`where_at_least`, and :meth:`need` produces the predicate.  With
+    no conditions this is the anonymous-over-instances access of §3.2 (any
+    ``count`` instances of the collection).
+    """
+
+    def __init__(
+        self,
+        collection_id: str,
+        conditions: tuple[PropertyCondition, ...] = (),
+    ) -> None:
+        self.collection_id = collection_id
+        self._conditions = conditions
+
+    def where(
+        self, name: str, op: str | Op, value: object, or_better: bool = False
+    ) -> "PropertyView":
+        """Add one condition, returning a new view (views are immutable)."""
+        resolved = op if isinstance(op, Op) else Op.from_symbol(op)
+        condition = PropertyCondition(name, resolved, value, or_better)
+        return PropertyView(self.collection_id, self._conditions + (condition,))
+
+    def where_equals(self, name: str, value: object, or_better: bool = False) -> "PropertyView":
+        """Shorthand for an equality condition."""
+        return self.where(name, Op.EQ, value, or_better)
+
+    @property
+    def conditions(self) -> tuple[PropertyCondition, ...]:
+        """Conditions accumulated so far."""
+        return self._conditions
+
+    def need(self, count: int = 1) -> PropertyMatch:
+        """Predicate: ``count`` matching instances will be available."""
+        return PropertyMatch(self.collection_id, self._conditions, count)
+
+    def matching(self, state: ResourceStateView) -> list[InstanceState]:
+        """Instances currently matching and not taken."""
+        predicate = self.need()
+        return [
+            instance
+            for instance in state.instances_in(self.collection_id)
+            if not instance.is_taken
+            and predicate.matches_instance(instance, state)
+        ]
+
+    def available_count(self, state: ResourceStateView) -> int:
+        """Matching instances that are strictly available (unpromised)."""
+        predicate = self.need()
+        return sum(
+            1
+            for instance in state.instances_in(self.collection_id)
+            if instance.is_available
+            and predicate.matches_instance(instance, state)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        rendered = " and ".join(c.describe() for c in self._conditions) or "any"
+        return f"PropertyView({self.collection_id!r}, {rendered})"

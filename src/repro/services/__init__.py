@@ -1,0 +1,46 @@
+"""Application services: the paper's running examples, runnable.
+
+The merchant (Figure 1), bank (§3.1/§4/§9), hotel (§3.3), airline (§3.2),
+shipping (§7), art gallery (§4) and travel agent (§4), on a common service
+framework, plus a :class:`Deployment` helper that wires the whole
+Figure-2 stack.
+"""
+
+from .airline import CABIN_ORDER, AirlineService, seat_id, seat_schema
+from .bank import BankService, account_pool
+from .base import ApplicationService, ServiceError, ServiceRegistry, failed, ok, require
+from .deployment import Deployment
+from .gallery import GalleryService, gallery_schema
+from .hotel import HotelService, room_night, room_schema
+from .merchant import MerchantService, ORDERS_TABLE
+from .shipping import ShippingService, capacity_pool
+from .travel import TravelAgent, TravelNeed, TravelPlan, TravelService
+
+__all__ = [
+    "AirlineService",
+    "ApplicationService",
+    "BankService",
+    "CABIN_ORDER",
+    "Deployment",
+    "GalleryService",
+    "HotelService",
+    "MerchantService",
+    "ORDERS_TABLE",
+    "ServiceError",
+    "ServiceRegistry",
+    "ShippingService",
+    "TravelAgent",
+    "TravelNeed",
+    "TravelPlan",
+    "TravelService",
+    "account_pool",
+    "capacity_pool",
+    "failed",
+    "gallery_schema",
+    "ok",
+    "require",
+    "room_night",
+    "room_schema",
+    "seat_id",
+    "seat_schema",
+]

@@ -1,0 +1,150 @@
+"""The airline seating service (paper, §3.2, §3.3).
+
+Seats are the paper's example of the *same* resources supporting named and
+anonymous views simultaneously: "each seat on a flight has a unique name
+(e.g. seat 24G on QF1 departing on 8/10/2007).  Some client applications
+may let customers try to book specific seats ... In many cases though, all
+economy seats will be regarded as equivalent" (§3.2).  The §3.2 invariant
+— a named promise for 24G must exclude 24G from 'any economy seat'
+promises — is enforced by the joint matching in the checking engine and
+measured in experiment E4.
+
+Cabin class is an *ordered* property (economy < business < first), so an
+'or better' promise for economy can be honoured with an upgrade (§3.3).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.manager import ActionContext, ActionResult
+from ..resources.records import InstanceStatus
+from ..resources.schema import CollectionSchema, PropertyDef, PropertyType
+from ..storage.store import Store
+from .base import ApplicationService
+
+TICKETS_TABLE = "airline_tickets"
+
+CABIN_ORDER = ("economy", "business", "first")
+
+
+def seat_schema(collection_id: str) -> CollectionSchema:
+    """Property schema for seats on one flight."""
+    return CollectionSchema(
+        collection_id,
+        (
+            PropertyDef("cabin", PropertyType.ORDERED, ordering=CABIN_ORDER),
+            PropertyDef("row", PropertyType.INT),
+            PropertyDef("letter", PropertyType.STRING),
+            PropertyDef("exit_row", PropertyType.BOOL, required=False),
+        ),
+    )
+
+
+def seat_id(flight: str, row: int, letter: str) -> str:
+    """Instance id of one seat on one flight-date, e.g. ``QF1@.../24G``."""
+    return f"{flight}/{row}{letter}"
+
+
+class AirlineService(ApplicationService):
+    """Ticketing over per-flight seat collections."""
+
+    name = "airline"
+
+    def __init__(self) -> None:
+        self._ticket_ids = itertools.count(1)
+
+    def setup(self, store: Store) -> None:
+        """Create the tickets table."""
+        store.create_table(TICKETS_TABLE)
+
+    # ----------------------------------------------------------- operations
+
+    def op_ticket(
+        self, ctx: ActionContext, passenger: str, flight: str
+    ) -> ActionResult:
+        """Issue a ticket; the seat comes from the released promise."""
+        ticket_id = f"tkt-{next(self._ticket_ids)}"
+        ctx.txn.insert(
+            TICKETS_TABLE,
+            ticket_id,
+            {
+                "ticket_id": ticket_id,
+                "passenger": passenger,
+                "flight": flight,
+                "promises": list(ctx.environment.releases()),
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(ticket_id)
+
+    def op_ticket_named(
+        self, ctx: ActionContext, passenger: str, flight: str, seat: str
+    ) -> ActionResult:
+        """Ticket a specific seat directly (unprotected check-then-act)."""
+        instance_id = f"{flight}/{seat}"
+        record = ctx.resources.instance(ctx.txn, instance_id)
+        if record.status is not InstanceStatus.AVAILABLE:
+            return ActionResult.failed(f"seat {seat} is {record.status.value}")
+        ctx.resources.set_instance_status(
+            ctx.txn, instance_id, InstanceStatus.TAKEN
+        )
+        ticket_id = f"tkt-{next(self._ticket_ids)}"
+        ctx.txn.insert(
+            TICKETS_TABLE,
+            ticket_id,
+            {
+                "ticket_id": ticket_id,
+                "passenger": passenger,
+                "flight": flight,
+                "seat": instance_id,
+                "promises": [],
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(ticket_id)
+
+    def op_seat_map(self, ctx: ActionContext, flight: str) -> ActionResult:
+        """Report every seat's tag state for a flight collection."""
+        seats = {
+            record.instance_id: record.status.value
+            for record in ctx.resources.instances_in(ctx.txn, flight)
+        }
+        return ActionResult.ok(seats)
+
+    # ------------------------------------------------------------ seeding
+
+    def seed_flight(
+        self,
+        txn,
+        resources,
+        flight: str,
+        economy_rows: int = 10,
+        business_rows: int = 2,
+        letters: str = "ABCDEF",
+    ) -> int:
+        """Register a flight collection and its seats; returns seat count."""
+        resources.define_collection(txn, seat_schema(flight))
+        seats = 0
+        row = 1
+        for __ in range(business_rows):
+            for letter in letters[:4]:
+                resources.add_instance(
+                    txn,
+                    seat_id(flight, row, letter),
+                    flight,
+                    {"cabin": "business", "row": row, "letter": letter},
+                )
+                seats += 1
+            row += 1
+        for __ in range(economy_rows):
+            for letter in letters:
+                resources.add_instance(
+                    txn,
+                    seat_id(flight, row, letter),
+                    flight,
+                    {"cabin": "economy", "row": row, "letter": letter},
+                )
+                seats += 1
+            row += 1
+        return seats

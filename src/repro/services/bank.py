@@ -1,0 +1,122 @@
+"""The bank service (paper, §3.1, §4, §9).
+
+Account balances are the paper's canonical *anonymous* resource: "if a
+promise is made that a client application will be able to withdraw $500
+from an account, the bank is not obliged to set aside five specific $100
+bills" (§3.1).  Each account is an anonymous pool whose available quantity
+is the balance in whole currency units.
+
+The §4 upgrade/weaken example ("a promise that an account will have a
+balance of at least $100 ... changed to $200 ... or to $50") is exercised
+by exchanging promises atomically via ``PromiseRequest.releases``; the §9
+disjointness example (promises for ``balance>100`` and ``balance>50``
+jointly require 150) is enforced by the checking engine and measured in
+experiment E9.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.manager import ActionContext, ActionResult
+from ..resources.manager import InsufficientResources
+from ..storage.store import Store
+from .base import ApplicationService
+
+LEDGER_TABLE = "bank_ledger"
+
+
+def account_pool(account: str) -> str:
+    """Pool id backing one account's balance."""
+    return f"acct:{account}"
+
+
+class BankService(ApplicationService):
+    """Accounts as anonymous pools of currency units."""
+
+    name = "bank"
+
+    def __init__(self) -> None:
+        self._entry_ids = itertools.count(1)
+
+    def setup(self, store: Store) -> None:
+        """Create the ledger table."""
+        store.create_table(LEDGER_TABLE)
+
+    # ----------------------------------------------------------- operations
+
+    def op_open_account(
+        self, ctx: ActionContext, account: str, balance: int = 0
+    ) -> ActionResult:
+        """Open an account with an initial balance."""
+        ctx.resources.create_pool(
+            ctx.txn, account_pool(account), int(balance), unit="currency"
+        )
+        self._record(ctx, account, "open", int(balance))
+        return ActionResult.ok(account)
+
+    def op_deposit(
+        self, ctx: ActionContext, account: str, amount: int
+    ) -> ActionResult:
+        """Credit an account."""
+        if amount <= 0:
+            return ActionResult.failed("deposits must be positive")
+        ctx.resources.add_stock(ctx.txn, account_pool(account), int(amount))
+        self._record(ctx, account, "deposit", int(amount))
+        return ActionResult.ok(amount)
+
+    def op_withdraw(
+        self, ctx: ActionContext, account: str, amount: int
+    ) -> ActionResult:
+        """Debit an account; fails on insufficient *unpromised* funds.
+
+        Under the escrow strategy, promised funds sit in the allocated
+        counter, so an unprotected withdrawal can never break a granted
+        balance promise — exactly the escrow-locking behaviour of §5/§9.
+        """
+        if amount <= 0:
+            return ActionResult.failed("withdrawals must be positive")
+        try:
+            ctx.resources.remove_stock(ctx.txn, account_pool(account), int(amount))
+        except InsufficientResources as exc:
+            return ActionResult.failed(str(exc))
+        self._record(ctx, account, "withdraw", int(amount))
+        return ActionResult.ok(amount)
+
+    def op_transfer(
+        self, ctx: ActionContext, source: str, target: str, amount: int
+    ) -> ActionResult:
+        """Move funds between accounts atomically."""
+        if amount <= 0:
+            return ActionResult.failed("transfers must be positive")
+        try:
+            ctx.resources.remove_stock(ctx.txn, account_pool(source), int(amount))
+        except InsufficientResources as exc:
+            return ActionResult.failed(str(exc))
+        ctx.resources.add_stock(ctx.txn, account_pool(target), int(amount))
+        self._record(ctx, source, f"transfer-out:{target}", int(amount))
+        self._record(ctx, target, f"transfer-in:{source}", int(amount))
+        return ActionResult.ok(amount)
+
+    def op_balance(self, ctx: ActionContext, account: str) -> ActionResult:
+        """Report available (unpromised) and promised balance."""
+        pool = ctx.resources.pool(ctx.txn, account_pool(account))
+        return ActionResult.ok(
+            {
+                "available": pool.available,
+                "promised": pool.allocated,
+                "total": pool.on_hand,
+            }
+        )
+
+    # ------------------------------------------------------------ internals
+
+    def _record(
+        self, ctx: ActionContext, account: str, kind: str, amount: int
+    ) -> None:
+        entry_id = f"ledger-{next(self._entry_ids)}"
+        ctx.txn.insert(
+            LEDGER_TABLE,
+            entry_id,
+            {"account": account, "kind": kind, "amount": amount, "at": ctx.now},
+        )

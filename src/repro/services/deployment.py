@@ -1,0 +1,125 @@
+"""One-call wiring of a complete promise-enabled deployment.
+
+Assembles the full Figure-2 stack — store, resource manager, strategy
+registry, promise manager, application services, protocol endpoint and
+transport — so examples, tests and benchmarks can stand a system up in a
+few lines:
+
+.. code-block:: python
+
+    deployment = Deployment(name="shop")
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("pink_widgets")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "pink_widgets", 100)
+    client = deployment.client("alice")
+    client.request_promise("shop", [P("quantity('pink_widgets') >= 5")], 10)
+"""
+
+from __future__ import annotations
+
+from ..core.clock import LogicalClock
+from ..core.manager import PromiseManager
+from ..protocol.client import PromiseClient
+from ..protocol.endpoint import PromiseEndpoint
+from ..protocol.transport import InProcessTransport
+from ..resources.manager import ResourceManager
+from ..storage.store import Store
+from ..storage.transactions import Transaction
+from ..strategies.allocated_tags import AllocatedTagsStrategy
+from ..strategies.delegation import DelegationStrategy, UpstreamPromiseMaker
+from ..strategies.registry import StrategyRegistry
+from ..strategies.resource_pool import ResourcePoolStrategy
+from ..strategies.tentative import TentativeAllocationStrategy
+from .base import ApplicationService, ServiceRegistry
+
+
+class Deployment:
+    """A fully wired promise-enabled service deployment."""
+
+    def __init__(
+        self,
+        name: str = "app",
+        clock: LogicalClock | None = None,
+        transport: InProcessTransport | None = None,
+        max_duration: int | None = None,
+        wire_format: bool = True,
+        counter_offers: bool = False,
+    ) -> None:
+        self.name = name
+        self.clock = clock or LogicalClock()
+        self.store = Store()
+        self.resources = ResourceManager(self.store)
+        self.registry = StrategyRegistry()
+        self.manager = PromiseManager(
+            store=self.store,
+            resources=self.resources,
+            clock=self.clock,
+            registry=self.registry,
+            name=name,
+            max_duration=max_duration,
+            counter_offers=counter_offers,
+        )
+        self.services = ServiceRegistry()
+        self.transport = transport or InProcessTransport(wire_format=wire_format)
+        self.endpoint = PromiseEndpoint(
+            self.manager, self.services.resolver(), name=name
+        )
+        self.transport.register(name, self.endpoint.handle)
+        self._pool_strategy: ResourcePoolStrategy | None = None
+        self._tags_strategy: AllocatedTagsStrategy | None = None
+        self._tentative_strategy: TentativeAllocationStrategy | None = None
+
+    # ------------------------------------------------------------- wiring
+
+    def add_service(self, service: ApplicationService) -> ApplicationService:
+        """Register a service and let it create its tables."""
+        self.services.register(service)
+        service.setup(self.store)
+        return service
+
+    def client(self, client_name: str) -> PromiseClient:
+        """A protocol client stub talking to this deployment."""
+        return PromiseClient(client_name, self.transport)
+
+    def seed(self) -> Transaction:
+        """A transaction for populating initial resource state."""
+        return self.store.begin()
+
+    # ---------------------------------------------------- strategy routing
+
+    def use_pool_strategy(self, *pool_ids: str) -> ResourcePoolStrategy:
+        """Route these pools to escrow-style resource pooling (§5)."""
+        if self._pool_strategy is None:
+            self._pool_strategy = ResourcePoolStrategy()
+        self.registry.assign_many(pool_ids, self._pool_strategy)
+        return self._pool_strategy
+
+    def use_tags_strategy(self, *resource_ids: str) -> AllocatedTagsStrategy:
+        """Route these instances/collections to allocated tags (§5)."""
+        if self._tags_strategy is None:
+            self._tags_strategy = AllocatedTagsStrategy()
+        self.registry.assign_many(resource_ids, self._tags_strategy)
+        return self._tags_strategy
+
+    def use_tentative_strategy(
+        self, *collection_ids: str
+    ) -> TentativeAllocationStrategy:
+        """Route these collections to tentative allocation (§5)."""
+        if self._tentative_strategy is None:
+            self._tentative_strategy = TentativeAllocationStrategy()
+        self.registry.assign_many(collection_ids, self._tentative_strategy)
+        return self._tentative_strategy
+
+    def use_delegation(
+        self,
+        upstream: UpstreamPromiseMaker,
+        *resource_ids: str,
+        delegate_as: str | None = None,
+    ) -> DelegationStrategy:
+        """Route these resources to an upstream promise maker (§5)."""
+        strategy = DelegationStrategy(
+            upstream, delegate_as=delegate_as or self.name
+        )
+        self.registry.assign_many(resource_ids, strategy)
+        return strategy

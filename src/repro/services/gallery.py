@@ -1,0 +1,107 @@
+"""The art-gallery service (paper, §4, second atomicity requirement).
+
+"Suppose an art gallery service has promised a client that a particular
+painting will be available, and the client then goes ahead and buys the
+painting.  When the purchase occurs, the gallery service is released from
+the promise ...; however if the purchase fails for some reason (perhaps no
+shipper is available that day) then the promise should remain in force."
+
+Paintings are *named* instances (§3.2 — unique, not interchangeable, like
+used cars).  The purchase operation can be told to fail (``shipper_available
+= False``) so tests and experiment E6 can verify that a failed
+action+release leaves the promise intact.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.manager import ActionContext, ActionResult
+from ..resources.schema import CollectionSchema, PropertyDef, PropertyType
+from ..storage.store import Store
+from .base import ApplicationService
+
+SALES_TABLE = "gallery_sales"
+
+
+def gallery_schema(collection_id: str = "paintings") -> CollectionSchema:
+    """Property schema for the gallery's catalogue."""
+    return CollectionSchema(
+        collection_id,
+        (
+            PropertyDef("artist", PropertyType.STRING),
+            PropertyDef("year", PropertyType.INT),
+            PropertyDef("price", PropertyType.INT),
+        ),
+    )
+
+
+class GalleryService(ApplicationService):
+    """Sales of unique named artworks."""
+
+    name = "gallery"
+
+    def __init__(self, collection_id: str = "paintings") -> None:
+        self.collection_id = collection_id
+        self._sale_ids = itertools.count(1)
+
+    def setup(self, store: Store) -> None:
+        """Create the sales table."""
+        store.create_table(SALES_TABLE)
+
+    # ----------------------------------------------------------- operations
+
+    def op_purchase(
+        self,
+        ctx: ActionContext,
+        buyer: str,
+        painting: str,
+        shipper_available: bool = True,
+    ) -> ActionResult:
+        """Buy a painting (promise released atomically via environment).
+
+        ``shipper_available=False`` reproduces the §4 failure: the
+        purchase fails, the enclosing transaction rolls back, and the
+        availability promise remains in force.
+        """
+        if not shipper_available:
+            return ActionResult.failed("no shipper is available that day")
+        sale_id = f"sale-{next(self._sale_ids)}"
+        ctx.txn.insert(
+            SALES_TABLE,
+            sale_id,
+            {
+                "sale_id": sale_id,
+                "buyer": buyer,
+                "painting": painting,
+                "promises": list(ctx.environment.releases()),
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(sale_id)
+
+    def op_catalogue(self, ctx: ActionContext) -> ActionResult:
+        """List the catalogue with tag states."""
+        return ActionResult.ok(
+            {
+                record.instance_id: record.status.value
+                for record in ctx.resources.instances_in(
+                    ctx.txn, self.collection_id
+                )
+            }
+        )
+
+    # ------------------------------------------------------------ seeding
+
+    def seed_catalogue(
+        self, txn, resources, paintings: dict[str, dict[str, object]]
+    ) -> None:
+        """Register the collection and add the catalogue."""
+        if not resources.collection_exists(txn, self.collection_id):
+            resources.define_collection(
+                txn, gallery_schema(self.collection_id)
+            )
+        for painting_id, properties in paintings.items():
+            resources.add_instance(
+                txn, painting_id, self.collection_id, dict(properties)
+            )

@@ -1,0 +1,169 @@
+"""The hotel booking service (paper, §2, §3.3, §5).
+
+Rooms are the paper's showcase for the *property view*: "a hotel booking
+service would maintain a collection of rooms ... Each of these rooms has a
+number of properties, such as the size and type of beds, whether or not
+smoking is allowed in the room, whether or not there is a view, and which
+floor it is on" (§3.3).  A night in a room is a virtual resource instance
+('Room 212, Sydney Hilton, 12/3/2007' — §3.2), so the service keys
+instances by room *and* date.
+
+The §3.3 worked example — one customer asking for 'a room with a view'
+while another asks for 'any 5th-floor room', with room 512 able to satisfy
+either but not both — is this service plus the tentative-allocation or
+satisfiability strategy; experiment E5 measures the difference.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from ..core.manager import ActionContext, ActionResult
+from ..resources.records import InstanceStatus
+from ..resources.schema import CollectionSchema, PropertyDef, PropertyType
+from ..storage.store import Store
+from .base import ApplicationService
+
+BOOKINGS_TABLE = "hotel_bookings"
+
+
+def room_schema(collection_id: str = "rooms") -> CollectionSchema:
+    """The room-night property schema used throughout the examples."""
+    return CollectionSchema(
+        collection_id,
+        (
+            PropertyDef("floor", PropertyType.INT),
+            PropertyDef("view", PropertyType.BOOL),
+            PropertyDef("beds", PropertyType.STRING),
+            PropertyDef("smoking", PropertyType.BOOL),
+            PropertyDef(
+                "grade",
+                PropertyType.ORDERED,
+                ordering=("standard", "deluxe", "suite"),
+            ),
+            PropertyDef("date", PropertyType.STRING),
+        ),
+    )
+
+
+def room_night(room: str, date: str) -> str:
+    """Instance id of one room on one date (§3.2 naming)."""
+    return f"{room}@{date}"
+
+
+class HotelService(ApplicationService):
+    """Room bookings over a property-described collection."""
+
+    name = "hotel"
+
+    def __init__(self, collection_id: str = "rooms") -> None:
+        self.collection_id = collection_id
+        self._booking_ids = itertools.count(1)
+
+    def setup(self, store: Store) -> None:
+        """Create the bookings table."""
+        store.create_table(BOOKINGS_TABLE)
+
+    # ----------------------------------------------------------- operations
+
+    def op_book(
+        self,
+        ctx: ActionContext,
+        guest: str,
+        reference: str = "",
+    ) -> ActionResult:
+        """Record a booking for a guest.
+
+        The room itself is consumed by the promise released atomically
+        with this action: "later making a booking for a 5th floor room,
+        rather than trying to confirm a booking for room 512" (§2) — the
+        concrete instance choice stays with the promise manager.
+        """
+        booking_id = f"bkg-{next(self._booking_ids)}"
+        ctx.txn.insert(
+            BOOKINGS_TABLE,
+            booking_id,
+            {
+                "booking_id": booking_id,
+                "guest": guest,
+                "reference": reference,
+                "promises": list(ctx.environment.releases()),
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(booking_id)
+
+    def op_book_named(
+        self, ctx: ActionContext, guest: str, room: str, date: str
+    ) -> ActionResult:
+        """Book a *specific* room-night directly (named view, no promise).
+
+        The unprotected check-then-act path: fails when the instance is
+        not available — and under concurrent promise protection the
+        post-action check rolls it back if it steals a promised room.
+        """
+        instance_id = room_night(room, date)
+        record = ctx.resources.instance(ctx.txn, instance_id)
+        if record.status is not InstanceStatus.AVAILABLE:
+            return ActionResult.failed(
+                f"{instance_id} is {record.status.value}"
+            )
+        ctx.resources.set_instance_status(
+            ctx.txn, instance_id, InstanceStatus.TAKEN
+        )
+        booking_id = f"bkg-{next(self._booking_ids)}"
+        ctx.txn.insert(
+            BOOKINGS_TABLE,
+            booking_id,
+            {
+                "booking_id": booking_id,
+                "guest": guest,
+                "reference": instance_id,
+                "promises": [],
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(booking_id)
+
+    def op_cancel(self, ctx: ActionContext, booking_id: str) -> ActionResult:
+        """Cancel a booking; directly named rooms return to availability."""
+        booking = ctx.txn.get_or_none(BOOKINGS_TABLE, booking_id)
+        if booking is None:
+            return ActionResult.failed(f"unknown booking {booking_id!r}")
+        reference = booking.get("reference")  # type: ignore[union-attr]
+        if reference and ctx.resources.instance_exists(ctx.txn, str(reference)):
+            record = ctx.resources.instance(ctx.txn, str(reference))
+            if record.status is InstanceStatus.TAKEN:
+                ctx.resources.set_instance_status(
+                    ctx.txn, str(reference), InstanceStatus.AVAILABLE
+                )
+        ctx.txn.delete(BOOKINGS_TABLE, booking_id)
+        return ActionResult.ok(booking_id)
+
+    def op_room_status(self, ctx: ActionContext, room: str, date: str) -> ActionResult:
+        """Report one room-night's allocated tag."""
+        instance_id = room_night(room, date)
+        record = ctx.resources.instance(ctx.txn, instance_id)
+        return ActionResult.ok(
+            {"instance": instance_id, "status": record.status.value}
+        )
+
+    # ------------------------------------------------------------ seeding
+
+    def seed_rooms(
+        self,
+        txn,
+        resources,
+        rooms: dict[str, dict[str, object]],
+        dates: list[str],
+    ) -> None:
+        """Register the collection and add one instance per room-night."""
+        if not resources.collection_exists(txn, self.collection_id):
+            resources.define_collection(txn, room_schema(self.collection_id))
+        for room, properties in rooms.items():
+            for date in dates:
+                props = dict(properties)
+                props["date"] = date
+                resources.add_instance(
+                    txn, room_night(room, date), self.collection_id, props
+                )

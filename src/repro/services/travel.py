@@ -1,0 +1,164 @@
+"""The travel agent (paper, §4, first atomicity requirement).
+
+"The classic example is from travel planning, where a client may want a
+promise that a flight and a rental car and a hotel room will all be
+available.  By treating the evaluation and granting of all the predicates
+carried in a single promise request as an atomic unit, the client can
+ensure that they will either get all the resources they need or none of
+them.  As an aside here, the travel agent client could also build up the
+set of required promises ... one at a time, trying alternative resources
+and predicates when other promise requests are rejected."
+
+This module has two halves:
+
+* :class:`TravelService` — the application service recording itineraries;
+* :class:`TravelAgent` — the client-side process implementing both
+  acquisition styles: :meth:`TravelAgent.plan_atomic` (one all-or-nothing
+  request) and :meth:`TravelAgent.plan_incremental` (one promise at a
+  time, backtracking through alternatives).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from ..core.manager import ActionContext, ActionResult
+from ..core.predicates import Predicate
+from ..protocol.client import PromiseClient
+from ..storage.store import Store
+from .base import ApplicationService
+
+ITINERARIES_TABLE = "travel_itineraries"
+
+
+class TravelService(ApplicationService):
+    """Records complete itineraries once all resources are promised."""
+
+    name = "travel"
+
+    def __init__(self) -> None:
+        self._itinerary_ids = itertools.count(1)
+
+    def setup(self, store: Store) -> None:
+        """Create the itineraries table."""
+        store.create_table(ITINERARIES_TABLE)
+
+    def op_book_trip(
+        self, ctx: ActionContext, traveller: str, description: str = ""
+    ) -> ActionResult:
+        """Finalise a trip; all resources come from released promises."""
+        itinerary_id = f"trip-{next(self._itinerary_ids)}"
+        ctx.txn.insert(
+            ITINERARIES_TABLE,
+            itinerary_id,
+            {
+                "itinerary_id": itinerary_id,
+                "traveller": traveller,
+                "description": description,
+                "promises": list(ctx.environment.releases()),
+                "at": ctx.now,
+            },
+        )
+        return ActionResult.ok(itinerary_id)
+
+
+@dataclass
+class TravelPlan:
+    """Outcome of a planning attempt."""
+
+    success: bool
+    promise_ids: tuple[str, ...] = ()
+    reason: str = ""
+    attempts: int = 0
+    alternatives_tried: int = 0
+
+
+@dataclass
+class TravelNeed:
+    """One leg of a trip: a preferred predicate plus ranked alternatives.
+
+    The incremental planner tries ``preferred`` first, then each entry of
+    ``alternatives`` in order — "trying alternative resources and
+    predicates when other promise requests are rejected" (§4).
+    """
+
+    label: str
+    preferred: Predicate
+    alternatives: tuple[Predicate, ...] = field(default_factory=tuple)
+
+    def options(self) -> list[Predicate]:
+        """Predicates to try, in preference order."""
+        return [self.preferred, *self.alternatives]
+
+
+class TravelAgent:
+    """Client-side trip planner exercising both §4 acquisition styles."""
+
+    def __init__(self, client: PromiseClient, endpoint: str) -> None:
+        self._client = client
+        self._endpoint = endpoint
+
+    def plan_atomic(
+        self, needs: list[TravelNeed], duration: int
+    ) -> TravelPlan:
+        """One promise request carrying every leg's preferred predicate.
+
+        All-or-nothing: the promise manager grants the whole set or
+        rejects the request (§4, first atomicity requirement).
+        """
+        response = self._client.request_promise(
+            self._endpoint,
+            [need.preferred for need in needs],
+            duration,
+        )
+        if response.accepted and response.promise_id is not None:
+            return TravelPlan(
+                success=True,
+                promise_ids=(response.promise_id,),
+                attempts=1,
+            )
+        return TravelPlan(
+            success=False, reason=response.reason, attempts=1
+        )
+
+    def plan_incremental(
+        self, needs: list[TravelNeed], duration: int
+    ) -> TravelPlan:
+        """Acquire one promise per leg, backtracking through alternatives.
+
+        On failure every promise acquired so far is released — the client
+        must clean up after itself, which is exactly the extra complexity
+        the atomic variant removes.
+        """
+        held: list[str] = []
+        attempts = 0
+        alternatives_tried = 0
+        for need in needs:
+            granted = None
+            for option_index, predicate in enumerate(need.options()):
+                attempts += 1
+                if option_index > 0:
+                    alternatives_tried += 1
+                response = self._client.request_promise(
+                    self._endpoint, [predicate], duration
+                )
+                if response.accepted and response.promise_id is not None:
+                    granted = response.promise_id
+                    break
+            if granted is None:
+                for promise_id in held:
+                    self._client.release(self._endpoint, promise_id)
+                return TravelPlan(
+                    success=False,
+                    reason=f"no option for {need.label!r} could be promised",
+                    attempts=attempts,
+                    alternatives_tried=alternatives_tried,
+                )
+            held.append(granted)
+        return TravelPlan(
+            success=True,
+            promise_ids=tuple(held),
+            attempts=attempts,
+            alternatives_tried=alternatives_tried,
+        )

@@ -1,0 +1,33 @@
+"""Deterministic simulation substrate for the concurrency experiments.
+
+A generator-based discrete-event simulator sharing the promise managers'
+logical clock, seeded random streams, workload generators for the paper's
+merchant/booking scenarios, and metric collection.
+"""
+
+from .metrics import Metrics, SeriesSummary, percentile
+from .random import RandomStream, StreamFactory
+from .simulator import EventHandle, Process, Simulator
+from .workload import (
+    BookingDemand,
+    OrderJob,
+    WorkloadSpec,
+    generate_bookings,
+    generate_orders,
+)
+
+__all__ = [
+    "BookingDemand",
+    "EventHandle",
+    "Metrics",
+    "OrderJob",
+    "Process",
+    "RandomStream",
+    "SeriesSummary",
+    "Simulator",
+    "StreamFactory",
+    "WorkloadSpec",
+    "generate_bookings",
+    "generate_orders",
+    "percentile",
+]

@@ -1,0 +1,99 @@
+"""Metric collection for simulations and benchmarks.
+
+Counters for discrete outcomes (grants, rejections, late failures,
+deadlocks) and series for continuous ones (latency, wait time, wasted
+work), with the summary statistics the experiment tables report.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SeriesSummary:
+    """Summary statistics of one series."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict form for table printing."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+        }
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+@dataclass
+class Metrics:
+    """A bag of counters and series, keyed by name."""
+
+    counters: Counter = field(default_factory=Counter)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def count(self, name: str, increment: int = 1) -> None:
+        """Bump a counter."""
+        self.counters[name] += increment
+
+    def observe(self, name: str, value: float) -> None:
+        """Append a value to a series."""
+        self.series.setdefault(name, []).append(float(value))
+
+    def counter(self, name: str) -> int:
+        """Read a counter (0 when never bumped)."""
+        return self.counters.get(name, 0)
+
+    def summarise(self, name: str) -> SeriesSummary | None:
+        """Summary statistics of one series (None when empty)."""
+        values = self.series.get(name)
+        if not values:
+            return None
+        return SeriesSummary(
+            count=len(values),
+            mean=sum(values) / len(values),
+            minimum=min(values),
+            maximum=max(values),
+            p50=percentile(values, 0.50),
+            p95=percentile(values, 0.95),
+        )
+
+    def rate(self, numerator: str, denominator: str) -> float:
+        """Ratio of two counters (0 when the denominator is 0)."""
+        total = self.counter(denominator)
+        if not total:
+            return 0.0
+        return self.counter(numerator) / total
+
+    def merge(self, other: "Metrics") -> None:
+        """Fold another metrics bag into this one."""
+        self.counters.update(other.counters)
+        for name, values in other.series.items():
+            self.series.setdefault(name, []).extend(values)
+
+    def snapshot(self) -> dict[str, object]:
+        """Counters plus series summaries, for reports."""
+        result: dict[str, object] = dict(sorted(self.counters.items()))
+        for name in sorted(self.series):
+            summary = self.summarise(name)
+            if summary is not None:
+                result[f"{name}(mean)"] = round(summary.mean, 3)
+                result[f"{name}(p95)"] = round(summary.p95, 3)
+        return result

@@ -1,0 +1,136 @@
+"""Deterministic discrete-event simulator.
+
+The paper's claims are about *interleavings*: a condition checked at one
+point no longer holding when relied on later, because concurrent
+activities ran in between (§1, §7).  A discrete-event simulator reproduces
+those interleavings deterministically and at scale — every client of the
+benchmark workloads is a generator-based process, and simulated time is
+the same :class:`~repro.core.clock.LogicalClock` the promise managers use
+for durations and expiry, so promises expire *in* the simulation.
+
+Processes are plain generators yielding integer delays::
+
+    def client(sim):
+        yield 3          # think for 3 ticks
+        do_something()
+        yield 1
+
+    sim.spawn(client(sim))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Iterable
+
+from ..core.clock import LogicalClock
+
+Process = Generator[int, None, None]
+
+
+@dataclass(order=True)
+class _Event:
+    time: int
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Cancellable handle to a scheduled event."""
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> int:
+        """Tick the event is scheduled for."""
+        return self._event.time
+
+
+class Simulator:
+    """Event queue + process scheduler over a logical clock."""
+
+    def __init__(self, clock: LogicalClock | None = None) -> None:
+        self.clock = clock or LogicalClock()
+        self._queue: list[_Event] = []
+        self._sequence = itertools.count()
+        self._active_processes = 0
+        self.events_processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulated tick."""
+        return self.clock.now
+
+    # ----------------------------------------------------------- scheduling
+
+    def schedule(self, delay: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        event = _Event(self.now + delay, next(self._sequence), callback)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def at(self, time: int, callback: Callable[[], None]) -> EventHandle:
+        """Run ``callback`` at absolute tick ``time``."""
+        return self.schedule(max(0, time - self.now), callback)
+
+    def spawn(self, process: Process, delay: int = 0) -> None:
+        """Start a generator process after ``delay`` ticks."""
+        self._active_processes += 1
+        self.schedule(delay, lambda: self._step(process))
+
+    def spawn_all(self, processes: Iterable[Process]) -> None:
+        """Start several processes at the current tick."""
+        for process in processes:
+            self.spawn(process)
+
+    # ------------------------------------------------------------- running
+
+    def run(self, until: int | None = None) -> int:
+        """Process events until the queue drains (or tick ``until``).
+
+        Returns the final tick.
+        """
+        while self._queue:
+            event = self._queue[0]
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time > self.now:
+                self.clock.advance(event.time - self.now)
+            self.events_processed += 1
+            event.callback()
+        if until is not None and until > self.now:
+            self.clock.advance(until - self.now)
+        return self.now
+
+    @property
+    def idle(self) -> bool:
+        """True when no events remain."""
+        return not any(not event.cancelled for event in self._queue)
+
+    # ------------------------------------------------------------ internals
+
+    def _step(self, process: Process) -> None:
+        try:
+            delay = next(process)
+        except StopIteration:
+            self._active_processes -= 1
+            return
+        if not isinstance(delay, int) or delay < 0:
+            raise TypeError(
+                f"processes must yield non-negative int delays, got {delay!r}"
+            )
+        self.schedule(delay, lambda: self._step(process))

@@ -1,0 +1,167 @@
+"""Workload generation for the concurrency experiments.
+
+The canonical workload is the paper's merchant scenario (§1, §7): a
+population of order-handling clients, each of which *checks* resource
+availability, then spends a number of ticks organising payment and
+shipping, then *acts* (purchases).  The window between check and act is
+where concurrent activity bites — the isolation regimes under test differ
+exactly in what they guarantee across that window.
+
+``tightness`` is the contention knob: the ratio of total expected demand
+to available stock.  Below 1.0 everybody can win; above 1.0 someone must
+lose, and the question the experiments answer is *when* the losers find
+out and how much work they waste.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .random import StreamFactory
+
+
+@dataclass(frozen=True)
+class OrderJob:
+    """One client's order: arrival time, demands, and work duration."""
+
+    client_id: str
+    arrival: int
+    demands: tuple[tuple[str, int], ...]
+    work_ticks: int
+
+    @property
+    def total_quantity(self) -> int:
+        """Units demanded across all products."""
+        return sum(quantity for __, quantity in self.demands)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Parameters of one experiment run."""
+
+    clients: int = 16
+    products: int = 1
+    stock_per_product: int = 100
+    quantity_low: int = 1
+    quantity_high: int = 5
+    products_per_order: int = 1
+    mean_interarrival: float = 2.0
+    work_low: int = 5
+    work_high: int = 15
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.products_per_order > self.products:
+            raise ValueError("orders cannot span more products than exist")
+        if self.quantity_low > self.quantity_high:
+            raise ValueError("quantity_low must be <= quantity_high")
+        if self.work_low > self.work_high:
+            raise ValueError("work_low must be <= work_high")
+
+    @property
+    def pool_ids(self) -> list[str]:
+        """Pool ids of all products."""
+        return [f"product-{index}" for index in range(self.products)]
+
+    def expected_demand_per_product(self) -> float:
+        """Mean total units demanded from one product pool."""
+        mean_quantity = (self.quantity_low + self.quantity_high) / 2
+        orders_touching = self.clients * self.products_per_order / self.products
+        return orders_touching * mean_quantity
+
+    def tightness(self) -> float:
+        """Expected demand / stock: > 1 means someone must lose."""
+        if self.stock_per_product == 0:
+            return float("inf")
+        return self.expected_demand_per_product() / self.stock_per_product
+
+    def with_tightness(self, tightness: float) -> "WorkloadSpec":
+        """Copy of this spec with stock adjusted to hit ``tightness``."""
+        if tightness <= 0:
+            raise ValueError("tightness must be positive")
+        stock = max(1, round(self.expected_demand_per_product() / tightness))
+        return WorkloadSpec(
+            clients=self.clients,
+            products=self.products,
+            stock_per_product=stock,
+            quantity_low=self.quantity_low,
+            quantity_high=self.quantity_high,
+            products_per_order=self.products_per_order,
+            mean_interarrival=self.mean_interarrival,
+            work_low=self.work_low,
+            work_high=self.work_high,
+            seed=self.seed,
+        )
+
+
+def generate_orders(spec: WorkloadSpec) -> list[OrderJob]:
+    """Deterministically generate the job list for ``spec``."""
+    streams = StreamFactory(spec.seed)
+    arrivals = streams.stream("arrivals")
+    quantities = streams.stream("quantities")
+    work = streams.stream("work")
+    product_pick = streams.stream("products")
+
+    jobs: list[OrderJob] = []
+    clock = 0
+    pools = spec.pool_ids
+    for index in range(spec.clients):
+        clock += arrivals.exponential_ticks(spec.mean_interarrival)
+        chosen = product_pick.sample(pools, spec.products_per_order)
+        demands = tuple(
+            (pool, quantities.uniform_int(spec.quantity_low, spec.quantity_high))
+            for pool in sorted(chosen)
+        )
+        jobs.append(
+            OrderJob(
+                client_id=f"client-{index}",
+                arrival=clock,
+                demands=demands,
+                work_ticks=work.uniform_int(spec.work_low, spec.work_high),
+            )
+        )
+    return jobs
+
+
+@dataclass
+class BookingDemand:
+    """One property-view booking request for the hotel experiments (E5)."""
+
+    client_id: str
+    arrival: int
+    conditions: dict[str, object] = field(default_factory=dict)
+    count: int = 1
+    hold_ticks: int = 10
+
+
+def generate_bookings(
+    seed: int,
+    clients: int,
+    condition_menu: list[dict[str, object]],
+    mean_interarrival: float = 2.0,
+    hold_low: int = 5,
+    hold_high: int = 20,
+) -> list[BookingDemand]:
+    """Booking requests drawing conditions from a menu of predicates.
+
+    The menu entries are property->value dicts ('floor': 5, 'view': True);
+    overlap between entries is what makes the matching problem
+    interesting (§3.3's room-512 scenario at scale).
+    """
+    streams = StreamFactory(seed)
+    arrivals = streams.stream("arrivals")
+    picks = streams.stream("conditions")
+    holds = streams.stream("holds")
+    bookings: list[BookingDemand] = []
+    clock = 0
+    for index in range(clients):
+        clock += arrivals.exponential_ticks(mean_interarrival)
+        bookings.append(
+            BookingDemand(
+                client_id=f"guest-{index}",
+                arrival=clock,
+                conditions=dict(picks.choice(condition_menu)),
+                hold_ticks=holds.uniform_int(hold_low, hold_high),
+            )
+        )
+    return bookings

@@ -1,0 +1,259 @@
+"""Embedded transactional key-value store.
+
+The store keeps named tables of JSON-ish records and provides ACID
+transactions with strict two-phase locking, undo-log rollback and a
+write-ahead log.  It is the substrate standing in for the commercial DBMS
+behind the paper's prototype Resource Manager (§8): the Resource Manager
+stores resource state in it, the Promise Manager stores the promise table in
+it, and each client request runs inside a single store transaction so that
+promise-violation detection can roll back the application's changes.
+
+Concurrency discipline: conflicting lock requests fail immediately
+(``try_acquire``) and abort the requesting transaction with
+:class:`WriteConflict` semantics rather than blocking.  This mirrors the
+paper's observation (§9) that immediate rejection avoids the deadlocks that
+plague lock-based algorithms; the *blocking* behaviour the paper argues
+against lives in the locking baseline, not here.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from pathlib import Path
+from typing import Callable, Iterator
+
+from .errors import (
+    DuplicateKey,
+    KeyNotFound,
+    TableNotFound,
+    TransactionAborted,
+    TransactionStateError,
+)
+from .locks import LockManager, LockMode
+from .transactions import Transaction, TransactionStatus, UndoEntry
+from .wal import LogRecordType, WriteAheadLog
+
+_MISSING = object()
+
+
+def _table_sentinel(table: str) -> tuple[str, str]:
+    """Lock key guarding a table's key-set (phantom protection)."""
+    return ("__table__", table)
+
+
+class Store:
+    """Named tables of records with ACID transactions.
+
+    Values are deep-copied across the API boundary so callers can never
+    alias the store's internal state.
+    """
+
+    def __init__(self, wal_path: str | Path | None = None) -> None:
+        self._tables: dict[str, dict[str, object]] = {}
+        self._locks = LockManager()
+        self._wal = WriteAheadLog(wal_path)
+        self._txn_ids = itertools.count(1)
+        self._active: dict[int, Transaction] = {}
+        if len(self._wal):
+            self._tables = {
+                table: dict(rows) for table, rows in self._wal.replay().items()
+            }
+
+    # ----------------------------------------------------------- schema API
+
+    def create_table(self, name: str) -> None:
+        """Create ``name`` if absent (idempotent, WAL-logged)."""
+        if name not in self._tables:
+            self._tables[name] = {}
+            self._wal.append(LogRecordType.CREATE_TABLE, table=name)
+
+    def drop_table(self, name: str) -> None:
+        """Remove ``name`` and all its rows."""
+        if name not in self._tables:
+            raise TableNotFound(name)
+        if self._active:
+            raise TransactionStateError("cannot drop tables with active transactions")
+        del self._tables[name]
+
+    def tables(self) -> list[str]:
+        """Names of all tables."""
+        return sorted(self._tables)
+
+    def row_count(self, table: str) -> int:
+        """Number of committed rows in ``table`` (no transaction needed)."""
+        if table not in self._tables:
+            raise TableNotFound(table)
+        return len(self._tables[table])
+
+    # ----------------------------------------------------- transaction API
+
+    def begin(self) -> Transaction:
+        """Start a new transaction."""
+        txn = Transaction(self, next(self._txn_ids))
+        self._active[txn.txn_id] = txn
+        self._wal.append(LogRecordType.BEGIN, txn_id=txn.txn_id)
+        return txn
+
+    def transaction(self) -> Transaction:
+        """Alias of :meth:`begin`, reads naturally with ``with``."""
+        return self.begin()
+
+    def run(self, work: Callable[[Transaction], object]) -> object:
+        """Run ``work`` in a transaction, committing on success.
+
+        Any exception aborts the transaction and propagates.
+        """
+        with self.begin() as txn:
+            return work(txn)
+
+    @property
+    def active_transactions(self) -> list[int]:
+        """Ids of transactions currently in flight."""
+        return sorted(self._active)
+
+    # -------------------------------------------------------- durability API
+
+    def checkpoint(self) -> None:
+        """Truncate the WAL to a snapshot of current committed state."""
+        if self._active:
+            raise TransactionStateError(
+                "cannot checkpoint with active transactions"
+            )
+        snapshot = {
+            table: copy.deepcopy(rows) for table, rows in self._tables.items()
+        }
+        self._wal.checkpoint(snapshot)
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        """The underlying write-ahead log (read-mostly; tests and recovery)."""
+        return self._wal
+
+    @property
+    def lock_manager(self) -> LockManager:
+        """The underlying lock manager (exposed for the locking baseline)."""
+        return self._locks
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Deep copy of all committed state (no transaction needed)."""
+        if self._active:
+            raise TransactionStateError(
+                "snapshot requires quiescence; abort active transactions first"
+            )
+        return {table: copy.deepcopy(rows) for table, rows in self._tables.items()}
+
+    # --------------------------------------------- internals used by Transaction
+
+    def _require_table(self, table: str) -> dict[str, object]:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise TableNotFound(table) from None
+
+    def _lock(self, txn: Transaction, key: object, mode: LockMode) -> None:
+        if not self._locks.try_acquire(txn.txn_id, key, mode):
+            self._abort(txn)
+            raise TransactionAborted(
+                f"txn {txn.txn_id} conflicts on {key!r} ({mode.value})",
+                txn_id=txn.txn_id,
+            )
+
+    def _get(self, txn: Transaction, table: str, key: str) -> object:
+        value = self._get_or_none(txn, table, key)
+        if value is None and key not in self._require_table(table):
+            raise KeyNotFound(table, key)
+        return value
+
+    def _get_or_none(self, txn: Transaction, table: str, key: str) -> object | None:
+        rows = self._require_table(table)
+        self._lock(txn, (table, key), LockMode.SHARED)
+        if key not in rows:
+            return None
+        return copy.deepcopy(rows[key])
+
+    def _put(self, txn: Transaction, table: str, key: str, value: object) -> None:
+        rows = self._require_table(table)
+        if key not in rows:
+            self._lock(txn, _table_sentinel(table), LockMode.EXCLUSIVE)
+        self._lock(txn, (table, key), LockMode.EXCLUSIVE)
+        old = rows.get(key, _MISSING)
+        txn.undo_log.append(UndoEntry(table, key, old))
+        stored = copy.deepcopy(value)
+        rows[key] = stored
+        self._wal.append(
+            LogRecordType.PUT, txn_id=txn.txn_id, table=table, key=key, value=stored
+        )
+
+    def _insert(self, txn: Transaction, table: str, key: str, value: object) -> None:
+        rows = self._require_table(table)
+        self._lock(txn, (table, key), LockMode.EXCLUSIVE)
+        if key in rows:
+            raise DuplicateKey(table, key)
+        self._put(txn, table, key, value)
+
+    def _delete(self, txn: Transaction, table: str, key: str) -> None:
+        rows = self._require_table(table)
+        self._lock(txn, _table_sentinel(table), LockMode.EXCLUSIVE)
+        self._lock(txn, (table, key), LockMode.EXCLUSIVE)
+        if key not in rows:
+            raise KeyNotFound(table, key)
+        txn.undo_log.append(UndoEntry(table, key, rows[key]))
+        del rows[key]
+        self._wal.append(
+            LogRecordType.DELETE, txn_id=txn.txn_id, table=table, key=key
+        )
+
+    def _scan(
+        self,
+        txn: Transaction,
+        table: str,
+        predicate: Callable[[str, object], bool] | None,
+    ) -> Iterator[tuple[str, object]]:
+        rows = self._require_table(table)
+        self._lock(txn, _table_sentinel(table), LockMode.SHARED)
+        # Materialise the key list so the caller may mutate during iteration.
+        results: list[tuple[str, object]] = []
+        for key in sorted(rows):
+            self._lock(txn, (table, key), LockMode.SHARED)
+            value = copy.deepcopy(rows[key])
+            if predicate is None or predicate(key, value):
+                results.append((key, value))
+        return iter(results)
+
+    def _rollback_to(self, txn: Transaction, undo_length: int) -> None:
+        while len(txn.undo_log) > undo_length:
+            entry = txn.undo_log.pop()
+            rows = self._tables[entry.table]
+            if entry.old_value is _MISSING:
+                rows.pop(entry.key, None)
+                self._wal.append(
+                    LogRecordType.DELETE,
+                    txn_id=txn.txn_id,
+                    table=entry.table,
+                    key=entry.key,
+                )
+            else:
+                rows[entry.key] = entry.old_value
+                self._wal.append(
+                    LogRecordType.PUT,
+                    txn_id=txn.txn_id,
+                    table=entry.table,
+                    key=entry.key,
+                    value=entry.old_value,
+                )
+
+    def _commit(self, txn: Transaction) -> None:
+        self._wal.append(LogRecordType.COMMIT, txn_id=txn.txn_id)
+        txn.status = TransactionStatus.COMMITTED
+        self._finish(txn)
+
+    def _abort(self, txn: Transaction) -> None:
+        self._rollback_to(txn, 0)
+        self._wal.append(LogRecordType.ABORT, txn_id=txn.txn_id)
+        txn.status = TransactionStatus.ABORTED
+        self._finish(txn)
+
+    def _finish(self, txn: Transaction) -> None:
+        self._locks.release_all(txn.txn_id)
+        self._active.pop(txn.txn_id, None)

@@ -1,0 +1,204 @@
+"""Write-ahead log for the embedded store.
+
+Records are append-only and serialisable to JSON lines, so a store can be
+rebuilt after a crash by replaying committed transactions.  The log is
+deliberately simple — physical REDO images keyed by (table, key) — because
+the substrate only needs to honour the ACID contract the prototype relies on
+(paper, §8), not compete with a production engine.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from .errors import RecoveryError
+
+
+class LogRecordType(enum.Enum):
+    """Kinds of WAL records."""
+
+    CREATE_TABLE = "create_table"
+    BEGIN = "begin"
+    PUT = "put"
+    DELETE = "delete"
+    COMMIT = "commit"
+    ABORT = "abort"
+    CHECKPOINT = "checkpoint"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One WAL entry.
+
+    ``value`` carries the full after-image for PUT records; CHECKPOINT
+    records carry a snapshot of the whole store in ``value`` instead.
+    """
+
+    lsn: int
+    record_type: LogRecordType
+    txn_id: int | None = None
+    table: str | None = None
+    key: str | None = None
+    value: object | None = None
+
+    def to_json(self) -> str:
+        """Serialise to a single JSON line."""
+        payload = {
+            "lsn": self.lsn,
+            "type": self.record_type.value,
+            "txn": self.txn_id,
+            "table": self.table,
+            "key": self.key,
+            "value": self.value,
+        }
+        return json.dumps(payload, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "LogRecord":
+        """Parse a JSON line produced by :meth:`to_json`."""
+        try:
+            payload = json.loads(line)
+            return cls(
+                lsn=payload["lsn"],
+                record_type=LogRecordType(payload["type"]),
+                txn_id=payload["txn"],
+                table=payload["table"],
+                key=payload["key"],
+                value=payload["value"],
+            )
+        except (KeyError, ValueError, TypeError) as exc:
+            raise RecoveryError(f"malformed WAL line: {line!r}") from exc
+
+
+class WriteAheadLog:
+    """In-memory WAL with optional file persistence.
+
+    The store appends records before applying changes; :meth:`replay` folds
+    the log into the after-state of all *committed* transactions.
+    """
+
+    def __init__(self, path: str | Path | None = None) -> None:
+        self._records: list[LogRecord] = []
+        self._next_lsn = 1
+        self._path = Path(path) if path is not None else None
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    @property
+    def last_lsn(self) -> int:
+        """LSN of the most recent record, 0 when empty."""
+        return self._next_lsn - 1
+
+    def append(
+        self,
+        record_type: LogRecordType,
+        txn_id: int | None = None,
+        table: str | None = None,
+        key: str | None = None,
+        value: object | None = None,
+    ) -> LogRecord:
+        """Append a record, assigning the next LSN, and persist if filed."""
+        record = LogRecord(
+            lsn=self._next_lsn,
+            record_type=record_type,
+            txn_id=txn_id,
+            table=table,
+            key=key,
+            value=value,
+        )
+        self._next_lsn += 1
+        self._records.append(record)
+        if self._path is not None:
+            with self._path.open("a", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    def checkpoint(self, snapshot: dict[str, dict[str, object]]) -> LogRecord:
+        """Write a CHECKPOINT carrying a full store snapshot and truncate.
+
+        After a checkpoint, replay starts from the snapshot rather than the
+        beginning of time.
+        """
+        record = LogRecord(
+            lsn=self._next_lsn,
+            record_type=LogRecordType.CHECKPOINT,
+            value=snapshot,
+        )
+        self._next_lsn += 1
+        self._records = [record]
+        if self._path is not None:
+            with self._path.open("w", encoding="utf-8") as handle:
+                handle.write(record.to_json() + "\n")
+        return record
+
+    def replay(self) -> dict[str, dict[str, object]]:
+        """Fold the log into table->key->value state of committed work.
+
+        Uncommitted (in-flight or aborted) transactions leave no trace,
+        which is exactly the atomicity contract the promise manager's
+        per-request transaction depends on.
+        """
+        state: dict[str, dict[str, object]] = {}
+        pending: dict[int, list[LogRecord]] = {}
+        for record in self._records:
+            if record.record_type is LogRecordType.CREATE_TABLE:
+                state.setdefault(record.table or "", {})
+            elif record.record_type is LogRecordType.CHECKPOINT:
+                if not isinstance(record.value, dict):
+                    raise RecoveryError("checkpoint record missing snapshot")
+                state = {
+                    table: dict(rows) for table, rows in record.value.items()
+                }
+                pending.clear()
+            elif record.record_type is LogRecordType.BEGIN:
+                if record.txn_id is None:
+                    raise RecoveryError("BEGIN record without txn id")
+                pending[record.txn_id] = []
+            elif record.record_type in (LogRecordType.PUT, LogRecordType.DELETE):
+                if record.txn_id not in pending:
+                    raise RecoveryError(
+                        f"change record for unknown txn {record.txn_id}"
+                    )
+                pending[record.txn_id].append(record)
+            elif record.record_type is LogRecordType.COMMIT:
+                changes = pending.pop(record.txn_id, None)
+                if changes is None:
+                    raise RecoveryError(f"COMMIT for unknown txn {record.txn_id}")
+                for change in changes:
+                    table_state = state.setdefault(change.table or "", {})
+                    if change.record_type is LogRecordType.PUT:
+                        table_state[change.key or ""] = change.value
+                    else:
+                        table_state.pop(change.key or "", None)
+            elif record.record_type is LogRecordType.ABORT:
+                pending.pop(record.txn_id, None)
+        return state
+
+    def records_for(self, txn_id: int) -> list[LogRecord]:
+        """All records tagged with ``txn_id`` (testing/debug helper)."""
+        return [record for record in self._records if record.txn_id == txn_id]
+
+    # ------------------------------------------------------------ internals
+
+    def _load(self) -> None:
+        assert self._path is not None
+        lines: Iterable[str]
+        with self._path.open("r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            record = LogRecord.from_json(line)
+            self._records.append(record)
+            self._next_lsn = max(self._next_lsn, record.lsn + 1)

@@ -1,0 +1,29 @@
+"""Implementation techniques for promises (paper, Section 5).
+
+Five pluggable strategies — resource pools (escrow), allocated tags (soft
+locks), pure satisfiability checking, tentative allocation with
+rearrangement, and delegation to upstream promise makers — plus the
+registry that routes each resource to its technique.
+"""
+
+from .allocated_tags import AllocatedTagsStrategy
+from .base import GrantDecision, IsolationStrategy, Violation
+from .delegation import DelegationStrategy, UpstreamPromiseMaker
+from .registry import StrategyRegistry, choose_strategy, TENTATIVE_COLLECTION_LIMIT
+from .resource_pool import ResourcePoolStrategy
+from .satisfiability import SatisfiabilityStrategy
+from .tentative import TentativeAllocationStrategy
+
+__all__ = [
+    "AllocatedTagsStrategy",
+    "DelegationStrategy",
+    "GrantDecision",
+    "IsolationStrategy",
+    "ResourcePoolStrategy",
+    "SatisfiabilityStrategy",
+    "StrategyRegistry",
+    "TENTATIVE_COLLECTION_LIMIT",
+    "TentativeAllocationStrategy",
+    "UpstreamPromiseMaker",
+    "Violation",
+]

@@ -1,0 +1,204 @@
+"""Allocated-tags strategy for named (and first-fit property) access.
+
+"In the case of resources that are accessed via a named view, we can keep
+an availability status field as part of the data used to describe the
+resource instance.  This field would be set to something like 'available'
+initially and then to 'promised' when the instance was provisionally
+allocated to a client as a result of making a promise.  It would then be
+either set to 'taken' by a subsequent action, or would be reset back to
+'available' if the promise is released." (paper, §5)
+
+This is the business world's 'soft lock' (§2).  Named demands tag exactly
+the requested instance.  Property demands are supported with deterministic
+*first-fit* tagging — pick the lowest-id matching available instance and
+tag it permanently.  First-fit is deliberately naive: experiment E5
+contrasts it with the tentative-allocation strategy, which may re-arrange
+tags, and with pure satisfiability checking, which delays the choice.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.errors import PredicateUnsupported, UnknownResource
+from ..core.predicates import InstanceAvailable, PropertyMatch
+from ..core.promise import Promise
+from ..resources.manager import ResourceManager
+from ..resources.records import InstanceStatus
+from ..storage.transactions import Transaction
+from .base import GrantDecision, IsolationStrategy, Violation
+
+_INSTANCES_KEY = "instances"
+
+
+class AllocatedTagsStrategy(IsolationStrategy):
+    """Tag promised instances with a status field and the promise id."""
+
+    name = "allocated_tags"
+
+    def can_grant(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        duration: int,
+        predicates: Sequence,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> GrantDecision:
+        """Tag each demanded instance as promised; reject on any miss."""
+        chosen: list[str] = []
+        taken_here: set[str] = set()
+        reader = resources.reader(txn)
+        for atom in self.flatten_atoms(predicates):
+            if isinstance(atom, InstanceAvailable):
+                decision = self._tag_named(
+                    txn, resources, promise_id, atom, taken_here
+                )
+            elif isinstance(atom, PropertyMatch):
+                decision = self._tag_first_fit(
+                    txn, resources, promise_id, atom, taken_here, reader
+                )
+            else:
+                raise PredicateUnsupported(
+                    f"allocated-tags strategy cannot promise {atom.describe()}"
+                )
+            if not decision.ok:
+                return decision
+            ids = decision.meta.get(_INSTANCES_KEY, [])
+            chosen.extend(ids)  # type: ignore[arg-type]
+            taken_here.update(ids)  # type: ignore[arg-type]
+        return GrantDecision.granted(**{_INSTANCES_KEY: chosen})
+
+    def _tag_named(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        atom: InstanceAvailable,
+        taken_here: set[str],
+    ) -> GrantDecision:
+        try:
+            record = resources.instance(txn, atom.instance_id)
+        except UnknownResource:
+            return GrantDecision.rejected(
+                f"unknown instance {atom.instance_id!r}"
+            )
+        if record.status is not InstanceStatus.AVAILABLE or (
+            atom.instance_id in taken_here
+        ):
+            return GrantDecision.rejected(
+                f"instance {atom.instance_id!r} is {record.status.value}"
+            )
+        resources.set_instance_status(
+            txn, atom.instance_id, InstanceStatus.PROMISED, promise_id
+        )
+        return GrantDecision.granted(**{_INSTANCES_KEY: [atom.instance_id]})
+
+    def _tag_first_fit(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        atom: PropertyMatch,
+        taken_here: set[str],
+        reader,
+    ) -> GrantDecision:
+        candidates = sorted(
+            (
+                record.instance_id
+                for record in resources.instances_in(txn, atom.collection_id)
+                if record.status is InstanceStatus.AVAILABLE
+                and record.instance_id not in taken_here
+                and atom.matches_instance(
+                    _as_state(record), reader
+                )
+            ),
+        )
+        if len(candidates) < atom.count:
+            return GrantDecision.rejected(
+                f"only {len(candidates)} available instances match "
+                f"{atom.describe()}, {atom.count} needed"
+            )
+        chosen = candidates[: atom.count]
+        for instance_id in chosen:
+            resources.set_instance_status(
+                txn, instance_id, InstanceStatus.PROMISED, promise_id
+            )
+        return GrantDecision.granted(**{_INSTANCES_KEY: chosen})
+
+    def on_release(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise: Promise,
+        consumed: bool,
+        active_promises: Sequence[Promise] = (),
+        tagged_instances: Mapping[str, str] | None = None,
+    ) -> None:
+        """Reset tags to available, or advance them to taken on consume."""
+        for instance_id in self._owned_instances(promise):
+            try:
+                record = resources.instance(txn, instance_id)
+            except UnknownResource:
+                continue
+            if record.promise_id != promise.promise_id:
+                continue
+            if consumed:
+                resources.set_instance_status(
+                    txn, instance_id, InstanceStatus.TAKEN
+                )
+            else:
+                resources.set_instance_status(
+                    txn, instance_id, InstanceStatus.AVAILABLE
+                )
+
+    def check_consistency(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> list[Violation]:
+        """Every tagged instance must still exist and carry our tag."""
+        violations: list[Violation] = []
+        for promise in active_promises:
+            for instance_id in self._owned_instances(promise):
+                try:
+                    record = resources.instance(txn, instance_id)
+                except UnknownResource:
+                    violations.append(
+                        Violation(
+                            promise.promise_id,
+                            f"promised instance {instance_id!r} was removed",
+                        )
+                    )
+                    continue
+                if (
+                    record.status is not InstanceStatus.PROMISED
+                    or record.promise_id != promise.promise_id
+                ):
+                    violations.append(
+                        Violation(
+                            promise.promise_id,
+                            f"promised instance {instance_id!r} is now "
+                            f"{record.status.value}",
+                        )
+                    )
+        return violations
+
+    def _owned_instances(self, promise: Promise) -> list[str]:
+        ids = self.meta_of(promise).get(_INSTANCES_KEY, [])
+        return [str(instance_id) for instance_id in ids]  # type: ignore[union-attr]
+
+
+def _as_state(record):
+    """Adapt an InstanceRecord to the InstanceState shape predicates use."""
+    from ..core.predicates import InstanceState
+
+    return InstanceState(
+        instance_id=record.instance_id,
+        collection_id=record.collection_id,
+        status=record.status.value,
+        properties=dict(record.properties),
+    )

@@ -1,0 +1,180 @@
+"""Delegation strategy (paper, §5).
+
+"Promises are made that rely on the promises of third parties.  For
+example, a purchase order can be accepted by the merchant if it has
+received a promise from the distributor that a backorder will be fulfilled
+on time.  In this scenario, the promise is delegated from the merchant to
+the merchant's supplier."
+
+A :class:`DelegationStrategy` owns resources whose real state lives behind
+another promise maker.  Granting forwards the predicates upstream as a
+promise request of their own; the local promise is backed by the upstream
+promise id recorded in its metadata.  Releases and consumption propagate
+upstream, and the consistency check verifies the upstream promise is still
+in force — a third party defaulting on its promise is precisely the
+"serious exception" the paper says promise violation becomes (§2).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Protocol, Sequence
+
+from ..core.predicates import Predicate
+from ..core.promise import Promise
+from ..resources.manager import ResourceManager
+from ..storage.transactions import Transaction
+from .base import GrantDecision, IsolationStrategy, Violation
+
+_UPSTREAM_KEY = "upstream_promise"
+
+
+class UpstreamPromiseMaker(Protocol):
+    """What delegation needs from the party it delegates to.
+
+    :class:`~repro.core.manager.PromiseManager` satisfies this protocol
+    directly; a remote deployment would satisfy it with a protocol client.
+    """
+
+    def request_promise_for(
+        self,
+        predicates: Sequence[Predicate],
+        duration: int,
+        client_id: str,
+    ):
+        """Request a promise; returns a PromiseResponse-like object."""
+        ...
+
+    def release(self, promise_id: str, consume: bool = False) -> None:
+        """Release (optionally consuming) a previously granted promise."""
+        ...
+
+    def is_promise_active(self, promise_id: str) -> bool:
+        """True while the promise still binds the upstream maker."""
+        ...
+
+
+class DelegationStrategy(IsolationStrategy):
+    """Back local promises with promises from an upstream maker."""
+
+    name = "delegation"
+
+    def __init__(
+        self, upstream: UpstreamPromiseMaker, delegate_as: str = "delegator"
+    ) -> None:
+        self._upstream = upstream
+        self._delegate_as = delegate_as
+
+    @property
+    def upstream(self) -> UpstreamPromiseMaker:
+        """The promise maker this strategy delegates to."""
+        return self._upstream
+
+    def can_grant(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        duration: int,
+        predicates: Sequence[Predicate],
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> GrantDecision:
+        """Forward the predicates upstream; grant iff upstream grants.
+
+        Note the trust boundary: the upstream request is a *separate*
+        interaction in the upstream's own trust domain.  If our local
+        transaction later rolls back (another strategy in the same request
+        rejected), the manager compensates by releasing the upstream
+        promise — see the manager's grant path.
+        """
+        response = self._upstream.request_promise_for(
+            predicates=list(predicates),
+            duration=duration,
+            client_id=self._delegate_as,
+        )
+        if not response.accepted:
+            return GrantDecision.rejected(
+                f"upstream rejected delegation: {response.reason}"
+            )
+        return GrantDecision.granted(**{_UPSTREAM_KEY: response.promise_id})
+
+    external = True
+
+    def on_release(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise: Promise,
+        consumed: bool,
+        active_promises: Sequence[Promise] = (),
+        tagged_instances: Mapping[str, str] | None = None,
+    ):
+        """Propagate the release (and consumption) upstream — deferred.
+
+        The upstream release happens in the *upstream's* trust domain and
+        cannot be rolled back by our local transaction, so it must only
+        run once that transaction has committed; we return a callable for
+        the manager to invoke post-commit.  A *consumed* release of the
+        upstream resources is validated eagerly (the upstream promise
+        must still be live — if the third party defaulted, that is a
+        promise violation and the local request must fail, §2), while the
+        release itself still runs post-commit.
+        """
+        from ..core.errors import (
+            PromiseExpired,
+            PromiseStateError,
+            PromiseViolation,
+            UnknownPromise,
+        )
+
+        upstream_id = self.meta_of(promise).get(_UPSTREAM_KEY)
+        if not isinstance(upstream_id, str) or not upstream_id:
+            return None
+        if consumed and not self._upstream.is_promise_active(upstream_id):
+            raise PromiseViolation(
+                [promise.promise_id],
+                f"upstream promise {upstream_id} defaulted",
+            )
+
+        def release_upstream() -> None:
+            try:
+                self._upstream.release(upstream_id, consume=consumed)
+            except (PromiseExpired, UnknownPromise, PromiseStateError):
+                # Already gone upstream: nothing left to hand back.
+                pass
+
+        return release_upstream
+
+    def compensate(self, decision: GrantDecision) -> None:
+        """Release the upstream promise after a local rollback."""
+        upstream_id = decision.meta.get(_UPSTREAM_KEY)
+        if isinstance(upstream_id, str) and upstream_id:
+            self._upstream.release(upstream_id, consume=False)
+
+    def check_consistency(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> list[Violation]:
+        """Every live local promise needs a live upstream promise."""
+        violations: list[Violation] = []
+        for promise in active_promises:
+            upstream_id = self.meta_of(promise).get(_UPSTREAM_KEY)
+            if not isinstance(upstream_id, str) or not upstream_id:
+                violations.append(
+                    Violation(
+                        promise.promise_id,
+                        "delegated promise lost its upstream reference",
+                    )
+                )
+            elif not self._upstream.is_promise_active(upstream_id):
+                violations.append(
+                    Violation(
+                        promise.promise_id,
+                        f"upstream promise {upstream_id} is no longer active",
+                    )
+                )
+        return violations
+

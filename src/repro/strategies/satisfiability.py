@@ -1,0 +1,133 @@
+"""Pure satisfiability-checking strategy.
+
+"The promise manager keeps a record of all the promises it is currently
+committed to honouring and also has access to the current state of all
+resources covered by these promises.  Whenever a new promise request is
+received, the manager checks that it and all relevant existing promises
+can be honoured, based on the current state of the resources involved.
+Similarly, a check is performed after every client-requested operation has
+completed." (paper, §5)
+
+Nothing is mutated in the Resource Manager at grant time: availability is
+"indicated by the presence (or absence) of a covering predicate".  The
+decision of which concrete instance honours a property promise "can be
+delayed until the execution of the operation which takes the resource" —
+so this strategy maximises flexibility at the cost of re-running the
+satisfiability check (sum checks + bipartite matching) on every grant and
+after every action.  This is the technique the paper's prototype used
+(§8), and the one the reproduction's promise manager defaults to.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.checking import Demand, check_satisfiable, demands_of_promises
+from ..core.errors import PromiseViolation
+from ..core.predicates import QuantityAtLeast
+from ..core.promise import Promise
+from ..resources.manager import ResourceManager
+from ..resources.records import InstanceStatus
+from ..storage.transactions import Transaction
+from .base import GrantDecision, IsolationStrategy, Violation
+
+
+class SatisfiabilityStrategy(IsolationStrategy):
+    """Grant iff candidate + all existing promises remain jointly
+    satisfiable; detect violations by re-checking after actions."""
+
+    name = "satisfiability"
+
+    def can_grant(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        duration: int,
+        predicates: Sequence,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> GrantDecision:
+        """Check mutual satisfiability of existing promises + candidate."""
+        demands = demands_of_promises(active_promises)
+        demands.append(Demand(owner_id=promise_id, predicates=tuple(predicates)))
+        result = check_satisfiable(
+            demands, resources.reader(txn), tagged_instances=tagged_instances
+        )
+        if not result.ok:
+            return GrantDecision.rejected(result.reason)
+        return GrantDecision.granted()
+
+    def on_release(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise: Promise,
+        consumed: bool,
+        active_promises: Sequence[Promise] = (),
+        tagged_instances: Mapping[str, str] | None = None,
+    ) -> None:
+        """Release is free; consumption takes the promised resources.
+
+        A plain release has nothing to undo: the grant made no
+        resource-state changes, availability was only ever 'indicated by
+        the presence of a covering predicate' (§5), and the manager's
+        status update removes that predicate.
+
+        A *consumed* release takes the resources on the client's behalf:
+        "the decision about which resource will be used to honour a
+        granted promise can be delayed until the execution of the
+        operation which takes the resource" (§5) — this is that delayed
+        decision.  We re-solve the joint matching over every live promise
+        (so the instances we take cannot strand anyone else), mark this
+        promise's assigned instances 'taken', and drain its quantity
+        demands from their pools.
+        """
+        if not consumed:
+            return
+        others = [
+            other
+            for other in active_promises
+            if other.promise_id != promise.promise_id
+        ]
+        demands = demands_of_promises(others + [promise])
+        result = check_satisfiable(
+            demands,
+            resources.reader(txn),
+            tagged_instances=tagged_instances or {},
+        )
+        if not result.ok:
+            raise PromiseViolation(
+                [promise.promise_id],
+                f"cannot consume promised resources: {result.reason}",
+            )
+        for instance_id in result.instances_for(promise.promise_id):
+            resources.set_instance_status(txn, instance_id, InstanceStatus.TAKEN)
+        branch_index = result.chosen_branches.get(promise.promise_id, 0)
+        demand = demands[-1]
+        branch = demand.branch_choices()[branch_index]
+        for atom in branch:
+            if isinstance(atom, QuantityAtLeast):
+                resources.remove_stock(txn, atom.pool_id, atom.amount)
+
+    def check_consistency(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> list[Violation]:
+        """Re-run the joint satisfiability check against current state."""
+        if not active_promises:
+            return []
+        result = check_satisfiable(
+            demands_of_promises(active_promises),
+            resources.reader(txn),
+            tagged_instances=tagged_instances,
+        )
+        if result.ok:
+            return []
+        failed = result.failed_owners or tuple(
+            promise.promise_id for promise in active_promises
+        )
+        return [Violation(owner, result.reason) for owner in failed]

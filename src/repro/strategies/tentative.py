@@ -1,0 +1,213 @@
+"""Tentative-allocation strategy (paper, §5).
+
+"This is a hybrid mechanism, where property-based promise requests are met
+by marking the chosen resource instances as 'promised', and also
+remembering the specific predicate that resulted in this resource
+allocation.  If a later promise request is not satisfiable from the pool
+of unallocated instances, the manager can consider rearranging these
+tentative allocations to allow it continue to meet all previous promises
+as well as granting the new request."
+
+The paper's example: a request for 'a room with a view' tentatively takes
+room 512; a later request for 'a 5th-floor room' may steal 512 as long as
+a different room with a view still covers the first promise.  Concretely,
+every grant re-solves the joint matching problem over *all* of this
+strategy's live promises (their predicates are remembered in the promise
+table) plus the candidate, treating tentatively tagged instances as
+movable; the resulting assignment is written back to the instance tags.
+
+The post-action consistency check is self-healing the same way: if an
+action consumed a tentatively assigned instance, the check tries to
+re-arrange before declaring a violation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.checking import CheckResult, Demand, check_satisfiable
+from ..core.errors import PredicateUnsupported
+from ..core.predicates import Predicate, QuantityAtLeast
+from ..core.promise import Promise
+from ..resources.manager import ResourceManager
+from ..resources.records import InstanceStatus
+from ..storage.transactions import Transaction
+from .base import GrantDecision, IsolationStrategy, Violation
+
+
+class TentativeAllocationStrategy(IsolationStrategy):
+    """Tag chosen instances but re-arrange tags when it admits more."""
+
+    name = "tentative"
+
+    def can_grant(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise_id: str,
+        duration: int,
+        predicates: Sequence[Predicate],
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> GrantDecision:
+        """Solve the joint matching (with rearrangement) and retag."""
+        _reject_quantity_atoms(predicates)
+        demands = [
+            Demand(promise.promise_id, tuple(promise.predicates))
+            for promise in active_promises
+        ]
+        demands.append(Demand(promise_id, tuple(predicates)))
+        result = self._solve(txn, resources, demands, tagged_instances)
+        if not result.ok:
+            return GrantDecision.rejected(result.reason)
+        self._apply_assignment(
+            txn,
+            resources,
+            result,
+            owners={demand.owner_id for demand in demands},
+        )
+        return GrantDecision.granted(
+            assigned=result.instances_for(promise_id)
+        )
+
+    def on_release(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        promise: Promise,
+        consumed: bool,
+        active_promises: Sequence[Promise] = (),
+        tagged_instances: Mapping[str, str] | None = None,
+    ) -> None:
+        """Free (or take) every instance tentatively tagged to us."""
+        for record in self._instances_of(txn, resources, promise.promise_id):
+            if consumed:
+                resources.set_instance_status(
+                    txn, record.instance_id, InstanceStatus.TAKEN
+                )
+            else:
+                resources.set_instance_status(
+                    txn, record.instance_id, InstanceStatus.AVAILABLE
+                )
+
+    def check_consistency(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        active_promises: Sequence[Promise],
+        tagged_instances: Mapping[str, str],
+    ) -> list[Violation]:
+        """Re-solve the joint matching; rearrange if possible, else report."""
+        if not active_promises:
+            return []
+        demands = [
+            Demand(promise.promise_id, tuple(promise.predicates))
+            for promise in active_promises
+        ]
+        result = self._solve(txn, resources, demands, tagged_instances)
+        if result.ok:
+            self._apply_assignment(
+                txn,
+                resources,
+                result,
+                owners={demand.owner_id for demand in demands},
+            )
+            return []
+        failed = result.failed_owners or tuple(
+            promise.promise_id for promise in active_promises
+        )
+        return [Violation(owner, result.reason) for owner in failed]
+
+    # ------------------------------------------------------------ internals
+
+    def _solve(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        demands: Sequence[Demand],
+        tagged_instances: Mapping[str, str],
+    ) -> CheckResult:
+        """Joint satisfiability with this strategy's tags treated as movable."""
+        owners = {demand.owner_id for demand in demands}
+        movable_tags = {
+            instance_id: owner
+            for instance_id, owner in tagged_instances.items()
+            if owner not in owners
+            and not self._is_tentative(txn, resources, instance_id)
+        }
+        return check_satisfiable(
+            list(demands), resources.reader(txn), tagged_instances=movable_tags
+        )
+
+    def _is_tentative(
+        self, txn: Transaction, resources: ResourceManager, instance_id: str
+    ) -> bool:
+        try:
+            return resources.instance(txn, instance_id).tentative
+        except Exception:
+            return False
+
+    def _apply_assignment(
+        self,
+        txn: Transaction,
+        resources: ResourceManager,
+        result: CheckResult,
+        owners: set[str],
+    ) -> None:
+        """Write the new assignment back into the instance tags."""
+        new_owner_of: dict[str, str] = {}
+        for slot, instance_id in result.assignment.items():
+            new_owner_of[instance_id] = slot.owner_id
+
+        # Free instances previously tentatively tagged to one of our owners
+        # but no longer assigned to them.
+        for owner in owners:
+            for record in self._instances_of(txn, resources, owner):
+                if new_owner_of.get(record.instance_id) != owner:
+                    resources.set_instance_status(
+                        txn, record.instance_id, InstanceStatus.AVAILABLE
+                    )
+
+        # Tag (or re-tag) every assigned instance.
+        for instance_id, owner in new_owner_of.items():
+            record = resources.instance(txn, instance_id)
+            if (
+                record.status is InstanceStatus.PROMISED
+                and record.promise_id == owner
+                and record.tentative
+            ):
+                continue
+            resources.set_instance_status(
+                txn,
+                instance_id,
+                InstanceStatus.PROMISED,
+                promise_id=owner,
+                tentative=True,
+            )
+
+    def _instances_of(
+        self, txn: Transaction, resources: ResourceManager, promise_id: str
+    ):
+        """All instance records tentatively tagged to ``promise_id``."""
+        from ..resources.records import INSTANCES_TABLE, InstanceRecord
+
+        return [
+            InstanceRecord.from_dict(payload)  # type: ignore[arg-type]
+            for __, payload in txn.scan(
+                INSTANCES_TABLE,
+                lambda __, record: record.get("promise_id") == promise_id
+                and record.get("tentative"),
+            )
+        ]
+
+
+def _reject_quantity_atoms(predicates: Sequence[Predicate]) -> None:
+    """Tentative allocation manages instances, never counters."""
+    for predicate in predicates:
+        for branch in predicate.dnf():
+            for atom in branch:
+                if isinstance(atom, QuantityAtLeast):
+                    raise PredicateUnsupported(
+                        "tentative allocation cannot promise pool "
+                        f"quantities ({atom.describe()})"
+                    )

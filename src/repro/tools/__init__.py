@@ -1,0 +1,5 @@
+"""Operational tooling for promise-enabled deployments."""
+
+from .doctor import Doctor, Finding, Severity
+
+__all__ = ["Doctor", "Finding", "Severity"]

@@ -1,0 +1,159 @@
+"""Behavioural tests for the four isolation regimes.
+
+These assert the *qualitative* claims of the paper that the E1/E2
+benchmarks quantify: promises never fail late, unprotected check-then-act
+does, long-duration locking deadlocks, and nobody ever oversells.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    LockingRegime,
+    OptimisticRegime,
+    PromiseRegime,
+    ValidationRegime,
+)
+from repro.sim.workload import WorkloadSpec
+
+CONTENDED = WorkloadSpec(
+    clients=30,
+    products=1,
+    stock_per_product=40,
+    quantity_low=2,
+    quantity_high=6,
+    mean_interarrival=1.0,
+    work_low=5,
+    work_high=20,
+    seed=11,
+)
+
+MULTI_RESOURCE = WorkloadSpec(
+    clients=24,
+    products=4,
+    stock_per_product=20,
+    quantity_low=1,
+    quantity_high=4,
+    products_per_order=3,
+    mean_interarrival=1.0,
+    work_low=5,
+    work_high=15,
+    seed=7,
+)
+
+UNCONTENDED = CONTENDED.with_tightness(0.5)
+
+
+class TestPromiseRegime:
+    def test_no_late_failures_under_contention(self):
+        metrics = PromiseRegime().run(CONTENDED)
+        assert metrics.counter("late_failure") == 0
+        assert metrics.counter("expired") == 0
+        assert metrics.counter("success") > 0
+        assert metrics.counter("early_reject") > 0
+
+    def test_satisfiability_strategy_matches_escrow_outcomes(self):
+        escrow = PromiseRegime().run(CONTENDED, pool_strategy="resource_pool")
+        satisfiability = PromiseRegime().run(
+            CONTENDED, pool_strategy="satisfiability"
+        )
+        assert escrow.counter("success") == satisfiability.counter("success")
+        assert escrow.counter("late_failure") == 0
+        assert satisfiability.counter("late_failure") == 0
+
+    def test_everyone_wins_when_uncontended(self):
+        metrics = PromiseRegime().run(UNCONTENDED)
+        assert metrics.counter("early_reject") == 0
+        assert metrics.counter("success") == UNCONTENDED.clients
+
+    def test_conservation(self):
+        metrics = PromiseRegime().run(CONTENDED)
+        assert metrics.counter("conservation_violations") == 0
+
+
+class TestOptimisticRegime:
+    def test_late_failures_under_contention(self):
+        metrics = OptimisticRegime().run(CONTENDED)
+        assert metrics.counter("late_failure") > 0
+        assert metrics.summarise("wasted_work").count == metrics.counter(
+            "late_failure"
+        )
+
+    def test_never_oversells(self):
+        metrics = OptimisticRegime().run(CONTENDED)
+        assert metrics.counter("conservation_violations") == 0
+
+    def test_clean_when_uncontended(self):
+        metrics = OptimisticRegime().run(UNCONTENDED)
+        assert metrics.counter("late_failure") == 0
+        assert metrics.counter("success") == UNCONTENDED.clients
+
+
+class TestValidationRegime:
+    def test_fails_late_like_optimistic(self):
+        optimistic = OptimisticRegime().run(CONTENDED)
+        validation = ValidationRegime().run(CONTENDED)
+        assert validation.counter("late_failure") > 0
+        # Fast Path fails at the same place for single-product orders.
+        assert validation.counter("late_failure") == optimistic.counter(
+            "late_failure"
+        )
+        assert validation.counter("validation_failure") == validation.counter(
+            "late_failure"
+        )
+
+
+class TestLockingRegime:
+    def test_single_resource_serialises_without_deadlock(self):
+        metrics = LockingRegime().run(CONTENDED)
+        assert metrics.counter("deadlock") == 0
+        assert metrics.counter("late_failure") == 0
+        # Exclusive locking on one hot pool serialises everyone: waits
+        # dominate.
+        assert metrics.summarise("wait") is not None
+
+    def test_multi_resource_deadlocks(self):
+        metrics = LockingRegime().run(MULTI_RESOURCE)
+        assert metrics.counter("deadlock") > 0
+
+    def test_promises_never_deadlock_same_workload(self):
+        metrics = PromiseRegime().run(MULTI_RESOURCE)
+        assert metrics.counter("deadlock") == 0
+        assert metrics.counter("late_failure") == 0
+
+    def test_locking_latency_exceeds_promises(self):
+        locking = LockingRegime().run(CONTENDED)
+        promises = PromiseRegime().run(CONTENDED)
+        assert (
+            locking.summarise("latency").mean
+            > promises.summarise("latency").mean
+        )
+
+    def test_conservation(self):
+        metrics = LockingRegime().run(MULTI_RESOURCE)
+        assert metrics.counter("conservation_violations") == 0
+
+
+class TestCrossRegimeInvariants:
+    @pytest.mark.parametrize(
+        "regime_cls",
+        [PromiseRegime, OptimisticRegime, ValidationRegime, LockingRegime],
+    )
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_outcomes_partition_clients(self, regime_cls, seed):
+        spec = WorkloadSpec(
+            clients=20, products=2, stock_per_product=25,
+            quantity_low=1, quantity_high=5, products_per_order=2,
+            seed=seed,
+        )
+        metrics = regime_cls().run(spec)
+        accounted = (
+            metrics.counter("success")
+            + metrics.counter("early_reject")
+            + metrics.counter("late_failure")
+            + metrics.counter("expired")
+            + metrics.counter("aborted_after_retries")
+        )
+        assert accounted == spec.clients
+        assert metrics.counter("conservation_violations") == 0

@@ -1,0 +1,286 @@
+"""Unit tests for the promise checking engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.checking import Demand, check_satisfiable
+from repro.core.errors import PredicateUnsupported
+from repro.core.predicates import (
+    And,
+    InstanceState,
+    Or,
+    named_available,
+    property_match,
+    quantity_at_least,
+    where,
+)
+
+
+class FakeState:
+    def __init__(self, pools=None, instances=None, orderings=None):
+        self._pools = pools or {}
+        self._instances = {i.instance_id: i for i in (instances or [])}
+        self._orderings = orderings or {}
+
+    def pool_available(self, pool_id):
+        return self._pools.get(pool_id, 0)
+
+    def instance(self, instance_id):
+        return self._instances.get(instance_id)
+
+    def instances_in(self, collection_id):
+        return [
+            i for i in self._instances.values()
+            if i.collection_id == collection_id
+        ]
+
+    def property_ordering(self, collection_id, name):
+        return self._orderings.get((collection_id, name))
+
+
+def room(instance_id, floor, view=False, status="available"):
+    return InstanceState(
+        instance_id=instance_id,
+        collection_id="rooms",
+        status=status,
+        properties={"floor": floor, "view": view},
+    )
+
+
+def demand(owner, *predicates):
+    return Demand(owner_id=owner, predicates=tuple(predicates))
+
+
+class TestQuantityChecking:
+    def test_sum_within_capacity(self):
+        state = FakeState(pools={"w": 10})
+        result = check_satisfiable(
+            [demand("p1", quantity_at_least("w", 4)),
+             demand("p2", quantity_at_least("w", 6))],
+            state,
+        )
+        assert result.ok
+        assert result.pool_usage == {"w": 10}
+
+    def test_sum_exceeding_capacity_fails(self):
+        state = FakeState(pools={"w": 9})
+        result = check_satisfiable(
+            [demand("p1", quantity_at_least("w", 4)),
+             demand("p2", quantity_at_least("w", 6))],
+            state,
+        )
+        assert not result.ok
+        assert set(result.failed_owners) == {"p1", "p2"}
+        assert "w" in result.reason
+
+    def test_disjointness_semantics_of_section9(self):
+        # balance>100 and balance>50 together require 150 (§9).
+        state = FakeState(pools={"acct": 120})
+        result = check_satisfiable(
+            [demand("p1", quantity_at_least("acct", 100)),
+             demand("p2", quantity_at_least("acct", 50))],
+            state,
+        )
+        assert not result.ok
+
+    def test_pool_offset_extends_capacity(self):
+        state = FakeState(pools={"w": 3})
+        result = check_satisfiable(
+            [demand("p1", quantity_at_least("w", 5))],
+            state,
+            pool_offsets={"w": 2},
+        )
+        assert result.ok
+
+    def test_unknown_pool_fails(self):
+        result = check_satisfiable(
+            [demand("p1", quantity_at_least("ghost", 1))], FakeState()
+        )
+        assert not result.ok
+
+
+class TestInstanceChecking:
+    def test_named_instance_available(self):
+        state = FakeState(instances=[room("r1", 1)])
+        result = check_satisfiable([demand("p1", named_available("r1"))], state)
+        assert result.ok
+        assert result.instances_for("p1") == ["r1"]
+
+    def test_named_instance_taken_fails(self):
+        state = FakeState(instances=[room("r1", 1, status="taken")])
+        result = check_satisfiable([demand("p1", named_available("r1"))], state)
+        assert not result.ok
+
+    def test_duplicate_named_promises_fail(self):
+        # §3.2: one named instance, at most one unexpired promise.
+        state = FakeState(instances=[room("r1", 1)])
+        result = check_satisfiable(
+            [demand("p1", named_available("r1")),
+             demand("p2", named_available("r1"))],
+            state,
+        )
+        assert not result.ok
+
+    def test_unknown_instance_fails(self):
+        result = check_satisfiable(
+            [demand("p1", named_available("ghost"))], FakeState()
+        )
+        assert not result.ok
+
+    def test_tagged_instance_reserved_for_owner(self):
+        state = FakeState(instances=[room("r1", 1, status="promised")])
+        # Owner may re-match its own tagged instance...
+        ok_result = check_satisfiable(
+            [demand("p1", named_available("r1"))],
+            state,
+            tagged_instances={"r1": "p1"},
+        )
+        assert ok_result.ok
+        # ...but nobody else may.
+        bad_result = check_satisfiable(
+            [demand("p2", named_available("r1"))],
+            state,
+            tagged_instances={"r1": "p1"},
+        )
+        assert not bad_result.ok
+
+
+class TestPropertyChecking:
+    def test_overlapping_predicates_resolved_by_matching(self):
+        # §3.3: room 512 suits both 'view' and '5th floor'; the matching
+        # must give each promise a distinct room.
+        state = FakeState(
+            instances=[
+                room("room-101", 1, view=True),
+                room("room-512", 5, view=True),
+            ]
+        )
+        result = check_satisfiable(
+            [
+                demand("view", property_match("rooms", [where("view", "==", True)])),
+                demand("floor5", property_match("rooms", [where("floor", "==", 5)])),
+            ],
+            state,
+        )
+        assert result.ok
+        assert result.instances_for("floor5") == ["room-512"]
+        assert result.instances_for("view") == ["room-101"]
+
+    def test_overlap_without_enough_rooms_fails(self):
+        state = FakeState(instances=[room("room-512", 5, view=True)])
+        result = check_satisfiable(
+            [
+                demand("view", property_match("rooms", [where("view", "==", True)])),
+                demand("floor5", property_match("rooms", [where("floor", "==", 5)])),
+            ],
+            state,
+        )
+        assert not result.ok
+
+    def test_count_demand_takes_multiple_instances(self):
+        state = FakeState(instances=[room(f"r{i}", 5) for i in range(3)])
+        result = check_satisfiable(
+            [demand("p1", property_match("rooms", [where("floor", "==", 5)], count=3))],
+            state,
+        )
+        assert result.ok
+        assert len(result.instances_for("p1")) == 3
+
+    def test_named_excluded_from_anonymous_pool(self):
+        # §3.2: a promise for seat 24G excludes it from 'any seat' counts.
+        seats = [room("24F", 1), room("24G", 1)]
+        state = FakeState(instances=seats)
+        result = check_satisfiable(
+            [
+                demand("named", named_available("24G")),
+                demand("any", property_match("rooms", count=2)),
+            ],
+            state,
+        )
+        assert not result.ok  # only 2 seats for 3 slots
+
+    def test_named_and_anonymous_coexist_when_enough(self):
+        seats = [room("24F", 1), room("24G", 1), room("24H", 1)]
+        state = FakeState(instances=seats)
+        result = check_satisfiable(
+            [
+                demand("named", named_available("24G")),
+                demand("any", property_match("rooms", count=2)),
+            ],
+            state,
+        )
+        assert result.ok
+        assert result.instances_for("named") == ["24G"]
+        assert "24G" not in result.instances_for("any")
+
+
+class TestOrBranches:
+    def test_or_falls_back_to_second_branch(self):
+        state = FakeState(pools={"a": 0, "b": 5})
+        predicate = Or.of(quantity_at_least("a", 1), quantity_at_least("b", 1))
+        result = check_satisfiable([demand("p1", predicate)], state)
+        assert result.ok
+        assert result.chosen_branches["p1"] == 1
+
+    def test_or_across_promises_finds_compatible_combination(self):
+        # Both promises prefer pool a (capacity 1); one must take b.
+        state = FakeState(pools={"a": 1, "b": 1})
+        predicate = Or.of(quantity_at_least("a", 1), quantity_at_least("b", 1))
+        result = check_satisfiable(
+            [demand("p1", predicate), demand("p2", predicate)], state
+        )
+        assert result.ok
+        branches = {result.chosen_branches["p1"], result.chosen_branches["p2"]}
+        assert branches == {0, 1}
+
+    def test_unsatisfiable_or_fails(self):
+        state = FakeState(pools={"a": 0, "b": 0})
+        predicate = Or.of(quantity_at_least("a", 1), quantity_at_least("b", 1))
+        result = check_satisfiable([demand("p1", predicate)], state)
+        assert not result.ok
+
+    def test_combination_explosion_bounded(self):
+        predicate = Or.of(*[quantity_at_least(f"pool-{i}", 1) for i in range(4)])
+        demands = [demand(f"p{i}", predicate) for i in range(5)]  # 4^5 > 256
+        with pytest.raises(PredicateUnsupported):
+            check_satisfiable(demands, FakeState())
+
+    def test_mixed_and_or(self):
+        state = FakeState(
+            pools={"w": 5},
+            instances=[room("r1", 5)],
+        )
+        predicate = And.of(
+            quantity_at_least("w", 2),
+            Or.of(named_available("r1"), named_available("r2")),
+        )
+        result = check_satisfiable([demand("p1", predicate)], state)
+        assert result.ok
+        assert result.instances_for("p1") == ["r1"]
+
+
+class TestMultiPredicateDemands:
+    def test_travel_style_all_or_nothing(self):
+        state = FakeState(
+            pools={"cars": 1},
+            instances=[room("r1", 1)],
+        )
+        result = check_satisfiable(
+            [demand("trip", quantity_at_least("cars", 1), named_available("r1"))],
+            state,
+        )
+        assert result.ok
+
+    def test_travel_style_fails_if_any_leg_fails(self):
+        state = FakeState(pools={"cars": 0}, instances=[room("r1", 1)])
+        result = check_satisfiable(
+            [demand("trip", quantity_at_least("cars", 1), named_available("r1"))],
+            state,
+        )
+        assert not result.ok
+
+    def test_empty_demand_set_is_vacuously_satisfiable(self):
+        result = check_satisfiable([], FakeState())
+        assert result.ok
+        assert result.assignment == {}

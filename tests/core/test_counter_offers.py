@@ -1,0 +1,167 @@
+"""Tests for counter-offers — §6's 'accepted with the condition XX'.
+
+The manager can answer a rejection with the strongest *weakening* of the
+request it could actually grant, computed by probing the grant path in a
+sacrificial transaction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.manager import PromiseManager
+from repro.core.parser import P
+from repro.core.predicates import PropertyMatch, QuantityAtLeast
+from repro.core.promise import PromiseResponse
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+
+@pytest.fixture
+def offering_manager(store, resources, clock):
+    registry = StrategyRegistry()
+    registry.assign("widgets", ResourcePoolStrategy())
+    manager = PromiseManager(
+        store=store, resources=resources, clock=clock,
+        registry=registry, name="offer", counter_offers=True,
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "widgets", 30)
+    return manager
+
+
+class TestProbe:
+    def test_probe_leaves_no_trace(self, offering_manager):
+        assert offering_manager.probe([QuantityAtLeast("widgets", 10)], 10)
+        with offering_manager.store.begin() as txn:
+            pool = offering_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (30, 0)
+        assert offering_manager.active_promises() == []
+
+    def test_probe_false_beyond_capacity(self, offering_manager):
+        assert not offering_manager.probe([QuantityAtLeast("widgets", 31)], 10)
+
+    def test_probe_accounts_for_existing_promises(self, offering_manager):
+        offering_manager.request_promise_for([QuantityAtLeast("widgets", 20)], 50)
+        assert offering_manager.probe([QuantityAtLeast("widgets", 10)], 10)
+        assert not offering_manager.probe([QuantityAtLeast("widgets", 11)], 10)
+
+    def test_probe_refuses_delegated_resources(self, offering_manager):
+        from repro.strategies.delegation import DelegationStrategy
+
+        upstream = PromiseManager(name="up")
+        with upstream.store.begin() as txn:
+            upstream.resources.create_pool(txn, "remote", 100)
+        offering_manager.registry.assign(
+            "remote", DelegationStrategy(upstream, "probe-test")
+        )
+        assert not offering_manager.probe([QuantityAtLeast("remote", 1)], 10)
+        # And no upstream promise leaked.
+        assert upstream.active_promises() == []
+
+
+class TestQuantityCounterOffers:
+    def test_offers_max_grantable_amount(self, offering_manager):
+        response = offering_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 50)], 10
+        )
+        assert not response.accepted
+        assert response.counter == QuantityAtLeast("widgets", 30)
+
+    def test_offer_reflects_outstanding_promises(self, offering_manager):
+        offering_manager.request_promise_for([QuantityAtLeast("widgets", 25)], 50)
+        response = offering_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 10)], 10
+        )
+        assert response.counter == QuantityAtLeast("widgets", 5)
+
+    def test_no_offer_when_nothing_grantable(self, offering_manager):
+        offering_manager.request_promise_for([QuantityAtLeast("widgets", 30)], 50)
+        response = offering_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 5)], 10
+        )
+        assert not response.accepted
+        assert response.counter is None
+
+    def test_counter_offer_is_actually_grantable(self, offering_manager):
+        response = offering_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 50)], 10
+        )
+        accepted = offering_manager.request_promise_for([response.counter], 10)
+        assert accepted.accepted
+
+    def test_disabled_by_default(self, pool_manager):
+        response = pool_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 500)], 10
+        )
+        assert response.counter is None
+
+    def test_multi_predicate_requests_get_no_offer(self, offering_manager):
+        with offering_manager.store.begin() as txn:
+            offering_manager.resources.create_pool(txn, "gadgets", 5)
+        response = offering_manager.request_promise_for(
+            [QuantityAtLeast("widgets", 500), QuantityAtLeast("gadgets", 1)],
+            10,
+        )
+        assert response.counter is None
+
+
+class TestPropertyCounterOffers:
+    @pytest.fixture
+    def hotel(self, store, resources, clock):
+        from tests.conftest import ROOMS, ROOMS_SCHEMA
+
+        manager = PromiseManager(
+            store=store, resources=resources, clock=clock,
+            name="hotel", counter_offers=True,
+        )
+        with store.begin() as txn:
+            resources.define_collection(txn, ROOMS_SCHEMA)
+            for instance_id, properties in ROOMS.items():
+                resources.add_instance(txn, instance_id, "rooms", dict(properties))
+        return manager
+
+    def test_offers_max_grantable_count(self, hotel):
+        # Only two rooms have a view.
+        response = hotel.request_promise_for(
+            [P("match('rooms', view == true, count=4)")], 10
+        )
+        assert not response.accepted
+        assert isinstance(response.counter, PropertyMatch)
+        assert response.counter.count == 2
+        assert response.counter.conditions == response.counter.conditions
+
+    def test_count_one_requests_get_no_offer(self, hotel):
+        hotel.request_promise_for([P("match('rooms', view == true, count=2)")], 50)
+        response = hotel.request_promise_for(
+            [P("match('rooms', view == true, count=1)")], 10
+        )
+        assert response.counter is None
+
+
+class TestCounterOffersOverTheWire:
+    def test_counter_survives_xml(self):
+        from repro.services import Deployment
+
+        deployment = Deployment(name="shop", counter_offers=True)
+        deployment.use_pool_strategy("widgets")
+        with deployment.seed() as txn:
+            deployment.resources.create_pool(txn, "widgets", 12)
+        client = deployment.client("alice")
+        response = client.request_promise(
+            "shop", [P("quantity('widgets') >= 100")], 10
+        )
+        assert not response.accepted
+        assert response.counter == QuantityAtLeast("widgets", 12)
+        # Accept the counter-offer by re-requesting it.
+        accepted = client.request_promise("shop", [response.counter], 10)
+        assert accepted.accepted
+
+    def test_serialisation_roundtrip(self):
+        response = PromiseResponse.rejected(
+            "req-1", "not enough", counter=QuantityAtLeast("w", 7)
+        )
+        decoded = PromiseResponse.from_dict(response.to_dict())
+        assert decoded.counter == QuantityAtLeast("w", 7)

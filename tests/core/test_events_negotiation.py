@@ -1,0 +1,207 @@
+"""Tests for promise lifecycle events and negotiation (extensions).
+
+Events reproduce the ConTract-style notification the paper cites in §9;
+negotiation implements the §3.3 essential-vs-desirable dialogue.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.events import EventHub, EventKind, PromiseEvent
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+
+
+def collect(manager):
+    """Subscribe a list-collector to a manager's event stream."""
+    seen: list[PromiseEvent] = []
+    manager.events.subscribe(seen.append)
+    return seen
+
+
+def kinds(events):
+    return [event.kind for event in events]
+
+
+class TestEventHub:
+    def test_subscribe_emit_unsubscribe(self):
+        hub = EventHub()
+        seen = []
+        listener = hub.subscribe(seen.append)
+        event = PromiseEvent(EventKind.GRANTED, at=1, promise_id="p")
+        hub.emit(event)
+        hub.unsubscribe(listener)
+        hub.unsubscribe(listener)  # idempotent
+        hub.emit(event)
+        assert seen == [event]
+
+    def test_listener_errors_are_isolated(self):
+        hub = EventHub()
+        seen = []
+
+        def broken(event):
+            raise RuntimeError("observer bug")
+
+        hub.subscribe(broken)
+        hub.subscribe(seen.append)
+        hub.emit(PromiseEvent(EventKind.EXPIRED, at=0))
+        assert len(seen) == 1
+
+    def test_history(self):
+        hub = EventHub(keep_history=True)
+        hub.emit(PromiseEvent(EventKind.GRANTED, at=0))
+        hub.emit(PromiseEvent(EventKind.RELEASED, at=1))
+        assert kinds(hub.history) == [EventKind.GRANTED, EventKind.RELEASED]
+
+
+class TestManagerEvents:
+    def test_grant_release_cycle(self, pool_manager):
+        seen = collect(pool_manager)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], 10
+        )
+        pool_manager.release(response.promise_id)
+        assert kinds(seen) == [EventKind.GRANTED, EventKind.RELEASED]
+        assert seen[0].promise_id == response.promise_id
+
+    def test_rejection_event_carries_reason(self, pool_manager):
+        seen = collect(pool_manager)
+        pool_manager.request_promise_for([quantity_at_least("widgets", 999)], 10)
+        assert kinds(seen) == [EventKind.REJECTED]
+        assert "widgets" in seen[0].detail
+
+    def test_consume_event(self, pool_manager):
+        seen = collect(pool_manager)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], 10
+        )
+        pool_manager.execute(
+            lambda ctx: "buy",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert kinds(seen) == [EventKind.GRANTED, EventKind.CONSUMED]
+
+    def test_expiry_event(self, pool_manager):
+        seen = collect(pool_manager)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], duration=3
+        )
+        pool_manager.clock.advance(3)
+        pool_manager.expire_due()
+        assert kinds(seen) == [EventKind.GRANTED, EventKind.EXPIRED]
+        assert seen[1].promise_id == response.promise_id
+
+    def test_violation_event(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        seen = collect(manager)
+        manager.request_promise_for([quantity_at_least("gadgets", 30)], 10)
+        manager.execute(
+            lambda ctx: ctx.resources.remove_stock(ctx.txn, "gadgets", 40)
+        )
+        assert EventKind.VIOLATED in kinds(seen)
+
+    def test_failed_action_emits_nothing_extra(self, pool_manager):
+        from repro.core.manager import ActionResult
+
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], 10
+        )
+        seen = collect(pool_manager)
+        pool_manager.execute(
+            lambda ctx: ActionResult.failed("nope"),
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        # The release was rolled back with the action: no CONSUMED event.
+        assert kinds(seen) == []
+
+    def test_exchange_emits_release_then_grant(self, pool_manager):
+        old = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], 50
+        )
+        seen = collect(pool_manager)
+        pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 10)], 50, releases=[old.promise_id]
+        )
+        assert kinds(seen) == [EventKind.RELEASED, EventKind.GRANTED]
+        assert "exchanged for" in seen[0].detail
+
+
+class TestManagerNegotiation:
+    def test_first_alternative_wins_when_possible(self, rooms_manager):
+        index, response = rooms_manager.request_first_grantable(
+            [
+                [P("match('rooms', view == true, count=1)")],
+                [P("match('rooms', count=1)")],
+            ],
+            duration=10,
+        )
+        assert index == 0 and response.accepted
+
+    def test_falls_back_to_weaker_alternative(self, rooms_manager):
+        # Exhaust the two viewed rooms first.
+        rooms_manager.request_promise_for(
+            [P("match('rooms', view == true, count=2)")], 10
+        )
+        index, response = rooms_manager.request_first_grantable(
+            [
+                [P("match('rooms', view == true, count=1)")],
+                [P("match('rooms', count=1)")],
+            ],
+            duration=10,
+        )
+        assert index == 1 and response.accepted
+
+    def test_total_failure_returns_minus_one(self, rooms_manager):
+        index, response = rooms_manager.request_first_grantable(
+            [[P("match('rooms', count=9)")], [P("match('rooms', count=8)")]],
+            duration=10,
+        )
+        assert index == -1 and not response.accepted
+
+    def test_empty_alternatives_rejected(self, rooms_manager):
+        with pytest.raises(ValueError):
+            rooms_manager.request_first_grantable([], duration=10)
+
+    def test_failed_negotiation_keeps_releases(self, pool_manager):
+        held = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 50)], 50
+        )
+        index, __ = pool_manager.request_first_grantable(
+            [[quantity_at_least("widgets", 500)],
+             [quantity_at_least("widgets", 400)]],
+            duration=50,
+            releases=[held.promise_id],
+        )
+        assert index == -1
+        assert pool_manager.is_promise_active(held.promise_id)
+
+
+class TestClientNegotiation:
+    def test_over_the_wire(self):
+        from repro.services import Deployment
+        from tests.conftest import ROOMS, ROOMS_SCHEMA
+
+        deployment = Deployment(name="hotel")
+        with deployment.seed() as txn:
+            deployment.resources.define_collection(txn, ROOMS_SCHEMA)
+            for instance_id, properties in ROOMS.items():
+                deployment.resources.add_instance(
+                    txn, instance_id, "rooms", dict(properties)
+                )
+        client = deployment.client("guest")
+        client.require_promise(
+            "hotel", [P("match('rooms', view == true, count=2)")], 10
+        )
+        index, response = client.negotiate(
+            "hotel",
+            [
+                [P("match('rooms', view == true, count=1)")],
+                [P("match('rooms', floor == 5, count=1)")],
+                [P("match('rooms', count=1)")],
+            ],
+            duration=10,
+        )
+        assert index == 1 and response.accepted

@@ -1,0 +1,167 @@
+"""The three atomicity requirements of §4, end to end."""
+
+from __future__ import annotations
+
+from repro.core.environment import Environment
+from repro.core.manager import ActionResult
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+from repro.core.promise import PromiseStatus
+
+
+class TestRequirement1MultiPredicate:
+    """'Request guarantees on several predicates at once' — travel style."""
+
+    def _seed(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "flights:QF1", 2)
+            manager.resources.create_pool(txn, "cars:compact", 1)
+            manager.resources.create_pool(txn, "rooms:hilton", 1)
+
+    def test_all_or_nothing_success(self, manager):
+        self._seed(manager)
+        response = manager.request_promise_for(
+            [
+                quantity_at_least("flights:QF1", 1),
+                quantity_at_least("cars:compact", 1),
+                quantity_at_least("rooms:hilton", 1),
+            ],
+            duration=20,
+        )
+        assert response.accepted
+
+    def test_all_or_nothing_failure(self, manager):
+        self._seed(manager)
+        # Take the only rental car first.
+        manager.request_promise_for([quantity_at_least("cars:compact", 1)], 20)
+        response = manager.request_promise_for(
+            [
+                quantity_at_least("flights:QF1", 1),
+                quantity_at_least("cars:compact", 1),
+                quantity_at_least("rooms:hilton", 1),
+            ],
+            duration=20,
+        )
+        assert not response.accepted
+        # Neither the flight nor the room may be held by the failed request.
+        flight = manager.request_promise_for(
+            [quantity_at_least("flights:QF1", 2)], 20
+        )
+        room = manager.request_promise_for(
+            [quantity_at_least("rooms:hilton", 1)], 20
+        )
+        assert flight.accepted and room.accepted
+
+
+class TestRequirement2ActionPlusRelease:
+    """'Perform an action which depends on, but violates, a previously
+    promised condition, together with releasing the promise.'"""
+
+    def test_gallery_purchase_success(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        outcome = manager.execute(
+            lambda ctx: "sold",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        assert (
+            manager.promise(response.promise_id).status
+            is PromiseStatus.RELEASED
+        )
+
+    def test_gallery_purchase_failure_keeps_promise(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        outcome = manager.execute(
+            lambda ctx: ActionResult.failed("no shipper available that day"),
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert not outcome.success
+        # §4: "if the purchase fails ... then the promise should remain in
+        # force".
+        assert manager.is_promise_active(response.promise_id)
+        # And the room is still promised to us, not given away.
+        other = manager.request_promise_for([P("available('room-512')")], 10)
+        assert not other.accepted
+
+
+class TestRequirement3AtomicUpdate:
+    """'Modify the predicate whose preservation is promised, by obtaining
+    a new promise and releasing a previous one atomically.'"""
+
+    def _grant(self, manager, amount, duration=50):
+        response = manager.request_promise_for(
+            [quantity_at_least("widgets", amount)], duration
+        )
+        assert response.accepted
+        return response.promise_id
+
+    def test_upgrade_success(self, pool_manager):
+        old = self._grant(pool_manager, 100)  # whole pool
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 100)],
+            duration=50,
+            releases=[old],
+        )
+        # Without the atomic exchange this would be impossible: the pool
+        # cannot hold 200 units of promises at once.
+        assert response.accepted
+        assert not pool_manager.is_promise_active(old)
+
+    def test_upgrade_failure_keeps_old_promise(self, pool_manager):
+        old = self._grant(pool_manager, 50)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 200)],  # impossible
+            duration=50,
+            releases=[old],
+        )
+        assert not response.accepted
+        # §6: "the existing promises must continue to hold".
+        assert pool_manager.is_promise_active(old)
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (50, 50)
+
+    def test_weaken_frees_capacity(self, pool_manager):
+        old = self._grant(pool_manager, 100)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 20)],
+            duration=50,
+            releases=[old],
+        )
+        assert response.accepted
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (80, 20)
+
+    def test_bank_style_upgrade_weaken_cycle(self, pool_manager):
+        # $100 promise -> upgrade to $200 -> weaken to $50 (§4's example,
+        # over the widgets pool standing in for an account).
+        p100 = self._grant(pool_manager, 100)
+        upgraded = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 100)], 50, releases=[p100]
+        )
+        assert upgraded.accepted
+        weakened = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 50)],
+            50,
+            releases=[upgraded.promise_id],
+        )
+        assert weakened.accepted
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert pool.allocated == 50
+
+    def test_exchange_across_views(self, rooms_manager):
+        # Swap a view-room promise for a 5th-floor promise atomically.
+        old = rooms_manager.request_promise_for(
+            [P("match('rooms', view == true, count=2)")], 50
+        )
+        new = rooms_manager.request_promise_for(
+            [P("match('rooms', floor == 5, count=2)")],
+            50,
+            releases=[old.promise_id],
+        )
+        assert new.accepted
+        assert not rooms_manager.is_promise_active(old.promise_id)

@@ -1,0 +1,266 @@
+"""Promise-manager action execution: the §8 pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.errors import ActionFailed, PromiseExpired, UnknownPromise
+from repro.core.manager import ActionResult
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+from repro.resources.records import InstanceStatus
+
+
+def grant(manager, predicates, duration=10, client="alice"):
+    response = manager.request_promise_for(predicates, duration, client)
+    assert response.accepted
+    return response.promise_id
+
+
+class TestActionExecution:
+    def test_successful_action_commits(self, pool_manager):
+        def action(ctx):
+            ctx.txn.put("pools", "marker", {"pool_id": "marker", "available": 0,
+                                            "allocated": 0, "unit": "unit"})
+            return ActionResult.ok("done")
+
+        outcome = pool_manager.execute(action)
+        assert outcome.success and outcome.value == "done"
+        with pool_manager.store.begin() as txn:
+            assert txn.exists("pools", "marker")
+
+    def test_failed_action_rolls_back(self, pool_manager):
+        def action(ctx):
+            ctx.resources.remove_stock(ctx.txn, "widgets", 50)
+            return ActionResult.failed("changed my mind")
+
+        outcome = pool_manager.execute(action)
+        assert not outcome.success
+        with pool_manager.store.begin() as txn:
+            assert pool_manager.resources.pool(txn, "widgets").available == 100
+
+    def test_action_failed_exception_rolls_back(self, pool_manager):
+        def action(ctx):
+            ctx.resources.remove_stock(ctx.txn, "widgets", 50)
+            raise ActionFailed("purchase", "no shipper")
+
+        outcome = pool_manager.execute(action)
+        assert not outcome.success
+        assert "no shipper" in outcome.reason
+        with pool_manager.store.begin() as txn:
+            assert pool_manager.resources.pool(txn, "widgets").available == 100
+
+    def test_unexpected_exception_propagates_but_aborts(self, pool_manager):
+        def action(ctx):
+            ctx.resources.remove_stock(ctx.txn, "widgets", 50)
+            raise RuntimeError("bug in the application")
+
+        with pytest.raises(RuntimeError):
+            pool_manager.execute(action)
+        with pool_manager.store.begin() as txn:
+            assert pool_manager.resources.pool(txn, "widgets").available == 100
+
+    def test_plain_return_value_is_success(self, pool_manager):
+        outcome = pool_manager.execute(lambda ctx: 42)
+        assert outcome.success and outcome.value == 42
+
+    def test_environment_with_unknown_promise(self, pool_manager):
+        with pytest.raises(UnknownPromise):
+            pool_manager.execute(lambda ctx: 1, Environment.of("ghost"))
+
+    def test_environment_with_expired_promise(self, pool_manager):
+        promise_id = grant(pool_manager, [quantity_at_least("widgets", 1)], 5)
+        pool_manager.clock.advance(6)
+        with pytest.raises(PromiseExpired):
+            pool_manager.execute(lambda ctx: 1, Environment.of(promise_id))
+
+    def test_environment_with_released_promise(self, pool_manager):
+        from repro.core.errors import PromiseStateError
+
+        promise_id = grant(pool_manager, [quantity_at_least("widgets", 1)])
+        pool_manager.release(promise_id)
+        with pytest.raises(PromiseStateError):
+            pool_manager.execute(lambda ctx: 1, Environment.of(promise_id))
+
+
+class TestAtomicActionPlusRelease:
+    """§4 second requirement: action and release succeed or fail together."""
+
+    def test_success_consumes_promise(self, pool_manager):
+        promise_id = grant(pool_manager, [quantity_at_least("widgets", 10)])
+        outcome = pool_manager.execute(
+            lambda ctx: "purchased",
+            Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        assert outcome.released == (promise_id,)
+        assert not pool_manager.is_promise_active(promise_id)
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (90, 0)
+
+    def test_failure_keeps_promise(self, pool_manager):
+        promise_id = grant(pool_manager, [quantity_at_least("widgets", 10)])
+        outcome = pool_manager.execute(
+            lambda ctx: ActionResult.failed("no shipper is available"),
+            Environment.of(promise_id, release=[promise_id]),
+        )
+        assert not outcome.success
+        # §4: "if the purchase fails ... the promise should remain in force"
+        assert pool_manager.is_promise_active(promise_id)
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (90, 10)
+
+    def test_kept_promises_survive_success(self, pool_manager):
+        keep = grant(pool_manager, [quantity_at_least("widgets", 5)])
+        consume = grant(pool_manager, [quantity_at_least("widgets", 5)])
+        outcome = pool_manager.execute(
+            lambda ctx: "ok",
+            Environment.of(keep, consume, release=[consume]),
+        )
+        assert outcome.success
+        assert pool_manager.is_promise_active(keep)
+        assert not pool_manager.is_promise_active(consume)
+
+
+class TestViolationDetection:
+    """§8 'Executing Actions': the post-action check and rollback."""
+
+    def test_rogue_action_violating_sat_promise_rolls_back(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        grant(manager, [quantity_at_least("gadgets", 30)])
+
+        def rogue(ctx):
+            # Drains stock below the promised threshold.
+            ctx.resources.remove_stock(ctx.txn, "gadgets", 40)
+            return "sold 40"
+
+        outcome = manager.execute(rogue)
+        assert not outcome.success
+        assert outcome.violated
+        with manager.store.begin() as txn:
+            assert manager.resources.pool(txn, "gadgets").available == 50
+
+    def test_action_within_headroom_commits(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        grant(manager, [quantity_at_least("gadgets", 30)])
+
+        outcome = manager.execute(
+            lambda ctx: ctx.resources.remove_stock(ctx.txn, "gadgets", 20)
+        )
+        assert outcome.success
+        with manager.store.begin() as txn:
+            assert manager.resources.pool(txn, "gadgets").available == 30
+
+    def test_rogue_action_taking_promised_room_rolls_back(self, rooms_manager):
+        grant(rooms_manager, [P("match('rooms', floor == 5, count=2)")])
+
+        def rogue(ctx):
+            # Takes one of the only two 5th-floor rooms.
+            ctx.resources.set_instance_status(
+                ctx.txn, "room-512", InstanceStatus.TAKEN
+            )
+            return "stole the room"
+
+        outcome = rooms_manager.execute(rogue)
+        assert not outcome.success and outcome.violated
+        with rooms_manager.store.begin() as txn:
+            record = rooms_manager.resources.instance(txn, "room-512")
+        assert record.status is InstanceStatus.AVAILABLE
+
+    def test_taking_unpromised_room_is_fine(self, rooms_manager):
+        grant(rooms_manager, [P("match('rooms', floor == 5, count=1)")])
+
+        def action(ctx):
+            ctx.resources.set_instance_status(
+                ctx.txn, "room-101", InstanceStatus.TAKEN
+            )
+            return "took 101"
+
+        outcome = rooms_manager.execute(action)
+        assert outcome.success
+
+    def test_violation_names_the_broken_promise(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        promise_id = grant(manager, [quantity_at_least("gadgets", 30)])
+        outcome = manager.execute(
+            lambda ctx: ctx.resources.remove_stock(ctx.txn, "gadgets", 40)
+        )
+        assert promise_id in {v.promise_id for v in outcome.violations}
+
+    def test_violating_a_released_promise_is_allowed(self, manager):
+        """§8: changes may violate promises released atomically with the
+        action."""
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        promise_id = grant(manager, [quantity_at_least("gadgets", 30)])
+
+        def consume_all(ctx):
+            ctx.resources.remove_stock(ctx.txn, "gadgets", 20)
+            return "drained below promise level"
+
+        # Consuming 30 via release + draining 20 via the action leaves 0,
+        # fine because the promise is released in the same unit.
+        outcome = manager.execute(
+            consume_all, Environment.of(promise_id, release=[promise_id])
+        )
+        assert outcome.success
+        with manager.store.begin() as txn:
+            assert manager.resources.pool(txn, "gadgets").available == 0
+
+
+class TestSatisfiabilityConsumption:
+    """Consuming a satisfiability promise takes the delayed-choice
+    resources (§5)."""
+
+    def test_consume_takes_matching_instance(self, rooms_manager):
+        promise_id = grant(
+            rooms_manager, [P("match('rooms', floor == 5, count=1)")]
+        )
+        outcome = rooms_manager.execute(
+            lambda ctx: "booked",
+            Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        with rooms_manager.store.begin() as txn:
+            taken = [
+                record.instance_id
+                for record in rooms_manager.resources.instances_in(txn, "rooms")
+                if record.status is InstanceStatus.TAKEN
+            ]
+        assert len(taken) == 1
+        assert taken[0] in ("room-512", "room-513")
+
+    def test_consume_respects_other_promises(self, rooms_manager):
+        # view promise must keep a viewed room even after the floor-5
+        # promise consumes; the only safe choice for floor-5 is room-513.
+        view2 = grant(
+            rooms_manager, [P("match('rooms', view == true, count=2)")]
+        )
+        floor5 = grant(
+            rooms_manager, [P("match('rooms', floor == 5, count=1)")]
+        )
+        outcome = rooms_manager.execute(
+            lambda ctx: "booked", Environment.of(floor5, release=[floor5])
+        )
+        assert outcome.success
+        with rooms_manager.store.begin() as txn:
+            record = rooms_manager.resources.instance(txn, "room-513")
+        assert record.status is InstanceStatus.TAKEN
+        assert rooms_manager.is_promise_active(view2)
+
+    def test_consume_quantity_removes_stock(self, manager):
+        with manager.store.begin() as txn:
+            manager.resources.create_pool(txn, "gadgets", 50)
+        promise_id = grant(manager, [quantity_at_least("gadgets", 30)])
+        outcome = manager.execute(
+            lambda ctx: "bought", Environment.of(promise_id, release=[promise_id])
+        )
+        assert outcome.success
+        with manager.store.begin() as txn:
+            assert manager.resources.pool(txn, "gadgets").available == 20

@@ -1,0 +1,129 @@
+"""Promise expiry semantics (paper, §2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PromiseExpired
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+from repro.core.promise import PromiseStatus
+from repro.resources.records import InstanceStatus
+
+
+class TestExpirySweep:
+    def test_expire_due_marks_and_reports(self, pool_manager):
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 10)], duration=5
+        )
+        pool_manager.clock.advance(5)
+        expired = pool_manager.expire_due()
+        assert expired == [response.promise_id]
+        assert (
+            pool_manager.promise(response.promise_id).status
+            is PromiseStatus.EXPIRED
+        )
+
+    def test_expiry_returns_escrowed_units(self, pool_manager):
+        pool_manager.request_promise_for([quantity_at_least("widgets", 10)], 5)
+        pool_manager.clock.advance(5)
+        pool_manager.expire_due()
+        with pool_manager.store.begin() as txn:
+            pool = pool_manager.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (100, 0)
+
+    def test_expiry_frees_tagged_rooms(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        manager.request_promise_for([P("available('room-512')")], 5)
+        manager.clock.advance(5)
+        manager.expire_due()
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-512")
+        assert record.status is InstanceStatus.AVAILABLE
+
+    def test_unexpired_promises_untouched(self, pool_manager):
+        keep = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], duration=100
+        )
+        drop = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 5)], duration=5
+        )
+        pool_manager.clock.advance(10)
+        expired = pool_manager.expire_due()
+        assert expired == [drop.promise_id]
+        assert pool_manager.is_promise_active(keep.promise_id)
+
+    def test_sweep_runs_implicitly_on_grant(self, pool_manager):
+        # Fill the pool, let it all expire, then a new grant must succeed
+        # without anyone calling expire_due.
+        pool_manager.request_promise_for([quantity_at_least("widgets", 100)], 5)
+        pool_manager.clock.advance(6)
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 100)], duration=5
+        )
+        assert response.accepted
+
+
+class TestExpiredUse:
+    def test_execute_under_expired_promise_errors(self, pool_manager):
+        """§2: 'promise-expired' errors for operations under expired
+        promises."""
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 10)], duration=5
+        )
+        pool_manager.clock.advance(10)
+        with pytest.raises(PromiseExpired):
+            pool_manager.execute(
+                lambda ctx: "too late",
+                Environment.of(response.promise_id, release=[response.promise_id]),
+            )
+
+    def test_exact_boundary_tick_is_expired(self, pool_manager):
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 1)], duration=5
+        )
+        pool_manager.clock.advance(5)  # expires_at == now
+        with pytest.raises(PromiseExpired):
+            pool_manager.execute(
+                lambda ctx: 1, Environment.of(response.promise_id)
+            )
+
+    def test_just_before_expiry_still_works(self, pool_manager):
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 1)], duration=5
+        )
+        pool_manager.clock.advance(4)
+        outcome = pool_manager.execute(
+            lambda ctx: "in time",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+
+    def test_expired_capacity_is_reusable_by_others(self, pool_manager):
+        pool_manager.request_promise_for([quantity_at_least("widgets", 100)], 5)
+        blocked = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 1)], duration=5
+        )
+        assert not blocked.accepted
+        pool_manager.clock.advance(6)
+        retry = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 1)], duration=5
+        )
+        assert retry.accepted
+
+    def test_is_promise_active_reflects_expiry_without_sweep(self, pool_manager):
+        response = pool_manager.request_promise_for(
+            [quantity_at_least("widgets", 1)], duration=5
+        )
+        pool_manager.clock.advance(5)
+        assert not pool_manager.is_promise_active(response.promise_id)
+
+
+class TestVacuum:
+    def test_vacuum_drops_dead_promises(self, pool_manager):
+        a = pool_manager.request_promise_for([quantity_at_least("widgets", 1)], 5)
+        b = pool_manager.request_promise_for([quantity_at_least("widgets", 1)], 50)
+        pool_manager.release(a.promise_id)
+        assert pool_manager.vacuum() == 1
+        assert pool_manager.is_promise_active(b.promise_id)

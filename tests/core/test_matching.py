@@ -1,0 +1,91 @@
+"""Unit tests for Hopcroft–Karp bipartite matching."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.core.matching import (
+    is_perfect_for_left,
+    maximum_bipartite_matching,
+    unmatched_lefts,
+)
+
+
+class TestSmallGraphs:
+    def test_empty(self):
+        assert maximum_bipartite_matching({}) == {}
+
+    def test_single_edge(self):
+        assert maximum_bipartite_matching({"l": ["r"]}) == {"l": "r"}
+
+    def test_left_with_no_candidates(self):
+        matching = maximum_bipartite_matching({"l": []})
+        assert matching == {}
+
+    def test_two_competing_for_one(self):
+        matching = maximum_bipartite_matching({"a": ["r"], "b": ["r"]})
+        assert len(matching) == 1
+
+    def test_augmenting_path_needed(self):
+        # a prefers r1 but must cede it to b, which has no alternative.
+        adjacency = {"a": ["r1", "r2"], "b": ["r1"]}
+        matching = maximum_bipartite_matching(adjacency)
+        assert matching == {"a": "r2", "b": "r1"}
+
+    def test_long_augmenting_chain(self):
+        adjacency = {
+            "a": ["1"],
+            "b": ["1", "2"],
+            "c": ["2", "3"],
+            "d": ["3", "4"],
+        }
+        matching = maximum_bipartite_matching(adjacency)
+        assert len(matching) == 4
+
+    def test_matching_is_injective(self):
+        adjacency = {f"l{i}": ["r1", "r2", "r3"] for i in range(3)}
+        matching = maximum_bipartite_matching(adjacency)
+        assert len(set(matching.values())) == len(matching) == 3
+
+
+class TestPerfectMatching:
+    def test_saturated(self):
+        saturated, __ = is_perfect_for_left({"a": ["x"], "b": ["y"]})
+        assert saturated
+
+    def test_unsaturated(self):
+        saturated, matching = is_perfect_for_left({"a": ["x"], "b": ["x"]})
+        assert not saturated
+        assert len(matching) == 1
+
+    def test_unmatched_lefts(self):
+        adjacency = {"a": ["x"], "b": ["x"], "c": []}
+        matching = maximum_bipartite_matching(adjacency)
+        missing = unmatched_lefts(adjacency, matching)
+        assert len(missing) == 2
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_matches_networkx_cardinality(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        lefts = [f"l{i}" for i in range(rng.randint(1, 12))]
+        rights = [f"r{i}" for i in range(rng.randint(1, 12))]
+        adjacency = {
+            left: [right for right in rights if rng.random() < 0.4]
+            for left in lefts
+        }
+        ours = maximum_bipartite_matching(adjacency)
+
+        graph = nx.Graph()
+        graph.add_nodes_from(lefts, bipartite=0)
+        graph.add_nodes_from(rights, bipartite=1)
+        for left, candidates in adjacency.items():
+            for right in candidates:
+                graph.add_edge(left, right)
+        reference = nx.bipartite.maximum_matching(graph, top_nodes=lefts)
+        # networkx returns both directions; halve it.
+        assert len(ours) == len(reference) // 2

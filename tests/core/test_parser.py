@@ -1,0 +1,211 @@
+"""Unit tests for the predicate expression language."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PredicateSyntaxError
+from repro.core.parser import P, parse_predicate, render_predicate, tokenize
+from repro.core.predicates import (
+    And,
+    InstanceAvailable,
+    Not,
+    Op,
+    Or,
+    PropertyMatch,
+    QuantityAtLeast,
+)
+
+
+class TestTokenizer:
+    def test_tokens_have_positions(self):
+        tokens = tokenize("quantity('w') >= 5")
+        assert tokens[0].kind == "QUANTITY"
+        assert tokens[0].position == 0
+
+    def test_keywords_are_distinguished(self):
+        kinds = [token.kind for token in tokenize("and or not true false count in")]
+        assert kinds == ["AND", "OR", "NOT", "TRUE", "FALSE", "COUNT", "IN"]
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(PredicateSyntaxError):
+            tokenize("quantity('w') >= 5 @")
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize(r"available('it\'s here')")
+        assert tokens[2].kind == "STRING"
+
+
+class TestQuantitySyntax:
+    def test_basic(self):
+        predicate = P("quantity('widgets') >= 5")
+        assert predicate == QuantityAtLeast("widgets", 5)
+
+    def test_only_ge_supported(self):
+        for op in ("<=", "<", ">", "==", "!="):
+            with pytest.raises(PredicateSyntaxError):
+                P(f"quantity('w') {op} 5")
+
+    def test_float_amount_rejected(self):
+        with pytest.raises(PredicateSyntaxError):
+            P("quantity('w') >= 2.5")
+
+    def test_double_quotes(self):
+        assert P('quantity("w") >= 1') == QuantityAtLeast("w", 1)
+
+
+class TestAvailableSyntax:
+    def test_basic(self):
+        assert P("available('room-212@hilton@2007-03-12')") == InstanceAvailable(
+            "room-212@hilton@2007-03-12"
+        )
+
+
+class TestMatchSyntax:
+    def test_no_conditions(self):
+        predicate = P("match('rooms')")
+        assert predicate == PropertyMatch("rooms", (), 1)
+
+    def test_count_only(self):
+        predicate = P("match('rooms', count=3)")
+        assert predicate == PropertyMatch("rooms", (), 3)
+
+    def test_conditions(self):
+        predicate = P("match('rooms', floor == 5 and view == true)")
+        assert isinstance(predicate, PropertyMatch)
+        assert len(predicate.conditions) == 2
+        assert predicate.conditions[0].name == "floor"
+        assert predicate.conditions[1].value is True
+
+    def test_conditions_and_count(self):
+        predicate = P("match('rooms', floor >= 2, count=2)")
+        assert predicate.count == 2
+        assert predicate.conditions[0].op is Op.GE
+
+    def test_or_better_tilde(self):
+        predicate = P("match('seats', cabin == 'economy'~)")
+        assert predicate.conditions[0].or_better
+
+    def test_or_better_requires_equality(self):
+        with pytest.raises(PredicateSyntaxError):
+            P("match('seats', row >= 10~)")
+
+    def test_in_lists(self):
+        predicate = P("match('rooms', floor in [1, 3, 5])")
+        condition = predicate.conditions[0]
+        assert condition.op is Op.IN
+        assert condition.value == (1, 3, 5)
+
+    def test_string_and_float_literals(self):
+        predicate = P("match('rooms', beds == 'twin' and rate <= 99.5)")
+        assert predicate.conditions[0].value == "twin"
+        assert predicate.conditions[1].value == 99.5
+
+    def test_float_count_rejected(self):
+        with pytest.raises(PredicateSyntaxError):
+            P("match('rooms', count=1.5)")
+
+    def test_function_keywords_as_property_names(self):
+        # Keywords are context-sensitive: fine as property names.
+        predicate = P("match('c', match == 1 and quantity >= 2 and count != 3)")
+        assert [c.name for c in predicate.conditions] == [
+            "match", "quantity", "count",
+        ]
+
+    def test_bare_count_property_vs_count_clause(self):
+        with_clause = P("match('c', count >= 5, count=2)")
+        assert with_clause.count == 2
+        assert with_clause.conditions[0].name == "count"
+
+    def test_boolean_keywords_stay_reserved(self):
+        with pytest.raises(PredicateSyntaxError):
+            P("match('c', and == 1)")
+
+
+class TestCombinators:
+    def test_and(self):
+        predicate = P("quantity('a') >= 1 and quantity('b') >= 2")
+        assert isinstance(predicate, And)
+        assert len(predicate.children) == 2
+
+    def test_or(self):
+        predicate = P("available('x') or available('y')")
+        assert isinstance(predicate, Or)
+
+    def test_not(self):
+        predicate = P("not available('x')")
+        assert isinstance(predicate, Not)
+
+    def test_precedence_and_binds_tighter(self):
+        predicate = P(
+            "quantity('a') >= 1 or quantity('b') >= 1 and quantity('c') >= 1"
+        )
+        assert isinstance(predicate, Or)
+        assert isinstance(predicate.children[1], And)
+
+    def test_parentheses_override(self):
+        predicate = P(
+            "(quantity('a') >= 1 or quantity('b') >= 1) and quantity('c') >= 1"
+        )
+        assert isinstance(predicate, And)
+        assert isinstance(predicate.children[0], Or)
+
+    def test_nested_not(self):
+        predicate = P("not not available('x')")
+        assert isinstance(predicate, Not)
+        assert isinstance(predicate.child, Not)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "",
+            "quantity('w')",
+            "quantity('w') >=",
+            "available()",
+            "match()",
+            "quantity('w') >= 5 extra",
+            "(quantity('w') >= 5",
+            "match('rooms', floor ==)",
+            "and quantity('w') >= 1",
+            "match('rooms', count=)",
+        ],
+    )
+    def test_rejects(self, source):
+        with pytest.raises(PredicateSyntaxError):
+            parse_predicate(source)
+
+    def test_error_carries_position(self):
+        with pytest.raises(PredicateSyntaxError) as excinfo:
+            parse_predicate("quantity('w') == 5")
+        assert excinfo.value.position is not None
+
+
+class TestRendering:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "quantity('widgets') >= 5",
+            "available('room-212')",
+            "match('rooms', count=1)",
+            "match('rooms', floor == 5 and view == true, count=2)",
+            "match('seats', cabin == 'economy'~, count=1)",
+            "match('rooms', floor in [1, 3, 5], count=1)",
+            "quantity('a') >= 1 and quantity('b') >= 2",
+            "available('x') or available('y')",
+            "not available('x')",
+            "(quantity('a') >= 1 or available('x')) and quantity('c') >= 3",
+        ],
+    )
+    def test_roundtrip(self, source):
+        parsed = parse_predicate(source)
+        rendered = render_predicate(parsed)
+        assert parse_predicate(rendered) == parsed
+
+    def test_string_escaping_roundtrip(self):
+        predicate = PropertyMatch(
+            "rooms", (P("match('x', a == 'it\\'s')").conditions), 1
+        )
+        rendered = render_predicate(predicate)
+        assert parse_predicate(rendered) == predicate

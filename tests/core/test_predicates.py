@@ -1,0 +1,287 @@
+"""Unit tests for the predicate model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PredicateError, PredicateUnsupported
+from repro.core.predicates import (
+    And,
+    InstanceAvailable,
+    InstanceState,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+    named_available,
+    property_match,
+    quantity_at_least,
+    where,
+)
+
+
+class FakeState:
+    """Minimal ResourceStateView for predicate evaluation."""
+
+    def __init__(self, pools=None, instances=None, orderings=None):
+        self._pools = pools or {}
+        self._instances = {i.instance_id: i for i in (instances or [])}
+        self._orderings = orderings or {}
+
+    def pool_available(self, pool_id):
+        return self._pools.get(pool_id, 0)
+
+    def instance(self, instance_id):
+        return self._instances.get(instance_id)
+
+    def instances_in(self, collection_id):
+        return [
+            i for i in self._instances.values()
+            if i.collection_id == collection_id
+        ]
+
+    def property_ordering(self, collection_id, name):
+        return self._orderings.get((collection_id, name))
+
+
+def room(instance_id, floor, view=False, status="available", grade="standard"):
+    return InstanceState(
+        instance_id=instance_id,
+        collection_id="rooms",
+        status=status,
+        properties={"floor": floor, "view": view, "grade": grade},
+    )
+
+
+class TestQuantityAtLeast:
+    def test_satisfied(self):
+        state = FakeState(pools={"w": 10})
+        assert QuantityAtLeast("w", 5).evaluate(state)
+
+    def test_boundary_exact(self):
+        state = FakeState(pools={"w": 5})
+        assert QuantityAtLeast("w", 5).evaluate(state)
+
+    def test_unsatisfied(self):
+        state = FakeState(pools={"w": 4})
+        assert not QuantityAtLeast("w", 5).evaluate(state)
+
+    def test_unknown_pool_is_empty(self):
+        assert not QuantityAtLeast("nope", 1).evaluate(FakeState())
+
+    def test_zero_or_negative_amount_rejected(self):
+        with pytest.raises(PredicateError):
+            QuantityAtLeast("w", 0)
+        with pytest.raises(PredicateError):
+            QuantityAtLeast("w", -3)
+
+    def test_resources(self):
+        assert QuantityAtLeast("w", 1).resources() == frozenset({"w"})
+
+    def test_serialisation_roundtrip(self):
+        predicate = quantity_at_least("w", 7)
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+
+class TestInstanceAvailable:
+    def test_available(self):
+        state = FakeState(instances=[room("r1", 1)])
+        assert InstanceAvailable("r1").evaluate(state)
+
+    def test_promised_still_counts_as_not_taken(self):
+        # Evaluation in isolation only excludes TAKEN instances — promise
+        # ownership is the checker's concern, not the predicate's.
+        state = FakeState(instances=[room("r1", 1, status="promised")])
+        assert InstanceAvailable("r1").evaluate(state)
+
+    def test_taken_fails(self):
+        state = FakeState(instances=[room("r1", 1, status="taken")])
+        assert not InstanceAvailable("r1").evaluate(state)
+
+    def test_unknown_instance_fails(self):
+        assert not InstanceAvailable("ghost").evaluate(FakeState())
+
+    def test_serialisation_roundtrip(self):
+        predicate = named_available("seat-24G")
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+
+class TestPropertyMatch:
+    def test_count_satisfied(self):
+        state = FakeState(instances=[room("r1", 5), room("r2", 5)])
+        assert property_match("rooms", [where("floor", "==", 5)], count=2).evaluate(state)
+
+    def test_count_unsatisfied(self):
+        state = FakeState(instances=[room("r1", 5)])
+        assert not property_match("rooms", [where("floor", "==", 5)], count=2).evaluate(state)
+
+    def test_empty_conditions_match_anything(self):
+        state = FakeState(instances=[room("r1", 1), room("r2", 2)])
+        assert property_match("rooms", count=2).evaluate(state)
+
+    def test_taken_instances_excluded(self):
+        state = FakeState(instances=[room("r1", 5, status="taken")])
+        assert not property_match("rooms", [where("floor", "==", 5)]).evaluate(state)
+
+    def test_missing_property_never_matches(self):
+        state = FakeState(instances=[room("r1", 5)])
+        assert not property_match("rooms", [where("wifi", "==", True)]).evaluate(state)
+
+    def test_inequality_operators(self):
+        state = FakeState(instances=[room("r1", 3)])
+        assert property_match("rooms", [where("floor", ">=", 2)]).evaluate(state)
+        assert property_match("rooms", [where("floor", "<", 4)]).evaluate(state)
+        assert not property_match("rooms", [where("floor", ">", 3)]).evaluate(state)
+
+    def test_in_operator(self):
+        state = FakeState(instances=[room("r1", 3)])
+        assert property_match("rooms", [where("floor", Op.IN, (1, 3, 5))]).evaluate(state)
+        assert not property_match("rooms", [where("floor", Op.IN, (2, 4))]).evaluate(state)
+
+    def test_type_mismatch_is_false_not_error(self):
+        state = FakeState(instances=[room("r1", "three")])
+        assert not property_match("rooms", [where("floor", ">=", 2)]).evaluate(state)
+
+    def test_or_better_with_ordering(self):
+        state = FakeState(
+            instances=[room("r1", 1, grade="deluxe")],
+            orderings={("rooms", "grade"): ("standard", "deluxe", "suite")},
+        )
+        better = property_match(
+            "rooms", [where("grade", "==", "standard", or_better=True)]
+        )
+        assert better.evaluate(state)
+
+    def test_or_better_rejects_worse(self):
+        state = FakeState(
+            instances=[room("r1", 1, grade="standard")],
+            orderings={("rooms", "grade"): ("standard", "deluxe", "suite")},
+        )
+        predicate = property_match(
+            "rooms", [where("grade", "==", "deluxe", or_better=True)]
+        )
+        assert not predicate.evaluate(state)
+
+    def test_or_better_without_ordering_is_plain_equality(self):
+        state = FakeState(instances=[room("r1", 1, grade="deluxe")])
+        predicate = property_match(
+            "rooms", [where("grade", "==", "standard", or_better=True)]
+        )
+        assert not predicate.evaluate(state)
+
+    def test_or_better_requires_equality(self):
+        with pytest.raises(PredicateError):
+            PropertyCondition("grade", Op.GE, "standard", or_better=True)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(PredicateError):
+            property_match("rooms", count=0)
+
+    def test_serialisation_roundtrip(self):
+        predicate = property_match(
+            "rooms",
+            [where("floor", "==", 5), where("grade", "==", "deluxe", or_better=True)],
+            count=3,
+        )
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+
+class TestCombinators:
+    def setup_method(self):
+        self.a = quantity_at_least("w", 1)
+        self.b = quantity_at_least("x", 2)
+        self.c = named_available("r1")
+
+    def test_and_evaluation(self):
+        state = FakeState(pools={"w": 5, "x": 5})
+        assert (self.a & self.b).evaluate(state)
+        assert not (self.a & quantity_at_least("x", 99)).evaluate(state)
+
+    def test_or_evaluation(self):
+        state = FakeState(pools={"w": 5})
+        assert (self.a | self.b).evaluate(state)
+        assert not (self.b | quantity_at_least("y", 1)).evaluate(state)
+
+    def test_not_evaluation(self):
+        state = FakeState(pools={"w": 5})
+        assert (~self.b).evaluate(state)
+        assert not (~self.a).evaluate(state)
+
+    def test_and_flattens(self):
+        nested = And.of(self.a, And.of(self.b, self.c))
+        assert len(nested.children) == 3
+
+    def test_or_flattens(self):
+        nested = Or.of(self.a, Or.of(self.b, self.c))
+        assert len(nested.children) == 3
+
+    def test_empty_combinator_rejected(self):
+        with pytest.raises(PredicateError):
+            And.of()
+        with pytest.raises(PredicateError):
+            Or.of()
+
+    def test_resources_union(self):
+        combined = (self.a & self.b) | self.c
+        assert combined.resources() == frozenset({"w", "x", "r1"})
+
+    def test_serialisation_roundtrip(self):
+        predicate = Or.of(And.of(self.a, self.b), Not(self.c))
+        assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(PredicateError):
+            Predicate.from_dict({"kind": "alien"})
+
+
+class TestNormalForms:
+    def test_atom_conjuncts(self):
+        atom = quantity_at_least("w", 1)
+        assert atom.conjuncts() == [atom]
+
+    def test_and_conjuncts(self):
+        a, b = quantity_at_least("w", 1), named_available("r1")
+        assert And.of(a, b).conjuncts() == [a, b]
+
+    def test_or_has_no_conjuncts(self):
+        with pytest.raises(PredicateUnsupported):
+            (quantity_at_least("w", 1) | named_available("r1")).conjuncts()
+
+    def test_dnf_of_or(self):
+        a, b = quantity_at_least("w", 1), quantity_at_least("x", 1)
+        branches = (a | b).dnf()
+        assert branches == [[a], [b]]
+
+    def test_dnf_distributes_and_over_or(self):
+        a, b, c = (
+            quantity_at_least("w", 1),
+            quantity_at_least("x", 1),
+            quantity_at_least("y", 1),
+        )
+        branches = And.of(a, Or.of(b, c)).dnf()
+        assert branches == [[a, b], [a, c]]
+
+    def test_dnf_rejects_not(self):
+        with pytest.raises(PredicateUnsupported):
+            Not(quantity_at_least("w", 1)).dnf()
+
+    def test_dnf_explosion_bounded(self):
+        # 2^8 = 256 branches exceeds the 128-branch cap.
+        ors = [
+            Or.of(quantity_at_least(f"a{i}", 1), quantity_at_least(f"b{i}", 1))
+            for i in range(8)
+        ]
+        with pytest.raises(PredicateUnsupported):
+            And.of(*ors).dnf()
+
+    def test_describe_is_readable(self):
+        predicate = And.of(
+            quantity_at_least("w", 5),
+            property_match("rooms", [where("floor", "==", 5)]),
+        )
+        text = predicate.describe()
+        assert "quantity('w') >= 5" in text
+        assert "floor == 5" in text

@@ -1,0 +1,172 @@
+"""Unit tests for the promise/request/response model and the clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import LogicalClock
+from repro.core.errors import PredicateError
+from repro.core.promise import (
+    IdGenerator,
+    Promise,
+    PromiseRequest,
+    PromiseResponse,
+    PromiseResult,
+    PromiseStatus,
+    total_quantity_demand,
+)
+from repro.core.predicates import named_available, quantity_at_least
+
+
+class TestPromiseRequest:
+    def test_requires_predicates(self):
+        with pytest.raises(PredicateError):
+            PromiseRequest("r1", (), duration=5)
+
+    def test_requires_positive_duration(self):
+        with pytest.raises(PredicateError):
+            PromiseRequest("r1", (quantity_at_least("w", 1),), duration=0)
+
+    def test_resources_union(self):
+        request = PromiseRequest(
+            "r1",
+            (quantity_at_least("w", 1), named_available("x")),
+            duration=5,
+        )
+        assert request.resources == frozenset({"w", "x"})
+
+    def test_roundtrip(self):
+        request = PromiseRequest(
+            "r1",
+            (quantity_at_least("w", 3),),
+            duration=7,
+            client_id="alice",
+            releases=("old-1", "old-2"),
+        )
+        assert PromiseRequest.from_dict(request.to_dict()) == request
+
+
+class TestPromiseResponse:
+    def test_accepted_flag(self):
+        response = PromiseResponse("p1", PromiseResult.ACCEPTED, 5, "r1")
+        assert response.accepted
+
+    def test_rejected_builder(self):
+        response = PromiseResponse.rejected("r1", "no stock")
+        assert not response.accepted
+        assert response.promise_id is None
+        assert response.reason == "no stock"
+
+    def test_roundtrip(self):
+        response = PromiseResponse("p1", PromiseResult.ACCEPTED, 5, "r1", "fine")
+        assert PromiseResponse.from_dict(response.to_dict()) == response
+
+    def test_rejected_roundtrip_keeps_null_promise(self):
+        response = PromiseResponse.rejected("r1", "nope")
+        decoded = PromiseResponse.from_dict(response.to_dict())
+        assert decoded.promise_id is None
+
+
+class TestPromise:
+    def _promise(self, expires=10, status=PromiseStatus.ACTIVE):
+        return Promise(
+            promise_id="p1",
+            client_id="alice",
+            predicates=(quantity_at_least("w", 5),),
+            granted_at=0,
+            expires_at=expires,
+            status=status,
+            meta={"strategies": ["resource_pool"], "resource_pool": {"escrow": {"w": 5}}},
+        )
+
+    def test_expiry_boundary(self):
+        promise = self._promise(expires=10)
+        assert not promise.is_expired_at(9)
+        assert promise.is_expired_at(10)
+        assert promise.is_expired_at(11)
+
+    def test_is_active(self):
+        assert self._promise().is_active
+        assert not self._promise(status=PromiseStatus.RELEASED).is_active
+        assert not self._promise(status=PromiseStatus.EXPIRED).is_active
+
+    def test_roundtrip_preserves_meta(self):
+        promise = self._promise()
+        decoded = Promise.from_dict(promise.to_dict())
+        assert decoded.meta == promise.meta
+        assert decoded.predicates == promise.predicates
+        assert decoded.status is PromiseStatus.ACTIVE
+
+    def test_resources(self):
+        assert self._promise().resources == frozenset({"w"})
+
+
+class TestTotalQuantityDemand:
+    def test_sums_active_only(self):
+        active = Promise("p1", "a", (quantity_at_least("w", 5),), 0, 10)
+        released = Promise(
+            "p2", "b", (quantity_at_least("w", 7),), 0, 10,
+            status=PromiseStatus.RELEASED,
+        )
+        assert total_quantity_demand([active, released], "w") == 5
+
+    def test_ignores_other_pools(self):
+        promise = Promise(
+            "p1", "a",
+            (quantity_at_least("w", 5), quantity_at_least("x", 3)),
+            0, 10,
+        )
+        assert total_quantity_demand([promise], "x") == 3
+
+
+class TestIdGenerator:
+    def test_sequential(self):
+        ids = IdGenerator("prm")
+        assert ids.next_id() == "prm-1"
+        assert ids.next_id() == "prm-2"
+
+    def test_take(self):
+        ids = IdGenerator("x")
+        assert ids.take(3) == ["x-1", "x-2", "x-3"]
+
+
+class TestLogicalClock:
+    def test_starts_at_zero(self):
+        assert LogicalClock().now == 0
+
+    def test_advance(self):
+        clock = LogicalClock()
+        assert clock.advance(5) == 5
+        assert clock.now == 5
+
+    def test_advance_to(self):
+        clock = LogicalClock(3)
+        clock.advance_to(10)
+        assert clock.now == 10
+        clock.advance_to(4)  # no going back
+        assert clock.now == 10
+
+    def test_negative_rejected(self):
+        clock = LogicalClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        with pytest.raises(ValueError):
+            LogicalClock(-5)
+
+    def test_observers(self):
+        clock = LogicalClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.advance(2)
+        clock.advance(0)  # zero advance does not notify
+        clock.advance(1)
+        assert seen == [2, 3]
+
+    def test_unsubscribe(self):
+        clock = LogicalClock()
+        seen = []
+        clock.subscribe(seen.append)
+        clock.unsubscribe(seen.append)
+        clock.unsubscribe(seen.append)  # idempotent
+        clock.advance(1)
+        assert seen == []

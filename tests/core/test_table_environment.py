@@ -1,0 +1,144 @@
+"""Unit tests for the promise table and promise environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.errors import UnknownPromise
+from repro.core.promise import Promise, PromiseStatus
+from repro.core.predicates import quantity_at_least
+from repro.core.table import PromiseTable
+from repro.storage.store import Store
+
+
+def make_promise(promise_id, expires=10, status=PromiseStatus.ACTIVE, client="alice"):
+    return Promise(
+        promise_id=promise_id,
+        client_id=client,
+        predicates=(quantity_at_least("w", 1),),
+        granted_at=0,
+        expires_at=expires,
+        status=status,
+    )
+
+
+@pytest.fixture
+def store():
+    return Store()
+
+
+@pytest.fixture
+def table(store):
+    return PromiseTable(store)
+
+
+class TestPromiseTable:
+    def test_insert_get_roundtrip(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1"))
+            loaded = table.get(txn, "p1")
+        assert loaded.promise_id == "p1"
+        assert loaded.predicates == (quantity_at_least("w", 1),)
+
+    def test_get_unknown_raises(self, store, table):
+        with store.begin() as txn:
+            with pytest.raises(UnknownPromise):
+                table.get(txn, "ghost")
+
+    def test_get_or_none(self, store, table):
+        with store.begin() as txn:
+            assert table.get_or_none(txn, "ghost") is None
+
+    def test_update_unknown_raises(self, store, table):
+        with store.begin() as txn:
+            with pytest.raises(UnknownPromise):
+                table.update(txn, make_promise("ghost"))
+            txn.abort()
+
+    def test_mark_changes_status(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1"))
+            updated = table.mark(txn, "p1", PromiseStatus.RELEASED)
+            assert updated.status is PromiseStatus.RELEASED
+            assert table.get(txn, "p1").status is PromiseStatus.RELEASED
+
+    def test_active_filters_status(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1"))
+            table.insert(txn, make_promise("p2", status=PromiseStatus.RELEASED))
+            assert [p.promise_id for p in table.active(txn)] == ["p1"]
+
+    def test_active_filters_expiry_when_now_given(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1", expires=5))
+            table.insert(txn, make_promise("p2", expires=50))
+            assert [p.promise_id for p in table.active(txn, now=10)] == ["p2"]
+
+    def test_due_for_expiry(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1", expires=5))
+            table.insert(txn, make_promise("p2", expires=50))
+            table.insert(
+                txn, make_promise("p3", expires=5, status=PromiseStatus.RELEASED)
+            )
+            due = table.due_for_expiry(txn, now=10)
+            assert [p.promise_id for p in due] == ["p1"]
+
+    def test_by_client(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1", client="alice"))
+            table.insert(txn, make_promise("p2", client="bob"))
+            assert [p.promise_id for p in table.by_client(txn, "bob")] == ["p2"]
+
+    def test_count_active(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1"))
+            table.insert(txn, make_promise("p2"))
+            assert table.count_active(txn) == 2
+
+    def test_vacuum_removes_dead_rows(self, store, table):
+        with store.begin() as txn:
+            table.insert(txn, make_promise("p1"))
+            table.insert(txn, make_promise("p2", status=PromiseStatus.RELEASED))
+            table.insert(txn, make_promise("p3", status=PromiseStatus.EXPIRED))
+            assert table.vacuum(txn) == 2
+            assert [p.promise_id for p in table.all_promises(txn)] == ["p1"]
+
+    def test_insertion_is_transactional(self, store, table):
+        txn = store.begin()
+        table.insert(txn, make_promise("p1"))
+        txn.abort()
+        with store.begin() as check:
+            assert table.get_or_none(check, "p1") is None
+
+
+class TestEnvironment:
+    def test_of_builder(self):
+        env = Environment.of("p1", "p2", release=["p2"])
+        assert env.promise_ids == ("p1", "p2")
+        assert env.releases() == ["p2"]
+        assert env.kept() == ["p1"]
+
+    def test_empty(self):
+        env = Environment.empty()
+        assert env.is_empty
+        assert env.releases() == []
+
+    def test_release_outside_environment_rejected(self):
+        with pytest.raises(ValueError):
+            Environment.of("p1", release=["p2"])
+
+    def test_release_options_must_reference_members(self):
+        with pytest.raises(ValueError):
+            Environment(promise_ids=("p1",), release_after={"p2": True})
+
+    def test_roundtrip(self):
+        env = Environment.of("p1", "p2", "p3", release=["p1", "p3"])
+        decoded = Environment.from_dict(env.to_dict())
+        assert decoded.promise_ids == env.promise_ids
+        assert decoded.releases() == env.releases()
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(ValueError):
+            Environment.from_dict({"promise_ids": "not-a-list"})

@@ -1,0 +1,213 @@
+"""Integration tests reproducing the paper's two figures end to end.
+
+Figure 1 — the ordering-process walkthrough (§7), run through the full
+protocol stack with real XML on the wire.
+
+Figure 2 — the prototype pipeline (§8): client → promise manager →
+application → resource manager, with the promise/action message split,
+post-action checking and transactional rollback.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+
+
+@pytest.fixture
+def figure1():
+    deployment = Deployment(name="merchant")
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("pink_widgets")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "pink_widgets", 12)
+    return deployment
+
+
+class TestFigure1:
+    """Each step of Figure 1, with the wire protocol in the loop."""
+
+    def test_complete_walkthrough(self, figure1):
+        order_process = figure1.client("order-process")
+
+        # "Determine we need 5 pink widgets to be in stock.  Send promise
+        # request that (quantity of 'pink widgets' >= 5)".
+        response = order_process.request_promise(
+            "merchant", [P("quantity('pink_widgets') >= 5")], 30
+        )
+        # "Check stock levels of pink widgets and accept promise if >= 5
+        # currently available".
+        assert response.accepted
+
+        # "Record promise as predicate over stock levels, guaranteeing
+        # that at least 5 units will always be available": concurrent
+        # sales can only take the other 7.
+        rival = figure1.client("rival-process")
+        assert rival.call(
+            "merchant", "merchant", "sell",
+            {"product": "pink_widgets", "quantity": 7},
+        ).success
+        assert not rival.call(
+            "merchant", "merchant", "sell",
+            {"product": "pink_widgets", "quantity": 1},
+        ).success
+
+        # "If promise accepted... continue processing order (organise
+        # payment, shippers)".
+        order = order_process.call(
+            "merchant", "merchant", "place_order",
+            {"customer": "c", "product": "pink_widgets", "quantity": 5},
+        )
+        order_process.call("merchant", "merchant", "pay", {"order_id": order.value})
+
+        # "Send 'purchase stock' request to promise manager and release
+        # promise to keep stock level >= 5" — one atomic unit.
+        done = order_process.call(
+            "merchant", "merchant", "complete_order", {"order_id": order.value},
+            environment=Environment.of(
+                response.promise_id, release=[response.promise_id]
+            ),
+        )
+        assert done.success
+        # "Release 5 pink widgets for delivery.  Reduce stock-on-hand by
+        # 5.  Remove this promise from the set of predicates."
+        stock = order_process.call(
+            "merchant", "merchant", "stock_level", {"product": "pink_widgets"}
+        )
+        assert stock.value == {"available": 0, "allocated": 0}
+        assert not figure1.manager.is_promise_active(response.promise_id)
+
+    def test_rejection_branch(self, figure1):
+        order_process = figure1.client("order-process")
+        rival = figure1.client("rival-process")
+        rival.call(
+            "merchant", "merchant", "sell",
+            {"product": "pink_widgets", "quantity": 10},
+        )
+        # "If promise rejected: terminate order process saying goods
+        # unavailable."
+        response = order_process.request_promise(
+            "merchant", [P("quantity('pink_widgets') >= 5")], 30
+        )
+        assert not response.accepted
+
+    def test_everything_rides_real_xml(self, figure1):
+        client = figure1.client("order-process")
+        client.request_promise("merchant", [P("quantity('pink_widgets') >= 5")], 30)
+        log = figure1.transport.wire_log
+        assert len(log) == 2
+        assert "<promise-request" in log[0]
+        assert "quantity('pink_widgets') &gt;= 5" in log[0]
+        assert "<promise-response" in log[1]
+
+
+class TestFigure2:
+    """The prototype pipeline of Figure 2: message split, post-action
+    check, commit/rollback."""
+
+    @pytest.fixture
+    def stack(self):
+        deployment = Deployment(name="pm")
+        deployment.add_service(MerchantService())
+        with deployment.seed() as txn:
+            deployment.resources.create_pool(txn, "stock", 100)
+        return deployment
+
+    def test_combined_message_is_split(self, stack):
+        """'The promise manager receives each message ... and breaks it up
+        into its Promise and Action component pieces.'"""
+        client = stack.client("client")
+        response, outcome = client.call_with_promise(
+            "pm",
+            [P("quantity('stock') >= 10")],
+            20,
+            "merchant",
+            "place_order",
+            {"customer": "c", "product": "stock", "quantity": 10},
+        )
+        assert response.accepted
+        assert outcome is not None and outcome.success
+
+    def test_post_action_check_rolls_back_violations(self, stack):
+        """'If the result of the action was that promises were violated,
+        the promise manager will roll back the changes made by the
+        Action and return a failure message to the client.'"""
+        client = stack.client("client")
+        client.require_promise("pm", [P("quantity('stock') >= 80")], 20)
+        outcome = client.call(
+            "pm", "merchant", "sell", {"product": "stock", "quantity": 50}
+        )
+        assert not outcome.success
+        assert outcome.violations
+        # The rollback is total: the stock is untouched and no order
+        # artefacts remain.
+        level = client.call("pm", "merchant", "stock_level", {"product": "stock"})
+        assert level.value["available"] == 100
+
+    def test_one_transaction_per_request(self, stack):
+        """'an ACID transaction is used for the complete processing of
+        each request' — after any request, no transaction is left open."""
+        client = stack.client("client")
+        client.require_promise("pm", [P("quantity('stock') >= 10")], 20)
+        client.call("pm", "merchant", "sell", {"product": "stock", "quantity": 5})
+        assert stack.store.active_transactions == []
+
+    def test_failure_message_returned_not_raised(self, stack):
+        client = stack.client("client")
+        outcome = client.call(
+            "pm", "merchant", "sell", {"product": "stock", "quantity": 500}
+        )
+        assert not outcome.success
+        assert "stock" in outcome.reason
+
+
+class TestMultiServiceScenario:
+    """A travel-style scenario across three deployments on one transport."""
+
+    def test_cross_service_trip(self):
+        from repro.protocol.transport import InProcessTransport
+        from repro.services.hotel import HotelService
+        from repro.services.airline import AirlineService
+
+        transport = InProcessTransport()
+
+        airline = Deployment(name="airline", transport=transport)
+        airline_service = airline.add_service(AirlineService())
+        with airline.seed() as txn:
+            airline_service.seed_flight(txn, airline.resources, "QF1", 2, 1)
+
+        hotel = Deployment(name="hotel", transport=transport)
+        hotel_service = hotel.add_service(HotelService())
+        hotel.use_tentative_strategy("rooms")
+        with hotel.seed() as txn:
+            hotel_service.seed_rooms(
+                txn,
+                hotel.resources,
+                {"room-1": {"floor": 1, "view": True, "beds": "queen",
+                            "smoking": False, "grade": "standard"}},
+                ["2007-03-12"],
+            )
+
+        traveller = airline.client("traveller")
+        seat = traveller.require_promise(
+            "airline", [P("match('QF1', cabin == 'economy', count=1)")], 30
+        )
+        room = traveller.require_promise(
+            "hotel", [P("match('rooms', date == '2007-03-12', count=1)")], 30
+        )
+
+        # Book both; each promise is consumed at its own service.
+        ticket = traveller.call(
+            "airline", "airline", "ticket",
+            {"passenger": "t", "flight": "QF1"},
+            environment=Environment.of(seat, release=[seat]),
+        )
+        booking = traveller.call(
+            "hotel", "hotel", "book", {"guest": "t"},
+            environment=Environment.of(room, release=[room]),
+        )
+        assert ticket.success and booking.success

@@ -1,0 +1,204 @@
+"""Soak test: a long random mixed workload over every strategy at once.
+
+One deployment hosts pools (escrow), a named-instance collection
+(allocated tags), a property collection (tentative allocation), a second
+property collection on the satisfiability default, and a delegated pool —
+then a seeded stream of grants, releases, consumes, expiries, rogue
+actions and exchanges runs against it.  After *every* step the global
+invariants must hold:
+
+* no pool counter negative; pool conservation exact;
+* at most one live promise per named instance, tags consistent;
+* the joint satisfiability check of all live promises passes;
+* no transaction left open.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.errors import PromiseError
+from repro.core.manager import PromiseManager
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.resources.records import InstanceStatus
+from repro.resources.schema import CollectionSchema, PropertyDef, PropertyType
+from repro.sim.random import RandomStream
+from repro.storage.store import Store
+from repro.strategies.allocated_tags import AllocatedTagsStrategy
+from repro.strategies.delegation import DelegationStrategy
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+from repro.strategies.tentative import TentativeAllocationStrategy
+
+POOL_CAPACITY = 40
+UPSTREAM_CAPACITY = 25
+SEATS = 8
+ROOMS = 8
+SUITES = 6
+
+
+def build_world():
+    from repro.core.clock import LogicalClock
+
+    shared_clock = LogicalClock()
+    upstream = PromiseManager(name="upstream", clock=shared_clock)
+    upstream.registry.assign("remote", ResourcePoolStrategy())
+    with upstream.store.begin() as txn:
+        upstream.resources.create_pool(txn, "remote", UPSTREAM_CAPACITY)
+
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("stock", ResourcePoolStrategy())
+    registry.assign("seats", AllocatedTagsStrategy())
+    registry.assign("rooms", TentativeAllocationStrategy())
+    registry.assign("remote", DelegationStrategy(upstream, "soak"))
+    manager = PromiseManager(
+        store=store,
+        resources=resources,
+        registry=registry,
+        name="soak",
+        clock=shared_clock,
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "stock", POOL_CAPACITY)
+        resources.define_collection(
+            txn,
+            CollectionSchema("seats", (PropertyDef("row", PropertyType.INT),)),
+        )
+        for index in range(SEATS):
+            resources.add_instance(txn, f"seat-{index}", "seats", {"row": index})
+        resources.define_collection(
+            txn,
+            CollectionSchema(
+                "rooms",
+                (
+                    PropertyDef("floor", PropertyType.INT),
+                    PropertyDef("view", PropertyType.BOOL),
+                ),
+            ),
+        )
+        for index in range(ROOMS):
+            resources.add_instance(
+                txn,
+                f"room-{index}",
+                "rooms",
+                {"floor": 1 + index % 3, "view": index % 2 == 0},
+            )
+        resources.define_collection(
+            txn,
+            CollectionSchema("suites", (PropertyDef("floor", PropertyType.INT),)),
+        )
+        for index in range(SUITES):
+            resources.add_instance(
+                txn, f"suite-{index}", "suites", {"floor": 1 + index % 2}
+            )
+    return manager, upstream
+
+
+def assert_invariants(manager: PromiseManager, upstream: PromiseManager, taken_counts):
+    assert manager.store.active_transactions == []
+    with manager.store.begin() as txn:
+        pool = manager.resources.pool(txn, "stock")
+        assert pool.available >= 0 and pool.allocated >= 0
+        assert pool.on_hand == POOL_CAPACITY - taken_counts["stock"]
+
+        live = {p.promise_id for p in manager.active_promises()}
+        for collection in ("seats", "rooms", "suites"):
+            for record in manager.resources.instances_in(txn, collection):
+                if record.status is InstanceStatus.PROMISED:
+                    assert record.promise_id in live, (
+                        f"{record.instance_id} tagged to dead promise "
+                        f"{record.promise_id}"
+                    )
+    # The joint consistency check over every strategy passes.
+    assert manager.check_all() == []
+    # Upstream conservation.
+    with upstream.store.begin() as txn:
+        remote = upstream.resources.pool(txn, "remote")
+        assert remote.available >= 0 and remote.allocated >= 0
+        assert remote.on_hand == UPSTREAM_CAPACITY - taken_counts["remote"]
+
+
+PREDICATE_MENU = [
+    lambda rng: [quantity_at_least("stock", rng.uniform_int(1, 8))],
+    lambda rng: [quantity_at_least("remote", rng.uniform_int(1, 4))],
+    lambda rng: [P(f"available('seat-{rng.uniform_int(0, SEATS - 1)}')")],
+    lambda rng: [P(f"match('rooms', floor == {rng.uniform_int(1, 3)}, count=1)")],
+    lambda rng: [P("match('rooms', view == true, count=1)")],
+    lambda rng: [P(f"match('suites', count={rng.uniform_int(1, 2)})")],
+    lambda rng: [
+        quantity_at_least("stock", rng.uniform_int(1, 3)),
+        P(f"match('suites', count=1)"),
+    ],
+]
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_soak_mixed_strategies(seed):
+    manager, upstream = build_world()
+    rng = RandomStream(seed, "soak")
+    live: list[str] = []
+    taken = {"stock": 0, "remote": 0}
+
+    for step in range(250):
+        roll = rng.random()
+        if roll < 0.40:  # grant something
+            predicates = rng.choice(PREDICATE_MENU)(rng)
+            response = manager.request_promise_for(
+                predicates, duration=rng.uniform_int(3, 30)
+            )
+            if response.accepted and response.promise_id:
+                live.append(response.promise_id)
+        elif roll < 0.55 and live:  # plain release
+            target = live.pop(rng.uniform_int(0, len(live) - 1))
+            try:
+                manager.release(target)
+            except PromiseError:
+                pass
+        elif roll < 0.70 and live:  # consume via action+release
+            target = live.pop(rng.uniform_int(0, len(live) - 1))
+            try:
+                promise = manager.promise(target)
+                outcome = manager.execute(
+                    lambda ctx: "consumed",
+                    Environment.of(target, release=[target]),
+                )
+                if outcome.success:
+                    for predicate in promise.predicates:
+                        pool_id = getattr(predicate, "pool_id", None)
+                        if pool_id in taken:
+                            taken[pool_id] += predicate.amount  # type: ignore[attr-defined]
+            except PromiseError:
+                pass
+        elif roll < 0.80:  # rogue action: try to drain unpromised stock
+            amount = rng.uniform_int(1, 6)
+            outcome = manager.execute(lambda ctx, a=amount: ctx.sell("stock", a))
+            if outcome.success:
+                taken["stock"] += amount
+        elif roll < 0.90 and live:  # exchange: swap one promise for another
+            target = live.pop(rng.uniform_int(0, len(live) - 1))
+            predicates = rng.choice(PREDICATE_MENU)(rng)
+            try:
+                response = manager.request_promise_for(
+                    predicates,
+                    duration=rng.uniform_int(3, 30),
+                    releases=[target],
+                )
+            except PromiseError:
+                live.append(target)
+            else:
+                if response.accepted and response.promise_id:
+                    live.append(response.promise_id)
+                else:
+                    live.append(target)  # exchange failed: old one survives
+        else:  # time passes; some promises expire
+            manager.clock.advance(rng.uniform_int(1, 5))
+            manager.expire_due()
+            upstream.expire_due()
+
+        live = [pid for pid in live if manager.is_promise_active(pid)]
+        assert_invariants(manager, upstream, taken)

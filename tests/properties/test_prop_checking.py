@@ -1,0 +1,188 @@
+"""Property-based tests for matching and promise checking."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checking import Demand, check_satisfiable
+from repro.core.matching import maximum_bipartite_matching
+from repro.core.predicates import (
+    InstanceState,
+    PropertyCondition,
+    Op,
+    PropertyMatch,
+    QuantityAtLeast,
+    named_available,
+)
+
+
+@st.composite
+def bipartite_graphs(draw):
+    n_left = draw(st.integers(min_value=0, max_value=10))
+    n_right = draw(st.integers(min_value=0, max_value=10))
+    lefts = [f"l{i}" for i in range(n_left)]
+    rights = [f"r{i}" for i in range(n_right)]
+    adjacency = {}
+    for left in lefts:
+        adjacency[left] = [
+            right for right in rights if draw(st.booleans())
+        ]
+    return adjacency
+
+
+@given(bipartite_graphs())
+@settings(max_examples=200)
+def test_matching_is_valid_and_maximum(adjacency):
+    """Our Hopcroft–Karp produces a valid matching of the same cardinality
+    as networkx's reference implementation."""
+    matching = maximum_bipartite_matching(adjacency)
+
+    # Validity: assigned edges exist, rights are used at most once.
+    for left, right in matching.items():
+        assert right in adjacency[left]
+    assert len(set(matching.values())) == len(matching)
+
+    graph = nx.Graph()
+    lefts = list(adjacency)
+    graph.add_nodes_from(lefts, bipartite=0)
+    for left, rights in adjacency.items():
+        for right in rights:
+            graph.add_edge(left, right)
+    if lefts and graph.number_of_edges():
+        reference = nx.bipartite.maximum_matching(graph, top_nodes=lefts)
+        assert len(matching) == len(reference) // 2
+    else:
+        assert matching == {}
+
+
+class _State:
+    def __init__(self, pools, instances):
+        self._pools = pools
+        self._instances = instances
+
+    def pool_available(self, pool_id):
+        return self._pools.get(pool_id, 0)
+
+    def instance(self, instance_id):
+        for state in self._instances:
+            if state.instance_id == instance_id:
+                return state
+        return None
+
+    def instances_in(self, collection_id):
+        return [
+            state for state in self._instances
+            if state.collection_id == collection_id
+        ]
+
+    def property_ordering(self, collection_id, name):
+        return None
+
+
+@st.composite
+def quantity_worlds(draw):
+    pools = {
+        f"pool-{i}": draw(st.integers(min_value=0, max_value=30))
+        for i in range(draw(st.integers(min_value=1, max_value=3)))
+    }
+    demands = []
+    for index in range(draw(st.integers(min_value=1, max_value=6))):
+        pool = draw(st.sampled_from(sorted(pools)))
+        amount = draw(st.integers(min_value=1, max_value=12))
+        demands.append(
+            Demand(f"p{index}", (QuantityAtLeast(pool, amount),))
+        )
+    return pools, demands
+
+
+@given(quantity_worlds())
+@settings(max_examples=200)
+def test_quantity_check_is_exactly_the_sum_rule(world):
+    """ok ⇔ per-pool demand sums fit availability (§8's anonymous rule)."""
+    pools, demands = world
+    result = check_satisfiable(demands, _State(pools, []))
+    sums: dict[str, int] = {}
+    for demand in demands:
+        atom = demand.predicates[0]
+        sums[atom.pool_id] = sums.get(atom.pool_id, 0) + atom.amount
+    fits = all(total <= pools[pool] for pool, total in sums.items())
+    assert result.ok == fits
+
+
+@st.composite
+def instance_worlds(draw):
+    n_instances = draw(st.integers(min_value=1, max_value=8))
+    instances = [
+        InstanceState(
+            instance_id=f"i{i}",
+            collection_id="c",
+            status=draw(st.sampled_from(["available", "available", "taken"])),
+            properties={"colour": draw(st.sampled_from(["red", "blue"]))},
+        )
+        for i in range(n_instances)
+    ]
+    demands = []
+    for index in range(draw(st.integers(min_value=1, max_value=5))):
+        if draw(st.booleans()):
+            target = draw(st.sampled_from(instances)).instance_id
+            demands.append(Demand(f"p{index}", (named_available(target),)))
+        else:
+            colour = draw(st.sampled_from(["red", "blue"]))
+            count = draw(st.integers(min_value=1, max_value=3))
+            demands.append(
+                Demand(
+                    f"p{index}",
+                    (
+                        PropertyMatch(
+                            "c",
+                            (PropertyCondition("colour", Op.EQ, colour),),
+                            count,
+                        ),
+                    ),
+                )
+            )
+    return instances, demands
+
+
+@given(instance_worlds())
+@settings(max_examples=200)
+def test_instance_assignment_is_disjoint_and_well_typed(world):
+    """When the checker says ok, its assignment is a witness: one distinct,
+    untaken, matching instance per slot."""
+    instances, demands = world
+    state = _State({}, instances)
+    result = check_satisfiable(demands, state)
+    if not result.ok:
+        return
+    # Count slots demanded.
+    slots_needed = 0
+    for demand in demands:
+        for atom in demand.predicates:
+            slots_needed += getattr(atom, "count", 1)
+    assert len(result.assignment) == slots_needed
+    used = list(result.assignment.values())
+    assert len(set(used)) == len(used)  # disjointness (§9)
+    by_id = {state_.instance_id: state_ for state_ in instances}
+    for slot, instance_id in result.assignment.items():
+        instance = by_id[instance_id]
+        assert not instance.is_taken
+        demand = next(d for d in demands if d.owner_id == slot.owner_id)
+        atom = demand.predicates[slot.atom_index]
+        if isinstance(atom, PropertyMatch):
+            assert atom.matches_instance(instance)
+        else:
+            assert atom.instance_id == instance_id
+
+
+@given(instance_worlds())
+@settings(max_examples=100)
+def test_checker_is_monotone_in_demands(world):
+    """Removing a demand never turns a satisfiable set unsatisfiable."""
+    instances, demands = world
+    state = _State({}, instances)
+    full = check_satisfiable(demands, state)
+    if not full.ok or len(demands) <= 1:
+        return
+    reduced = check_satisfiable(demands[:-1], state)
+    assert reduced.ok

@@ -1,0 +1,80 @@
+"""Property-based tests for counter-offer correctness.
+
+A counter-offer must be (a) actually grantable and (b) maximal — asking
+for one more unit than the offer must be rejected.  Fuzzed over random
+capacities, outstanding promises and demands.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.manager import PromiseManager
+from repro.core.predicates import QuantityAtLeast, quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+from repro.strategies.satisfiability import SatisfiabilityStrategy
+
+
+@st.composite
+def offer_worlds(draw):
+    capacity = draw(st.integers(min_value=1, max_value=60))
+    outstanding = draw(
+        st.lists(st.integers(min_value=1, max_value=20), max_size=5)
+    )
+    demand = draw(st.integers(min_value=1, max_value=80))
+    strategy = draw(st.sampled_from(["resource_pool", "satisfiability"]))
+    return capacity, outstanding, demand, strategy
+
+
+@given(offer_worlds())
+@settings(max_examples=120, deadline=None)
+def test_counter_offers_are_grantable_and_maximal(world):
+    capacity, outstanding, demand, strategy_name = world
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    strategy = (
+        ResourcePoolStrategy()
+        if strategy_name == "resource_pool"
+        else SatisfiabilityStrategy()
+    )
+    registry.assign("pool", strategy)
+    manager = PromiseManager(
+        store=store, resources=resources, registry=registry,
+        name="prop-offer", counter_offers=True,
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "pool", capacity)
+
+    for amount in outstanding:
+        manager.request_promise_for(
+            [quantity_at_least("pool", amount)], 10_000
+        )
+
+    response = manager.request_promise_for(
+        [quantity_at_least("pool", demand)], duration=10
+    )
+    if response.accepted:
+        assert response.counter is None
+        return
+
+    counter = response.counter
+    if counter is None:
+        # Nothing at all is grantable: even a single unit must fail.
+        probe = manager.probe([quantity_at_least("pool", 1)], 10)
+        assert not probe
+        return
+
+    assert isinstance(counter, QuantityAtLeast)
+    assert 1 <= counter.amount < demand
+    # (a) grantable: accepting the offer works.
+    accepted = manager.request_promise_for([counter], duration=10)
+    assert accepted.accepted
+    manager.release(accepted.promise_id)
+    # (b) maximal: one unit more would not have been grantable.
+    assert not manager.probe(
+        [QuantityAtLeast("pool", counter.amount + 1)], 10
+    )

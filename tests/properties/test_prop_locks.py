@@ -1,0 +1,89 @@
+"""Property-based tests for the lock manager's safety invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.errors import DeadlockDetected
+from repro.storage.locks import LockManager, LockMode
+
+txn_ids = st.integers(min_value=1, max_value=6)
+keys = st.sampled_from(["a", "b", "c"])
+modes = st.sampled_from([LockMode.SHARED, LockMode.EXCLUSIVE])
+
+
+@st.composite
+def lock_scripts(draw):
+    steps = []
+    for __ in range(draw(st.integers(min_value=1, max_value=40))):
+        if draw(st.booleans()):
+            steps.append(("acquire", draw(txn_ids), draw(keys), draw(modes)))
+        else:
+            steps.append(("release", draw(txn_ids), None, None))
+    return steps
+
+
+def check_invariants(locks: LockManager) -> None:
+    """Compatibility invariants that must hold after every step."""
+    for key in ("a", "b", "c"):
+        holders = locks.holders(key)
+        exclusive = [t for t, mode in holders.items() if mode is LockMode.EXCLUSIVE]
+        if exclusive:
+            # An exclusive holder is always alone.
+            assert len(holders) == 1, f"X lock shared on {key}: {holders}"
+
+
+@given(lock_scripts())
+@settings(max_examples=300)
+def test_no_incompatible_holders_ever(script):
+    """Under arbitrary acquire/release interleavings, no two transactions
+    ever hold incompatible locks on the same key, and promotions preserve
+    that."""
+    locks = LockManager()
+    for op, txn_id, key, mode in script:
+        if op == "acquire":
+            try:
+                locks.acquire(txn_id, key, mode)
+            except DeadlockDetected:
+                locks.release_all(txn_id)
+        else:
+            locks.release_all(txn_id)
+        check_invariants(locks)
+
+
+@given(lock_scripts())
+@settings(max_examples=200)
+def test_waiters_eventually_drain(script):
+    """Releasing every transaction leaves the lock table empty."""
+    locks = LockManager()
+    seen: set[int] = set()
+    for op, txn_id, key, mode in script:
+        seen.add(txn_id)
+        if op == "acquire":
+            try:
+                locks.acquire(txn_id, key, mode)
+            except DeadlockDetected:
+                locks.release_all(txn_id)
+        else:
+            locks.release_all(txn_id)
+    for txn_id in seen:
+        locks.release_all(txn_id)
+    for key in ("a", "b", "c"):
+        assert locks.holders(key) == {}
+        assert locks.waiting(key) == []
+
+
+@given(lock_scripts())
+@settings(max_examples=200)
+def test_try_acquire_never_blocks_or_deadlocks(script):
+    """The non-blocking discipline the promise manager relies on (§9):
+    try_acquire grants or fails but never enqueues, so deadlock is
+    structurally impossible."""
+    locks = LockManager()
+    for op, txn_id, key, mode in script:
+        if op == "acquire":
+            locks.try_acquire(txn_id, key, mode)  # may be False, never raises
+            assert not locks.is_waiting(txn_id)
+        else:
+            locks.release_all(txn_id)
+        check_invariants(locks)

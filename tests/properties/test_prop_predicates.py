@@ -1,0 +1,182 @@
+"""Property-based tests for predicates and the expression language."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.parser import parse_predicate, render_predicate
+from repro.core.predicates import (
+    And,
+    InstanceAvailable,
+    Not,
+    Op,
+    Or,
+    Predicate,
+    PropertyCondition,
+    PropertyMatch,
+    QuantityAtLeast,
+)
+
+# ---------------------------------------------------------------- strategies
+
+identifiers = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789_-",
+    min_size=1,
+    max_size=12,
+).filter(lambda s: not s.startswith("-"))
+
+property_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=8
+).filter(lambda s: s not in {"and", "or", "not", "count", "in", "true", "false"})
+
+literals = st.one_of(
+    st.integers(min_value=-1000, max_value=1000),
+    st.booleans(),
+    st.text(
+        alphabet="abcdefghijklmnopqrstuvwxyz ABC'\\",
+        max_size=10,
+    ),
+)
+
+comparison_ops = st.sampled_from([Op.EQ, Op.NE, Op.LT, Op.LE, Op.GT, Op.GE])
+
+
+@st.composite
+def conditions(draw):
+    op = draw(comparison_ops)
+    value = draw(literals)
+    or_better = draw(st.booleans()) and op is Op.EQ
+    return PropertyCondition(draw(property_names), op, value, or_better)
+
+
+@st.composite
+def in_conditions(draw):
+    values = tuple(draw(st.lists(literals, min_size=1, max_size=4)))
+    return PropertyCondition(draw(property_names), Op.IN, values)
+
+
+atoms = st.one_of(
+    st.builds(
+        QuantityAtLeast,
+        identifiers,
+        st.integers(min_value=1, max_value=10_000),
+    ),
+    st.builds(InstanceAvailable, identifiers),
+    st.builds(
+        PropertyMatch,
+        identifiers,
+        st.lists(st.one_of(conditions(), in_conditions()), max_size=3).map(tuple),
+        st.integers(min_value=1, max_value=9),
+    ),
+)
+
+
+def predicates(depth=2):
+    if depth == 0:
+        return atoms
+    sub = predicates(depth - 1)
+    return st.one_of(
+        atoms,
+        st.lists(sub, min_size=1, max_size=3).map(lambda xs: And.of(*xs)),
+        st.lists(sub, min_size=1, max_size=3).map(lambda xs: Or.of(*xs)),
+        sub.map(Not),
+    )
+
+
+# -------------------------------------------------------------------- tests
+
+
+@given(predicates())
+@settings(max_examples=200)
+def test_render_parse_roundtrip(predicate):
+    """The expression language round-trips every construct it covers."""
+    rendered = render_predicate(predicate)
+    assert parse_predicate(rendered) == predicate
+
+
+@given(predicates())
+@settings(max_examples=200)
+def test_dict_serialisation_roundtrip(predicate):
+    """The wire/persistence encoding is lossless."""
+    assert Predicate.from_dict(predicate.to_dict()) == predicate
+
+
+@given(predicates())
+@settings(max_examples=100)
+def test_resources_covers_all_atoms(predicate):
+    """A predicate's resource set is exactly its atoms' resource union."""
+    def atoms_of(node):
+        if isinstance(node, (And, Or)):
+            for child in node.children:
+                yield from atoms_of(child)
+        elif isinstance(node, Not):
+            yield from atoms_of(node.child)
+        else:
+            yield node
+
+    union = frozenset()
+    for atom in atoms_of(predicate):
+        union |= atom.resources()
+    assert predicate.resources() == union
+
+
+@given(predicates(depth=1))
+@settings(max_examples=100)
+def test_dnf_branches_are_atoms(predicate):
+    """Every DNF branch is a flat list of atomic predicates."""
+    from repro.core.errors import PredicateUnsupported
+
+    try:
+        branches = predicate.dnf()
+    except PredicateUnsupported:
+        return  # Not / oversized predicates legitimately refuse
+    assert branches
+    for branch in branches:
+        for atom in branch:
+            assert isinstance(
+                atom, (QuantityAtLeast, InstanceAvailable, PropertyMatch)
+            )
+
+
+@given(st.data())
+@settings(max_examples=100)
+def test_dnf_preserves_evaluation(data):
+    """DNF is semantics-preserving: p holds iff some branch holds."""
+    from repro.core.errors import PredicateUnsupported
+    from repro.core.predicates import InstanceState
+
+    predicate = data.draw(predicates(depth=1), label="predicate")
+    try:
+        branches = predicate.dnf()
+    except PredicateUnsupported:
+        return
+
+    pools = {}
+    instance_ids = sorted(predicate.resources())
+    # Random resource state over the mentioned resources.
+    for resource in instance_ids:
+        pools[resource] = data.draw(
+            st.integers(min_value=0, max_value=10_000), label=f"pool {resource}"
+        )
+
+    class State:
+        def pool_available(self, pool_id):
+            return pools.get(pool_id, 0)
+
+        def instance(self, instance_id):
+            if pools.get(instance_id, 0) % 2:
+                return InstanceState(instance_id, "c", "available", {})
+            return None
+
+        def instances_in(self, collection_id):
+            return []
+
+        def property_ordering(self, collection_id, name):
+            return None
+
+    state = State()
+    whole = predicate.evaluate(state)
+    by_branches = any(
+        all(atom.evaluate(state) for atom in branch) for branch in branches
+    )
+    assert whole == by_branches

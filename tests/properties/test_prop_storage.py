@@ -1,0 +1,132 @@
+"""Property-based tests for the storage substrate."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.store import Store
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+keys = st.text(alphabet="abcde", min_size=1, max_size=3)
+values = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def transaction_scripts(draw):
+    """A list of transactions; each is (ops, commit?) where ops are
+    put/delete steps."""
+    script = []
+    for __ in range(draw(st.integers(min_value=1, max_value=8))):
+        ops = draw(
+            st.lists(
+                st.tuples(st.sampled_from(["put", "delete"]), keys, values),
+                min_size=1,
+                max_size=6,
+            )
+        )
+        commits = draw(st.booleans())
+        script.append((ops, commits))
+    return script
+
+
+@given(transaction_scripts())
+@settings(max_examples=150)
+def test_store_matches_sequential_model(script):
+    """Committed transactions apply atomically and in order; aborted ones
+    leave no trace.  Compared against a plain-dict model."""
+    store = Store()
+    store.create_table("t")
+    model: dict[str, int] = {}
+
+    for ops, commits in script:
+        txn = store.begin()
+        shadow = dict(model)
+        for op, key, value in ops:
+            if op == "put":
+                txn.put("t", key, value)
+                shadow[key] = value
+            else:
+                if txn.exists("t", key):
+                    txn.delete("t", key)
+                shadow.pop(key, None)
+        if commits:
+            txn.commit()
+            model = shadow
+        else:
+            txn.abort()
+
+    with store.begin() as check:
+        state = dict(check.scan("t"))
+    assert state == model
+
+
+@given(transaction_scripts())
+@settings(max_examples=100)
+def test_wal_replay_matches_store(tmp_path_factory, script):
+    """Recovering from the WAL reproduces exactly the committed state."""
+    path = tmp_path_factory.mktemp("wal") / "wal.jsonl"
+    store = Store(wal_path=path)
+    store.create_table("t")
+    for ops, commits in script:
+        txn = store.begin()
+        for op, key, value in ops:
+            if op == "put":
+                txn.put("t", key, value)
+            elif txn.exists("t", key):
+                txn.delete("t", key)
+        if commits:
+            txn.commit()
+        else:
+            txn.abort()
+    with store.begin() as check:
+        expected = dict(check.scan("t"))
+
+    recovered = Store(wal_path=path)
+    with recovered.begin() as check:
+        assert dict(check.scan("t")) == expected
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["reserve", "unreserve", "consume", "sell", "stock"]),
+                  st.integers(min_value=1, max_value=20)),
+        max_size=30,
+    )
+)
+@settings(max_examples=150)
+def test_pool_counters_never_negative(operations):
+    """Escrow arithmetic invariants: counters stay non-negative and
+    conservation holds under arbitrary operation sequences."""
+    from repro.resources.manager import InsufficientResources, ResourceManager
+
+    store = Store()
+    resources = ResourceManager(store)
+    with store.begin() as txn:
+        resources.create_pool(txn, "w", 50)
+
+    stocked, sold, consumed = 50, 0, 0
+    for op, amount in operations:
+        with store.begin() as txn:
+            try:
+                if op == "reserve":
+                    resources.reserve(txn, "w", amount)
+                elif op == "unreserve":
+                    resources.unreserve(txn, "w", amount)
+                elif op == "consume":
+                    resources.consume_allocated(txn, "w", amount)
+                    consumed += amount
+                elif op == "sell":
+                    resources.remove_stock(txn, "w", amount)
+                    sold += amount
+                else:
+                    resources.add_stock(txn, "w", amount)
+                    stocked += amount
+            except InsufficientResources:
+                txn.abort()
+                continue
+
+    with store.begin() as txn:
+        pool = resources.pool(txn, "w")
+    assert pool.available >= 0
+    assert pool.allocated >= 0
+    assert pool.on_hand == stocked - sold - consumed

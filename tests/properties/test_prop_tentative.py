@@ -1,0 +1,174 @@
+"""Property-based test for tentative allocation (§5).
+
+Random sequences of property-view grants, releases, consumes and rogue
+takes over a random room inventory.  After every step, the strategy's
+defining invariants must hold:
+
+* every live promise's tagged instances exist, match its predicate, and
+  belong to it alone;
+* tags are disjoint across live promises;
+* the manager's own consistency check passes (rearrangement has healed
+  whatever could be healed).
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.environment import Environment
+from repro.core.errors import PromiseError
+from repro.core.manager import PromiseManager
+from repro.core.predicates import PropertyMatch
+from repro.core.parser import P
+from repro.resources.manager import ResourceManager
+from repro.resources.records import InstanceStatus
+from repro.resources.schema import CollectionSchema, PropertyDef, PropertyType
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.tentative import TentativeAllocationStrategy
+
+SCHEMA = CollectionSchema(
+    "rooms",
+    (
+        PropertyDef("floor", PropertyType.INT),
+        PropertyDef("view", PropertyType.BOOL),
+    ),
+)
+
+CLAUSES = [
+    "floor == 1",
+    "floor == 2",
+    "view == true",
+    "view == false",
+    "floor >= 2",
+]
+
+
+@st.composite
+def scenarios(draw):
+    rooms = [
+        (draw(st.integers(min_value=1, max_value=3)), draw(st.booleans()))
+        for __ in range(draw(st.integers(min_value=3, max_value=8)))
+    ]
+    steps = []
+    for __ in range(draw(st.integers(min_value=1, max_value=20))):
+        kind = draw(st.sampled_from(["grant", "release", "consume", "rogue"]))
+        steps.append(
+            (
+                kind,
+                draw(st.sampled_from(CLAUSES)),
+                draw(st.integers(min_value=1, max_value=2)),  # count
+                draw(st.integers(min_value=0, max_value=7)),  # pick index
+            )
+        )
+    return rooms, steps
+
+
+def build(rooms):
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("rooms", TentativeAllocationStrategy())
+    manager = PromiseManager(
+        store=store, resources=resources, registry=registry, name="prop-tent"
+    )
+    with store.begin() as txn:
+        resources.define_collection(txn, SCHEMA)
+        for index, (floor, view) in enumerate(rooms):
+            resources.add_instance(
+                txn, f"room-{index}", "rooms", {"floor": floor, "view": view}
+            )
+    return manager
+
+
+def assert_invariants(manager: PromiseManager) -> None:
+    with manager.store.begin() as txn:
+        records = {
+            record.instance_id: record
+            for record in manager.resources.instances_in(txn, "rooms")
+        }
+    live = {p.promise_id: p for p in manager.active_promises()}
+
+    tagged_by: dict[str, list[str]] = {}
+    for record in records.values():
+        if record.status is InstanceStatus.PROMISED:
+            assert record.promise_id in live, "tag to dead promise"
+            tagged_by.setdefault(record.promise_id, []).append(record.instance_id)
+
+    for promise_id, promise in live.items():
+        owned = tagged_by.get(promise_id, [])
+        for predicate in promise.predicates:
+            assert isinstance(predicate, PropertyMatch)
+            # Exactly `count` tags, each matching the predicate.
+            matching = [
+                instance_id
+                for instance_id in owned
+                if predicate.matches_instance(
+                    _as_state(records[instance_id])
+                )
+            ]
+            assert len(matching) >= predicate.count, (
+                f"{promise_id} holds {owned}, needs {predicate.describe()}"
+            )
+
+    # Tag disjointness is structural (one promise_id field per record),
+    # but the manager's own global check must agree everything is fine.
+    assert manager.check_all() == []
+
+
+def _as_state(record):
+    from repro.core.predicates import InstanceState
+
+    return InstanceState(
+        record.instance_id,
+        record.collection_id,
+        record.status.value,
+        dict(record.properties),
+    )
+
+
+@given(scenarios())
+@settings(max_examples=60, deadline=None)
+def test_tentative_invariants_under_random_sequences(scenario):
+    rooms, steps = scenario
+    manager = build(rooms)
+    live: list[str] = []
+
+    for kind, clause, count, pick in steps:
+        if kind == "grant":
+            response = manager.request_promise_for(
+                [P(f"match('rooms', {clause}, count={count})")], 10_000
+            )
+            if response.accepted and response.promise_id:
+                live.append(response.promise_id)
+        elif kind == "release" and live:
+            target = live.pop(pick % len(live))
+            try:
+                manager.release(target)
+            except PromiseError:
+                pass
+        elif kind == "consume" and live:
+            target = live.pop(pick % len(live))
+            try:
+                manager.execute(
+                    lambda ctx: "take",
+                    Environment.of(target, release=[target]),
+                )
+            except PromiseError:
+                pass
+        elif kind == "rogue":
+            instance_id = f"room-{pick}"
+
+            def rogue(ctx, instance_id=instance_id):
+                if ctx.resources.instance_exists(ctx.txn, instance_id):
+                    record = ctx.resources.instance(ctx.txn, instance_id)
+                    if record.status is not InstanceStatus.TAKEN:
+                        ctx.resources.set_instance_status(
+                            ctx.txn, instance_id, InstanceStatus.TAKEN
+                        )
+                return "took it"
+
+            manager.execute(rogue)  # may succeed (rearranged) or roll back
+
+        live = [pid for pid in live if manager.is_promise_active(pid)]
+        assert_invariants(manager)

@@ -1,0 +1,201 @@
+"""Unit tests for the SOAP-envelope codec (§6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.core.promise import PromiseRequest, PromiseResponse, PromiseResult
+from repro.protocol.errors import MalformedMessage
+from repro.protocol.messages import ActionOutcomePayload, ActionPayload, Message
+from repro.protocol.soap import SoapCodec
+
+
+@pytest.fixture
+def codec():
+    return SoapCodec()
+
+
+def roundtrip(codec, message):
+    return codec.decode(codec.encode(message))
+
+
+class TestRouting:
+    def test_routing_attributes(self, codec):
+        message = Message(
+            message_id="m1", sender="alice", recipient="shop", correlation="m0"
+        )
+        decoded = roundtrip(codec, message)
+        assert decoded.message_id == "m1"
+        assert decoded.sender == "alice"
+        assert decoded.recipient == "shop"
+        assert decoded.correlation == "m0"
+
+
+class TestPromiseRequestElement:
+    def test_full_request_roundtrip(self, codec):
+        request = PromiseRequest(
+            request_id="req-1",
+            client_id="alice",
+            predicates=(
+                P("quantity('widgets') >= 5"),
+                P("match('rooms', floor == 5 and view == true, count=2)"),
+            ),
+            duration=30,
+            releases=("prm-old",),
+        )
+        message = Message("m1", "alice", "shop", promise_requests=(request,))
+        decoded = roundtrip(codec, message)
+        assert decoded.promise_requests == (request,)
+
+    def test_or_predicate_survives_wire(self, codec):
+        request = PromiseRequest(
+            request_id="req-1",
+            predicates=(P("available('a') or available('b')"),),
+            duration=5,
+        )
+        message = Message("m1", "c", "s", promise_requests=(request,))
+        decoded = roundtrip(codec, message)
+        assert decoded.promise_requests[0].predicates == request.predicates
+
+    def test_resources_listed_in_xml(self, codec):
+        request = PromiseRequest(
+            request_id="req-1",
+            predicates=(P("quantity('widgets') >= 5"),),
+            duration=5,
+        )
+        xml = codec.encode(Message("m1", "c", "s", promise_requests=(request,)))
+        assert '<resource id="widgets"' in xml
+
+    def test_multiple_requests_in_one_message(self, codec):
+        requests = tuple(
+            PromiseRequest(f"req-{i}", (P("quantity('w') >= 1"),), 5)
+            for i in range(3)
+        )
+        decoded = roundtrip(
+            codec, Message("m1", "c", "s", promise_requests=requests)
+        )
+        assert len(decoded.promise_requests) == 3
+
+
+class TestPromiseResponseElement:
+    def test_accepted_roundtrip(self, codec):
+        response = PromiseResponse("prm-1", PromiseResult.ACCEPTED, 30, "req-1")
+        decoded = roundtrip(
+            codec, Message("m1", "s", "c", promise_responses=(response,))
+        )
+        assert decoded.promise_responses == (response,)
+
+    def test_rejected_roundtrip(self, codec):
+        response = PromiseResponse.rejected("req-1", "insufficient stock")
+        decoded = roundtrip(
+            codec, Message("m1", "s", "c", promise_responses=(response,))
+        )
+        assert decoded.promise_responses[0].promise_id is None
+        assert decoded.promise_responses[0].reason == "insufficient stock"
+
+
+class TestEnvironmentElement:
+    def test_roundtrip_with_release_options(self, codec):
+        environment = Environment.of("p1", "p2", release=["p2"])
+        decoded = roundtrip(
+            codec, Message("m1", "c", "s", environment=environment)
+        )
+        assert decoded.environment is not None
+        assert decoded.environment.promise_ids == ("p1", "p2")
+        assert decoded.environment.releases() == ["p2"]
+
+    def test_absent_environment_is_none(self, codec):
+        decoded = roundtrip(codec, Message("m1", "c", "s"))
+        assert decoded.environment is None
+
+
+class TestBody:
+    def test_action_with_nested_params(self, codec):
+        action = ActionPayload(
+            service="merchant",
+            operation="place_order",
+            params={
+                "customer": "alice",
+                "quantity": 5,
+                "rush": True,
+                "notes": None,
+                "lines": [{"sku": "w1", "n": 2}, {"sku": "w2", "n": 3}],
+                "rate": 9.75,
+            },
+        )
+        decoded = roundtrip(codec, Message("m1", "c", "s", action=action))
+        assert decoded.action == action
+
+    def test_outcome_roundtrip(self, codec):
+        outcome = ActionOutcomePayload(
+            success=True,
+            value={"order": "ord-1"},
+            released=("p1",),
+            violations=("p2",),
+        )
+        decoded = roundtrip(codec, Message("m1", "s", "c", action_outcome=outcome))
+        assert decoded.action_outcome == outcome
+
+    def test_failed_outcome(self, codec):
+        outcome = ActionOutcomePayload(success=False, reason="no stock")
+        decoded = roundtrip(codec, Message("m1", "s", "c", action_outcome=outcome))
+        assert not decoded.action_outcome.success
+        assert decoded.action_outcome.reason == "no stock"
+
+
+class TestFaults:
+    def test_faults_roundtrip(self, codec):
+        message = Message(
+            "m1", "s", "c", faults=("promise-expired: p1", "unknown-promise: p9")
+        )
+        decoded = roundtrip(codec, message)
+        assert decoded.faults == message.faults
+
+
+class TestCombinedMessages:
+    def test_promise_plus_action_plus_environment(self, codec):
+        """§6: any subset of promise elements may share one envelope."""
+        message = Message(
+            message_id="m1",
+            sender="alice",
+            recipient="shop",
+            promise_requests=(
+                PromiseRequest("req-1", (P("quantity('w') >= 5"),), 10),
+            ),
+            promise_responses=(
+                PromiseResponse("prm-0", PromiseResult.ACCEPTED, 10, "req-0"),
+            ),
+            environment=Environment.of("prm-0"),
+            action=ActionPayload("merchant", "pay", {"order_id": "ord-1"}),
+        )
+        decoded = roundtrip(codec, message)
+        assert decoded.has_promise_part and decoded.has_action_part
+        assert len(decoded.promise_requests) == 1
+        assert len(decoded.promise_responses) == 1
+
+
+class TestMalformedInput:
+    def test_invalid_xml(self, codec):
+        with pytest.raises(MalformedMessage):
+            codec.decode("this is not xml <at all")
+
+    def test_missing_header(self, codec):
+        with pytest.raises(MalformedMessage):
+            codec.decode(
+                '<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+                "<Body/></Envelope>"
+            )
+
+    def test_missing_routing(self, codec):
+        with pytest.raises(MalformedMessage):
+            codec.decode(
+                '<Envelope xmlns="http://schemas.xmlsoap.org/soap/envelope/">'
+                "<Header/><Body/></Envelope>"
+            )
+
+    def test_unencodable_param_rejected(self, codec):
+        action = ActionPayload("s", "op", {"bad": object()})
+        with pytest.raises(MalformedMessage):
+            codec.encode(Message("m1", "c", "s", action=action))

@@ -1,0 +1,262 @@
+"""Unit tests for the Resource Manager, records and views."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import UnknownResource
+from repro.resources.manager import InsufficientResources
+from repro.resources.records import InstanceRecord, InstanceStatus, PoolRecord, RecordError
+from repro.resources.schema import CollectionSchema, PropertyDef, PropertyType, SchemaError
+from repro.resources.views import AnonymousView, NamedView, PropertyView
+
+SCHEMA = CollectionSchema(
+    "rooms",
+    (
+        PropertyDef("floor", PropertyType.INT),
+        PropertyDef("view", PropertyType.BOOL),
+    ),
+)
+
+
+class TestPools:
+    def test_create_and_read(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 10, unit="widget")
+            pool = resources.pool(txn, "w")
+        assert (pool.available, pool.allocated, pool.unit) == (10, 0, "widget")
+
+    def test_unknown_pool_raises(self, store, resources):
+        with store.begin() as txn:
+            with pytest.raises(UnknownResource):
+                resources.pool(txn, "ghost")
+
+    def test_add_remove_stock(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 10)
+            resources.add_stock(txn, "w", 5)
+            resources.remove_stock(txn, "w", 12)
+            assert resources.pool(txn, "w").available == 3
+
+    def test_remove_beyond_available_raises(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 3)
+            with pytest.raises(InsufficientResources) as excinfo:
+                resources.remove_stock(txn, "w", 5)
+            assert excinfo.value.available == 3
+            txn.abort()
+
+    def test_reserve_unreserve_cycle(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 10)
+            resources.reserve(txn, "w", 4)
+            pool = resources.pool(txn, "w")
+            assert (pool.available, pool.allocated) == (6, 4)
+            resources.unreserve(txn, "w", 4)
+            pool = resources.pool(txn, "w")
+            assert (pool.available, pool.allocated) == (10, 0)
+
+    def test_consume_allocated(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 10)
+            resources.reserve(txn, "w", 4)
+            resources.consume_allocated(txn, "w", 4)
+            pool = resources.pool(txn, "w")
+            assert (pool.available, pool.allocated, pool.on_hand) == (6, 0, 6)
+
+    def test_over_reserve_raises(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 3)
+            with pytest.raises(InsufficientResources):
+                resources.reserve(txn, "w", 5)
+            txn.abort()
+
+    def test_over_unreserve_raises(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 3)
+            with pytest.raises(InsufficientResources):
+                resources.unreserve(txn, "w", 1)
+            txn.abort()
+
+    def test_negative_amount_guards(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 3)
+            with pytest.raises(ValueError):
+                resources.add_stock(txn, "w", -1)
+            with pytest.raises(ValueError):
+                resources.remove_stock(txn, "w", -1)
+            txn.abort()
+
+    def test_pools_listing(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "a", 1)
+            resources.create_pool(txn, "b", 2)
+            assert [p.pool_id for p in resources.pools(txn)] == ["a", "b"]
+
+
+class TestInstances:
+    def _seed(self, store, resources):
+        with store.begin() as txn:
+            resources.define_collection(txn, SCHEMA)
+            resources.add_instance(
+                txn, "r1", "rooms", {"floor": 1, "view": True}
+            )
+
+    def test_add_and_read(self, store, resources):
+        self._seed(store, resources)
+        with store.begin() as txn:
+            record = resources.instance(txn, "r1")
+        assert record.status is InstanceStatus.AVAILABLE
+        assert record.properties["floor"] == 1
+
+    def test_schema_validation_on_add(self, store, resources):
+        with store.begin() as txn:
+            resources.define_collection(txn, SCHEMA)
+            with pytest.raises(SchemaError):
+                resources.add_instance(txn, "bad", "rooms", {"floor": "x", "view": True})
+            txn.abort()
+
+    def test_add_to_unknown_collection_raises(self, store, resources):
+        with store.begin() as txn:
+            with pytest.raises(UnknownResource):
+                resources.add_instance(txn, "r1", "ghost", {})
+            txn.abort()
+
+    def test_status_lifecycle(self, store, resources):
+        self._seed(store, resources)
+        with store.begin() as txn:
+            resources.set_instance_status(
+                txn, "r1", InstanceStatus.PROMISED, "prm-1"
+            )
+            record = resources.instance(txn, "r1")
+            assert record.status is InstanceStatus.PROMISED
+            assert record.promise_id == "prm-1"
+            resources.set_instance_status(txn, "r1", InstanceStatus.TAKEN)
+            assert resources.instance(txn, "r1").status is InstanceStatus.TAKEN
+
+    def test_instances_in_filters_by_collection(self, store, resources):
+        self._seed(store, resources)
+        with store.begin() as txn:
+            resources.define_collection(
+                txn,
+                CollectionSchema("suites", (PropertyDef("floor", PropertyType.INT),)),
+            )
+            resources.add_instance(txn, "s1", "suites", {"floor": 9})
+            rooms = resources.instances_in(txn, "rooms")
+            assert [record.instance_id for record in rooms] == ["r1"]
+
+    def test_remove_instance(self, store, resources):
+        self._seed(store, resources)
+        with store.begin() as txn:
+            resources.remove_instance(txn, "r1")
+            assert not resources.instance_exists(txn, "r1")
+            with pytest.raises(UnknownResource):
+                resources.remove_instance(txn, "r1")
+            txn.abort()
+
+
+class TestRecords:
+    def test_pool_record_rejects_negative(self):
+        with pytest.raises(RecordError):
+            PoolRecord("p", available=-1)
+        with pytest.raises(RecordError):
+            PoolRecord("p", available=0, allocated=-1)
+
+    def test_pool_on_hand(self):
+        assert PoolRecord("p", 3, 2).on_hand == 5
+
+    def test_pool_roundtrip(self):
+        record = PoolRecord("p", 3, 2, "widget")
+        assert PoolRecord.from_dict(record.to_dict()) == record
+
+    def test_malformed_pool_payload(self):
+        with pytest.raises(RecordError):
+            PoolRecord.from_dict({"pool_id": "p"})
+
+    def test_instance_available_cannot_carry_promise(self):
+        with pytest.raises(RecordError):
+            InstanceRecord("i", "c", InstanceStatus.AVAILABLE, {}, promise_id="x")
+
+    def test_instance_tentative_only_while_promised(self):
+        with pytest.raises(RecordError):
+            InstanceRecord("i", "c", InstanceStatus.TAKEN, {}, tentative=True)
+
+    def test_instance_roundtrip(self):
+        record = InstanceRecord(
+            "i", "c", InstanceStatus.PROMISED, {"floor": 2}, "prm-1", True
+        )
+        assert InstanceRecord.from_dict(record.to_dict()) == record
+
+
+class TestReader:
+    def test_pool_available_defaults_to_zero(self, store, resources):
+        with store.begin() as txn:
+            assert resources.reader(txn).pool_available("ghost") == 0
+
+    def test_instance_none_for_unknown(self, store, resources):
+        with store.begin() as txn:
+            assert resources.reader(txn).instance("ghost") is None
+
+    def test_reader_reflects_txn_state(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 5)
+            reader = resources.reader(txn)
+            assert reader.pool_available("w") == 5
+            resources.remove_stock(txn, "w", 2)
+            assert reader.pool_available("w") == 3
+
+    def test_property_ordering_exposed(self, store, resources):
+        schema = CollectionSchema(
+            "c",
+            (PropertyDef("g", PropertyType.ORDERED, ordering=("lo", "hi")),),
+        )
+        with store.begin() as txn:
+            resources.define_collection(txn, schema)
+            reader = resources.reader(txn)
+            assert reader.property_ordering("c", "g") == ("lo", "hi")
+            assert reader.property_ordering("c", "missing") is None
+            assert reader.property_ordering("ghost", "g") is None
+
+
+class TestViews:
+    def _seed(self, store, resources):
+        with store.begin() as txn:
+            resources.create_pool(txn, "w", 10)
+            resources.define_collection(txn, SCHEMA)
+            resources.add_instance(txn, "r1", "rooms", {"floor": 1, "view": True})
+            resources.add_instance(txn, "r2", "rooms", {"floor": 5, "view": False})
+
+    def test_anonymous_view(self, store, resources):
+        self._seed(store, resources)
+        view = AnonymousView("w")
+        predicate = view.at_least(3)
+        assert predicate.pool_id == "w" and predicate.amount == 3
+        with store.begin() as txn:
+            assert view.available(resources.reader(txn)) == 10
+
+    def test_named_view(self, store, resources):
+        self._seed(store, resources)
+        view = NamedView("r1")
+        assert view.available_predicate().instance_id == "r1"
+        with store.begin() as txn:
+            assert view.is_available(resources.reader(txn))
+            assert not NamedView("ghost").is_available(resources.reader(txn))
+
+    def test_property_view_builder_is_immutable(self):
+        base = PropertyView("rooms")
+        withfloor = base.where("floor", "==", 5)
+        assert base.conditions == ()
+        assert len(withfloor.conditions) == 1
+
+    def test_property_view_matching(self, store, resources):
+        self._seed(store, resources)
+        view = PropertyView("rooms").where_equals("view", True)
+        with store.begin() as txn:
+            reader = resources.reader(txn)
+            assert [i.instance_id for i in view.matching(reader)] == ["r1"]
+            assert view.available_count(reader) == 1
+
+    def test_property_view_need_predicate(self):
+        predicate = PropertyView("rooms").where("floor", ">=", 2).need(2)
+        assert predicate.count == 2
+        assert predicate.collection_id == "rooms"

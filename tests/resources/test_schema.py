@@ -1,0 +1,115 @@
+"""Unit tests for property schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resources.schema import (
+    CollectionSchema,
+    PropertyDef,
+    PropertyType,
+    SchemaError,
+)
+
+
+class TestPropertyType:
+    def test_int_accepts(self):
+        assert PropertyType.INT.accepts(5)
+        assert not PropertyType.INT.accepts(5.5)
+        assert not PropertyType.INT.accepts(True)  # bool is not an int here
+        assert not PropertyType.INT.accepts("5")
+
+    def test_float_accepts_ints_too(self):
+        assert PropertyType.FLOAT.accepts(5)
+        assert PropertyType.FLOAT.accepts(5.5)
+        assert not PropertyType.FLOAT.accepts(True)
+
+    def test_string_and_bool(self):
+        assert PropertyType.STRING.accepts("x")
+        assert not PropertyType.STRING.accepts(1)
+        assert PropertyType.BOOL.accepts(False)
+        assert not PropertyType.BOOL.accepts(0)
+
+
+class TestPropertyDef:
+    def test_ordered_requires_ordering(self):
+        with pytest.raises(SchemaError):
+            PropertyDef("grade", PropertyType.ORDERED)
+
+    def test_unordered_rejects_ordering(self):
+        with pytest.raises(SchemaError):
+            PropertyDef("floor", PropertyType.INT, ordering=(1, 2))
+
+    def test_ordered_validates_membership(self):
+        definition = PropertyDef(
+            "grade", PropertyType.ORDERED, ordering=("a", "b")
+        )
+        definition.validate("a")
+        with pytest.raises(SchemaError):
+            definition.validate("z")
+
+    def test_type_validation(self):
+        definition = PropertyDef("floor", PropertyType.INT)
+        definition.validate(3)
+        with pytest.raises(SchemaError):
+            definition.validate("three")
+
+    def test_roundtrip(self):
+        definition = PropertyDef(
+            "grade", PropertyType.ORDERED, ordering=("a", "b"), required=False
+        )
+        assert PropertyDef.from_dict(definition.to_dict()) == definition
+
+
+class TestCollectionSchema:
+    def _schema(self):
+        return CollectionSchema(
+            "rooms",
+            (
+                PropertyDef("floor", PropertyType.INT),
+                PropertyDef("view", PropertyType.BOOL),
+                PropertyDef("note", PropertyType.STRING, required=False),
+            ),
+        )
+
+    def test_duplicate_property_names_rejected(self):
+        with pytest.raises(SchemaError):
+            CollectionSchema(
+                "c",
+                (
+                    PropertyDef("x", PropertyType.INT),
+                    PropertyDef("x", PropertyType.BOOL),
+                ),
+            )
+
+    def test_validate_complete_instance(self):
+        self._schema().validate_instance({"floor": 1, "view": True})
+
+    def test_optional_property_may_be_absent(self):
+        self._schema().validate_instance({"floor": 1, "view": False})
+
+    def test_missing_required_property_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_instance({"view": True})
+
+    def test_undeclared_property_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_instance(
+                {"floor": 1, "view": True, "wifi": True}
+            )
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(SchemaError):
+            self._schema().validate_instance({"floor": "one", "view": True})
+
+    def test_ordering_lookup(self):
+        schema = CollectionSchema(
+            "c",
+            (PropertyDef("g", PropertyType.ORDERED, ordering=("lo", "hi")),),
+        )
+        assert schema.ordering("g") == ("lo", "hi")
+        assert schema.ordering("missing") is None
+
+    def test_roundtrip(self):
+        schema = self._schema()
+        assert CollectionSchema.from_dict(schema.to_dict()) == schema

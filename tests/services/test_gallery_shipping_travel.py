@@ -1,0 +1,217 @@
+"""Tests for the gallery, shipping (delegation) and travel services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.resources.records import InstanceStatus
+from repro.services.deployment import Deployment
+from repro.services.gallery import GalleryService
+from repro.services.merchant import MerchantService
+from repro.services.shipping import ShippingService, capacity_pool
+from repro.services.travel import TravelAgent, TravelNeed, TravelService
+
+PAINTINGS = {
+    "blue-poles": {"artist": "Pollock", "year": 1952, "price": 1_300_000},
+    "nude-descending": {"artist": "Duchamp", "year": 1912, "price": 900_000},
+}
+
+
+@pytest.fixture
+def gallery():
+    deployment = Deployment(name="gallery")
+    service = deployment.add_service(GalleryService())
+    deployment.use_tags_strategy("paintings")
+    with deployment.seed() as txn:
+        service.seed_catalogue(txn, deployment.resources, PAINTINGS)
+    return deployment
+
+
+class TestGallery:
+    def test_purchase_releases_promise(self, gallery):
+        client = gallery.client("collector")
+        promise_id = client.require_promise(
+            "gallery", [P("available('blue-poles')")], 20
+        )
+        outcome = client.call(
+            "gallery", "gallery", "purchase",
+            {"buyer": "collector", "painting": "blue-poles"},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        catalogue = client.call("gallery", "gallery", "catalogue", {})
+        assert catalogue.value["blue-poles"] == "taken"
+
+    def test_failed_purchase_keeps_promise(self, gallery):
+        """§4: 'if the purchase fails for some reason (perhaps no shipper
+        is available that day) then the promise should remain in force'."""
+        client = gallery.client("collector")
+        promise_id = client.require_promise(
+            "gallery", [P("available('blue-poles')")], 20
+        )
+        outcome = client.call(
+            "gallery", "gallery", "purchase",
+            {"buyer": "collector", "painting": "blue-poles",
+             "shipper_available": False},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert not outcome.success
+        assert "no shipper" in outcome.reason
+        assert gallery.manager.is_promise_active(promise_id)
+        # And nobody else can get the painting meanwhile.
+        rival = gallery.client("rival")
+        response = rival.request_promise(
+            "gallery", [P("available('blue-poles')")], 20
+        )
+        assert not response.accepted
+        # The retry next day succeeds under the same promise.
+        retry = client.call(
+            "gallery", "gallery", "purchase",
+            {"buyer": "collector", "painting": "blue-poles"},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert retry.success
+
+
+@pytest.fixture
+def shipping_world():
+    """Merchant deployment delegating shipping capacity upstream (§7/E8)."""
+    shipper = Deployment(name="shipper")
+    shipping_service = shipper.add_service(ShippingService())
+    shipper.use_pool_strategy(*(capacity_pool(day) for day in range(3)))
+    with shipper.seed() as txn:
+        shipping_service.seed_capacity(txn, shipper.resources, days=3, per_day=5)
+
+    merchant = Deployment(name="merchant", transport=shipper.transport)
+    merchant.add_service(MerchantService())
+    merchant.use_pool_strategy("widgets")
+    merchant.use_delegation(
+        shipper.manager, *(capacity_pool(day) for day in range(3))
+    )
+    with merchant.seed() as txn:
+        merchant.resources.create_pool(txn, "widgets", 50)
+    return merchant, shipper
+
+
+class TestShippingDelegation:
+    def test_next_day_promise_spans_domains(self, shipping_world):
+        merchant, shipper = shipping_world
+        client = merchant.client("order-process")
+        # One request: stock (local escrow) + next-day capacity (delegated).
+        promise_id = client.require_promise(
+            "merchant",
+            [P("quantity('widgets') >= 5"),
+             P(f"quantity('{capacity_pool(1)}') >= 1")],
+            20,
+        )
+        with shipper.store.begin() as txn:
+            pool = shipper.resources.pool(txn, capacity_pool(1))
+        assert pool.allocated == 1
+        # Releasing locally releases upstream.
+        client.release("merchant", promise_id)
+        with shipper.store.begin() as txn:
+            pool = shipper.resources.pool(txn, capacity_pool(1))
+        assert pool.allocated == 0
+
+    def test_upstream_exhaustion_rejects_whole_order(self, shipping_world):
+        merchant, shipper = shipping_world
+        # Drain day-1 capacity upstream.
+        shipper_client = shipper.client("bulk")
+        for __ in range(5):
+            shipper_client.call(
+                "shipper", "shipping", "schedule_unprotected",
+                {"order_id": "x", "day": 1},
+            )
+        client = merchant.client("order-process")
+        response = client.request_promise(
+            "merchant",
+            [P("quantity('widgets') >= 5"),
+             P(f"quantity('{capacity_pool(1)}') >= 1")],
+            20,
+        )
+        assert not response.accepted
+        # Local widgets escrow must have been rolled back.
+        with merchant.store.begin() as txn:
+            pool = merchant.resources.pool(txn, "widgets")
+        assert (pool.available, pool.allocated) == (50, 0)
+
+
+@pytest.fixture
+def travel_world():
+    deployment = Deployment(name="travel")
+    deployment.add_service(TravelService())
+    deployment.use_pool_strategy("flight:QF1", "car:compact", "car:luxury", "hotel:hilton")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "flight:QF1", 2)
+        deployment.resources.create_pool(txn, "car:compact", 1)
+        deployment.resources.create_pool(txn, "car:luxury", 1)
+        deployment.resources.create_pool(txn, "hotel:hilton", 1)
+    return deployment
+
+
+def needs():
+    return [
+        TravelNeed("flight", P("quantity('flight:QF1') >= 1")),
+        TravelNeed(
+            "car",
+            P("quantity('car:compact') >= 1"),
+            (P("quantity('car:luxury') >= 1"),),
+        ),
+        TravelNeed("hotel", P("quantity('hotel:hilton') >= 1")),
+    ]
+
+
+class TestTravelAgent:
+    def test_atomic_plan_success(self, travel_world):
+        agent = TravelAgent(travel_world.client("agent"), "travel")
+        plan = agent.plan_atomic(needs(), duration=20)
+        assert plan.success and plan.attempts == 1
+
+    def test_atomic_plan_failure_leaves_nothing(self, travel_world):
+        rival = travel_world.client("rival")
+        rival.require_promise("travel", [P("quantity('hotel:hilton') >= 1")], 20)
+        agent = TravelAgent(travel_world.client("agent"), "travel")
+        plan = agent.plan_atomic(needs(), duration=20)
+        assert not plan.success
+        # No flight or car is held by the failed plan.
+        fresh = travel_world.client("checker")
+        assert fresh.request_promise("travel", [P("quantity('flight:QF1') >= 2")], 5).accepted
+        assert fresh.request_promise("travel", [P("quantity('car:compact') >= 1")], 5).accepted
+
+    def test_incremental_plan_uses_alternatives(self, travel_world):
+        rival = travel_world.client("rival")
+        rival.require_promise("travel", [P("quantity('car:compact') >= 1")], 20)
+        agent = TravelAgent(travel_world.client("agent"), "travel")
+        plan = agent.plan_incremental(needs(), duration=20)
+        assert plan.success
+        assert plan.alternatives_tried == 1  # fell back to the luxury car
+        assert len(plan.promise_ids) == 3
+
+    def test_incremental_plan_backtracks_on_total_failure(self, travel_world):
+        rival = travel_world.client("rival")
+        rival.require_promise("travel", [P("quantity('car:compact') >= 1")], 20)
+        rival.require_promise("travel", [P("quantity('car:luxury') >= 1")], 20)
+        agent = TravelAgent(travel_world.client("agent"), "travel")
+        plan = agent.plan_incremental(needs(), duration=20)
+        assert not plan.success
+        # The flight promise acquired before the car failure was released.
+        fresh = travel_world.client("checker")
+        assert fresh.request_promise("travel", [P("quantity('flight:QF1') >= 2")], 5).accepted
+
+    def test_booking_consumes_all_promises(self, travel_world):
+        client = travel_world.client("agent")
+        agent = TravelAgent(client, "travel")
+        plan = agent.plan_atomic(needs(), duration=20)
+        promise_id = plan.promise_ids[0]
+        outcome = client.call(
+            "travel", "travel", "book_trip",
+            {"traveller": "alice", "description": "QF1 + car + hilton"},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        with travel_world.store.begin() as txn:
+            assert travel_world.resources.pool(txn, "flight:QF1").on_hand == 1
+            assert travel_world.resources.pool(txn, "car:compact").on_hand == 0
+            assert travel_world.resources.pool(txn, "hotel:hilton").on_hand == 0

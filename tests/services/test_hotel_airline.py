@@ -1,0 +1,224 @@
+"""Tests for the hotel and airline services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.resources.records import InstanceStatus
+from repro.services.airline import AirlineService, seat_id
+from repro.services.deployment import Deployment
+from repro.services.hotel import HotelService, room_night
+
+ROOMS = {
+    "room-101": {"floor": 1, "view": False, "beds": "twin", "smoking": False, "grade": "standard"},
+    "room-102": {"floor": 1, "view": True, "beds": "queen", "smoking": False, "grade": "standard"},
+    "room-512": {"floor": 5, "view": True, "beds": "queen", "smoking": False, "grade": "deluxe"},
+    "room-513": {"floor": 5, "view": False, "beds": "twin", "smoking": True, "grade": "suite"},
+}
+DATES = ["2007-03-12", "2007-03-13"]
+
+
+@pytest.fixture
+def hotel():
+    deployment = Deployment(name="hotel")
+    service = deployment.add_service(HotelService())
+    deployment.use_tentative_strategy("rooms")
+    with deployment.seed() as txn:
+        service.seed_rooms(txn, deployment.resources, ROOMS, DATES)
+    return deployment
+
+
+@pytest.fixture
+def airline():
+    deployment = Deployment(name="airline")
+    service = deployment.add_service(AirlineService())
+    with deployment.seed() as txn:
+        service.seed_flight(
+            txn, deployment.resources, "QF1@2007-10-08",
+            economy_rows=3, business_rows=1,
+        )
+    return deployment
+
+
+class TestHotel:
+    def test_room_nights_are_distinct_instances(self, hotel):
+        with hotel.store.begin() as txn:
+            records = hotel.resources.instances_in(txn, "rooms")
+        assert len(records) == len(ROOMS) * len(DATES)
+
+    def test_property_promise_and_booking(self, hotel):
+        client = hotel.client("guest")
+        promise_id = client.require_promise(
+            "hotel",
+            [P("match('rooms', floor == 5 and date == '2007-03-12', count=1)")],
+            20,
+        )
+        outcome = client.call(
+            "hotel", "hotel", "book", {"guest": "guest"},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        with hotel.store.begin() as txn:
+            taken = [
+                record.instance_id
+                for record in hotel.resources.instances_in(txn, "rooms")
+                if record.status is InstanceStatus.TAKEN
+            ]
+        assert len(taken) == 1
+        assert taken[0].endswith("@2007-03-12")
+        assert taken[0].startswith("room-51")
+
+    def test_section_33_concurrent_overlapping_requests(self, hotel):
+        """One customer asks for a view, another for any 5th-floor room;
+        both succeed although room 512 suits both (§3.3)."""
+        date_clause = "date == '2007-03-12'"
+        view_client = hotel.client("view-customer")
+        floor_client = hotel.client("floor-customer")
+        view_promise = view_client.require_promise(
+            "hotel", [P(f"match('rooms', view == true and {date_clause}, count=1)")], 20
+        )
+        floor_promise = floor_client.require_promise(
+            "hotel", [P(f"match('rooms', floor == 5 and {date_clause}, count=1)")], 20
+        )
+        assert view_promise and floor_promise
+        # Both bookings complete.
+        assert view_client.call(
+            "hotel", "hotel", "book", {"guest": "v"},
+            environment=Environment.of(view_promise, release=[view_promise]),
+        ).success
+        assert floor_client.call(
+            "hotel", "hotel", "book", {"guest": "f"},
+            environment=Environment.of(floor_promise, release=[floor_promise]),
+        ).success
+
+    def test_named_booking_direct(self, hotel):
+        client = hotel.client("guest")
+        outcome = client.call(
+            "hotel", "hotel", "book_named",
+            {"guest": "g", "room": "room-101", "date": "2007-03-12"},
+        )
+        assert outcome.success
+        again = client.call(
+            "hotel", "hotel", "book_named",
+            {"guest": "h", "room": "room-101", "date": "2007-03-12"},
+        )
+        assert not again.success
+
+    def test_cancel_restores_named_room(self, hotel):
+        client = hotel.client("guest")
+        booked = client.call(
+            "hotel", "hotel", "book_named",
+            {"guest": "g", "room": "room-101", "date": "2007-03-12"},
+        )
+        cancelled = client.call("hotel", "hotel", "cancel", {"booking_id": booked.value})
+        assert cancelled.success
+        status = client.call(
+            "hotel", "hotel", "room_status",
+            {"room": "room-101", "date": "2007-03-12"},
+        )
+        assert status.value["status"] == "available"
+
+    def test_direct_booking_cannot_steal_promised_room(self, hotel):
+        """The §8 guarantee: a check-then-act booking that would break a
+        granted promise is rolled back (or rearranged away)."""
+        client = hotel.client("guest")
+        # Promise both view rooms on the date.
+        promise_id = client.require_promise(
+            "hotel",
+            [P("match('rooms', view == true and date == '2007-03-12', count=2)")],
+            20,
+        )
+        outcome = client.call(
+            "hotel", "hotel", "book_named",
+            {"guest": "thief", "room": "room-512", "date": "2007-03-12"},
+        )
+        # Tentative tags mean 512 is PROMISED -> the direct booking fails
+        # its own availability check.
+        assert not outcome.success
+        assert hotel.manager.is_promise_active(promise_id)
+
+
+class TestAirline:
+    FLIGHT = "QF1@2007-10-08"
+
+    def test_seed_counts(self, airline):
+        with airline.store.begin() as txn:
+            seats = airline.resources.instances_in(txn, self.FLIGHT)
+        cabins = {}
+        for seat in seats:
+            cabins[seat.properties["cabin"]] = cabins.get(seat.properties["cabin"], 0) + 1
+        assert cabins == {"business": 4, "economy": 18}
+
+    def test_named_and_anonymous_interaction(self, airline):
+        """§3.2: a promise for seat 24G excludes it from anonymous economy
+        promises."""
+        client = airline.client("pax")
+        named_seat = seat_id(self.FLIGHT, 2, "A")  # first economy row is 2
+        named = client.require_promise(
+            "airline", [P(f"available('{named_seat}')")], 20
+        )
+        # 17 economy seats remain for anonymous promises; 18 must fail.
+        anonymous = client.request_promise(
+            "airline",
+            [P(f"match('{self.FLIGHT}', cabin == 'economy', count=18)")],
+            20,
+        )
+        assert not anonymous.accepted
+        fits = client.request_promise(
+            "airline",
+            [P(f"match('{self.FLIGHT}', cabin == 'economy', count=17)")],
+            20,
+        )
+        assert fits.accepted
+        assert airline.manager.is_promise_active(named)
+
+    def test_or_better_upgrade(self, airline):
+        """§3.3: an economy-or-better promise can be satisfied by
+        business class."""
+        client = airline.client("pax")
+        # Take every economy seat with one promise.
+        client.require_promise(
+            "airline",
+            [P(f"match('{self.FLIGHT}', cabin == 'economy', count=18)")],
+            20,
+        )
+        # Plain economy is exhausted...
+        plain = client.request_promise(
+            "airline", [P(f"match('{self.FLIGHT}', cabin == 'economy', count=1)")], 20
+        )
+        assert not plain.accepted
+        # ...but economy-or-better is satisfied by a business seat.
+        upgraded = client.request_promise(
+            "airline", [P(f"match('{self.FLIGHT}', cabin == 'economy'~, count=1)")], 20
+        )
+        assert upgraded.accepted
+
+    def test_ticket_under_promise(self, airline):
+        client = airline.client("pax")
+        promise_id = client.require_promise(
+            "airline", [P(f"match('{self.FLIGHT}', cabin == 'business', count=1)")], 20
+        )
+        outcome = client.call(
+            "airline", "airline", "ticket",
+            {"passenger": "alice", "flight": self.FLIGHT},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        seat_map = client.call("airline", "airline", "seat_map", {"flight": self.FLIGHT})
+        taken = [seat for seat, status in seat_map.value.items() if status == "taken"]
+        assert len(taken) == 1
+
+    def test_direct_ticket_named_seat(self, airline):
+        client = airline.client("pax")
+        outcome = client.call(
+            "airline", "airline", "ticket_named",
+            {"passenger": "bob", "flight": self.FLIGHT, "seat": "2B"},
+        )
+        assert outcome.success
+        repeat = client.call(
+            "airline", "airline", "ticket_named",
+            {"passenger": "carol", "flight": self.FLIGHT, "seat": "2B"},
+        )
+        assert not repeat.success

@@ -1,0 +1,231 @@
+"""Tests for the merchant and bank services."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.services.bank import BankService, account_pool
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+
+
+@pytest.fixture
+def shop():
+    deployment = Deployment(name="shop")
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("widgets")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "widgets", 20)
+    return deployment
+
+
+@pytest.fixture
+def bank():
+    deployment = Deployment(name="bank")
+    deployment.add_service(BankService())
+    deployment.use_pool_strategy(account_pool("alice"), account_pool("bob"))
+    client = deployment.client("teller")
+    client.call("bank", "bank", "open_account", {"account": "alice", "balance": 500})
+    client.call("bank", "bank", "open_account", {"account": "bob", "balance": 100})
+    return deployment
+
+
+class TestMerchantLifecycle:
+    def test_full_order_flow(self, shop):
+        client = shop.client("alice")
+        promise_id = client.require_promise(
+            "shop", [P("quantity('widgets') >= 5")], 20
+        )
+        order = client.call(
+            "shop", "merchant", "place_order",
+            {"customer": "alice", "product": "widgets", "quantity": 5},
+        )
+        assert order.success
+        assert client.call("shop", "merchant", "pay", {"order_id": order.value}).success
+        done = client.call(
+            "shop", "merchant", "complete_order", {"order_id": order.value},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert done.success
+        stock = client.call("shop", "merchant", "stock_level", {"product": "widgets"})
+        assert stock.value == {"available": 15, "allocated": 0}
+
+    def test_complete_requires_payment(self, shop):
+        client = shop.client("alice")
+        order = client.call(
+            "shop", "merchant", "place_order",
+            {"customer": "alice", "product": "widgets", "quantity": 5},
+        )
+        done = client.call(
+            "shop", "merchant", "complete_order", {"order_id": order.value}
+        )
+        assert not done.success
+        assert "not paid" in done.reason
+
+    def test_cancel_order(self, shop):
+        client = shop.client("alice")
+        order = client.call(
+            "shop", "merchant", "place_order",
+            {"customer": "alice", "product": "widgets", "quantity": 5},
+        )
+        assert client.call("shop", "merchant", "cancel_order", {"order_id": order.value}).success
+        status = client.call("shop", "merchant", "order_status", {"order_id": order.value})
+        assert status.value["status"] == "cancelled"
+
+    def test_unknown_order_operations_fail(self, shop):
+        client = shop.client("alice")
+        for operation in ("pay", "complete_order", "cancel_order", "order_status"):
+            outcome = client.call("shop", "merchant", operation, {"order_id": "nope"})
+            assert not outcome.success
+
+    def test_sell_drains_available_only(self, shop):
+        client = shop.client("alice")
+        client.require_promise("shop", [P("quantity('widgets') >= 15")], 20)
+        # 5 unpromised units remain; selling 6 must fail.
+        ok = client.call("shop", "merchant", "sell", {"product": "widgets", "quantity": 5})
+        assert ok.success
+        too_much = client.call("shop", "merchant", "sell", {"product": "widgets", "quantity": 1})
+        assert not too_much.success
+
+    def test_restock(self, shop):
+        client = shop.client("alice")
+        client.call("shop", "merchant", "restock", {"product": "widgets", "quantity": 30})
+        stock = client.call("shop", "merchant", "stock_level", {"product": "widgets"})
+        assert stock.value["available"] == 50
+
+
+class TestFigure1Walkthrough:
+    """The exact message walkthrough of Figure 1."""
+
+    def test_accepted_path(self, shop):
+        client = shop.client("order-process")
+        # "Send promise request that (quantity of 'pink widgets' >= 5)"
+        promise_id = client.require_promise(
+            "shop", [P("quantity('widgets') >= 5")], 30
+        )
+        # "Continue processing order (organise payment, shippers)"
+        order = client.call(
+            "shop", "merchant", "place_order",
+            {"customer": "c", "product": "widgets", "quantity": 5},
+        )
+        client.call("shop", "merchant", "pay", {"order_id": order.value})
+        # "Send 'purchase stock' request ... and release promise"
+        done = client.call(
+            "shop", "merchant", "complete_order", {"order_id": order.value},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert done.success
+        assert done.released == (promise_id,)
+
+    def test_rejected_path_terminates_order(self, shop):
+        from repro.core.errors import PromiseRejected
+
+        client = shop.client("order-process")
+        # Drain stock so the promise is rejected.
+        client.call("shop", "merchant", "sell", {"product": "widgets", "quantity": 18})
+        with pytest.raises(PromiseRejected):
+            client.require_promise("shop", [P("quantity('widgets') >= 5")], 30)
+        # "Terminate order process saying goods unavailable" — no order
+        # record was ever created.
+        with shop.store.begin() as txn:
+            assert txn.keys("merchant_orders") == []
+
+    def test_guaranteed_despite_concurrent_orders(self, shop):
+        """'the required stock will be available when needed, even though
+        concurrent order processes may be also selling the same type of
+        goods' (§2)."""
+        alice = shop.client("alice")
+        promise_id = alice.require_promise(
+            "shop", [P("quantity('widgets') >= 5")], 30
+        )
+        # Concurrent processes drain everything else.
+        rival = shop.client("rival")
+        assert rival.call(
+            "shop", "merchant", "sell", {"product": "widgets", "quantity": 15}
+        ).success
+        assert not rival.call(
+            "shop", "merchant", "sell", {"product": "widgets", "quantity": 1}
+        ).success
+        # Alice's purchase still succeeds.
+        done = alice.call(
+            "shop", "merchant", "place_order",
+            {"customer": "alice", "product": "widgets", "quantity": 5},
+        )
+        assert done.success
+        order_id = done.value
+        alice.call("shop", "merchant", "pay", {"order_id": order_id})
+        final = alice.call(
+            "shop", "merchant", "complete_order", {"order_id": order_id},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert final.success
+
+
+class TestBank:
+    def test_balances(self, bank):
+        client = bank.client("teller")
+        balance = client.call("bank", "bank", "balance", {"account": "alice"})
+        assert balance.value == {"available": 500, "promised": 0, "total": 500}
+
+    def test_deposit_withdraw(self, bank):
+        client = bank.client("teller")
+        client.call("bank", "bank", "deposit", {"account": "alice", "amount": 100})
+        client.call("bank", "bank", "withdraw", {"account": "alice", "amount": 300})
+        balance = client.call("bank", "bank", "balance", {"account": "alice"})
+        assert balance.value["available"] == 300
+
+    def test_overdraft_rejected(self, bank):
+        client = bank.client("teller")
+        outcome = client.call("bank", "bank", "withdraw", {"account": "bob", "amount": 200})
+        assert not outcome.success
+
+    def test_negative_amounts_rejected(self, bank):
+        client = bank.client("teller")
+        assert not client.call("bank", "bank", "deposit", {"account": "bob", "amount": -5}).success
+        assert not client.call("bank", "bank", "withdraw", {"account": "bob", "amount": 0}).success
+
+    def test_transfer(self, bank):
+        client = bank.client("teller")
+        outcome = client.call(
+            "bank", "bank", "transfer",
+            {"source": "alice", "target": "bob", "amount": 250},
+        )
+        assert outcome.success
+        assert client.call("bank", "bank", "balance", {"account": "alice"}).value["available"] == 250
+        assert client.call("bank", "bank", "balance", {"account": "bob"}).value["available"] == 350
+
+    def test_transfer_insufficient_is_atomic(self, bank):
+        client = bank.client("teller")
+        outcome = client.call(
+            "bank", "bank", "transfer",
+            {"source": "bob", "target": "alice", "amount": 999},
+        )
+        assert not outcome.success
+        assert client.call("bank", "bank", "balance", {"account": "alice"}).value["available"] == 500
+        assert client.call("bank", "bank", "balance", {"account": "bob"}).value["available"] == 100
+
+    def test_balance_promise_escrows_funds(self, bank):
+        """§3.1: the bank can grant many promises against an account as
+        long as it cannot be overdrawn if all are exercised."""
+        client = bank.client("shop")
+        p1 = client.require_promise("bank", [P(f"quantity('{account_pool('alice')}') >= 300")], 20)
+        p2 = client.require_promise("bank", [P(f"quantity('{account_pool('alice')}') >= 200")], 20)
+        # 500 is fully promised: another withdrawal or promise must fail.
+        from repro.core.errors import PromiseRejected
+
+        with pytest.raises(PromiseRejected):
+            client.require_promise("bank", [P(f"quantity('{account_pool('alice')}') >= 1")], 20)
+        assert not client.call(
+            "bank", "bank", "withdraw", {"account": "alice", "amount": 1}
+        ).success
+        # Consume one, release the other.
+        outcome = client.call(
+            "bank", "bank", "balance", {"account": "alice"},
+            environment=Environment.of(p1, release=[p1]),
+        )
+        assert outcome.success
+        client.release("bank", p2)
+        balance = client.call("bank", "bank", "balance", {"account": "alice"})
+        assert balance.value == {"available": 200, "promised": 0, "total": 200}

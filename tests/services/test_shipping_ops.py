@@ -1,0 +1,96 @@
+"""Direct tests for the shipping service's operations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.parser import P
+from repro.services.deployment import Deployment
+from repro.services.shipping import ShippingService, capacity_pool
+
+
+@pytest.fixture
+def shipper():
+    deployment = Deployment(name="shipper")
+    service = deployment.add_service(ShippingService())
+    deployment.use_pool_strategy(*(capacity_pool(day) for day in range(3)))
+    with deployment.seed() as txn:
+        service.seed_capacity(txn, deployment.resources, days=3, per_day=4)
+    return deployment
+
+
+class TestCapacity:
+    def test_seeded_capacity(self, shipper):
+        client = shipper.client("ops")
+        outcome = client.call("shipper", "shipping", "capacity", {"day": 1})
+        assert outcome.value == {"available": 4, "allocated": 0}
+
+    def test_unknown_day_reports_internal_fault(self, shipper):
+        from repro.protocol.errors import ProtocolError
+
+        client = shipper.client("ops")
+        with pytest.raises(ProtocolError) as excinfo:
+            client.call("shipper", "shipping", "capacity", {"day": 9})
+        assert "internal-error" in str(excinfo.value)
+        # The endpoint survived: the next request works normally.
+        assert client.call("shipper", "shipping", "capacity", {"day": 0}).success
+
+
+class TestScheduling:
+    def test_promised_schedule(self, shipper):
+        client = shipper.client("merchant")
+        promise_id = client.require_promise(
+            "shipper", [P(f"quantity('{capacity_pool(1)}') >= 2")], 20
+        )
+        outcome = client.call(
+            "shipper", "shipping", "schedule",
+            {"order_id": "ord-9", "day": 1, "parcels": 2},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        assert outcome.success
+        capacity = client.call("shipper", "shipping", "capacity", {"day": 1})
+        assert capacity.value == {"available": 2, "allocated": 0}
+
+    def test_unprotected_schedule_drains_capacity(self, shipper):
+        client = shipper.client("merchant")
+        for __ in range(4):
+            assert client.call(
+                "shipper", "shipping", "schedule_unprotected",
+                {"order_id": "o", "day": 0},
+            ).success
+        fifth = client.call(
+            "shipper", "shipping", "schedule_unprotected",
+            {"order_id": "o", "day": 0},
+        )
+        assert not fifth.success
+
+    def test_unprotected_cannot_raid_promised_capacity(self, shipper):
+        client = shipper.client("merchant")
+        client.require_promise(
+            "shipper", [P(f"quantity('{capacity_pool(2)}') >= 3")], 20
+        )
+        # Only one unit of day-2 capacity remains unpromised.
+        assert client.call(
+            "shipper", "shipping", "schedule_unprotected",
+            {"order_id": "o", "day": 2},
+        ).success
+        assert not client.call(
+            "shipper", "shipping", "schedule_unprotected",
+            {"order_id": "o", "day": 2},
+        ).success
+
+    def test_shipment_records_promises(self, shipper):
+        client = shipper.client("merchant")
+        promise_id = client.require_promise(
+            "shipper", [P(f"quantity('{capacity_pool(0)}') >= 1")], 20
+        )
+        outcome = client.call(
+            "shipper", "shipping", "schedule",
+            {"order_id": "ord-1", "day": 0},
+            environment=Environment.of(promise_id, release=[promise_id]),
+        )
+        with shipper.store.begin() as txn:
+            record = txn.get("shipments", outcome.value)
+        assert record["promises"] == [promise_id]
+        assert record["order_id"] == "ord-1"

@@ -1,0 +1,215 @@
+"""Unit tests for the discrete-event simulator, RNG and metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import LogicalClock
+from repro.sim.metrics import Metrics, percentile
+from repro.sim.random import RandomStream, StreamFactory
+from repro.sim.simulator import Simulator
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5, lambda: fired.append(("b", sim.now)))
+        sim.schedule(2, lambda: fired.append(("a", sim.now)))
+        sim.run()
+        assert fired == [("a", 2), ("b", 5)]
+
+    def test_ties_fire_in_schedule_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append("first"))
+        sim.schedule(3, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_is_shared(self):
+        clock = LogicalClock()
+        sim = Simulator(clock)
+        sim.schedule(7, lambda: None)
+        sim.run()
+        assert clock.now == 7
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(1, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_run_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append("early"))
+        sim.schedule(10, lambda: fired.append("late"))
+        sim.run(until=5)
+        assert fired == ["early"]
+        assert sim.now == 5
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator().schedule(-1, lambda: None)
+
+    def test_process_yields_delays(self):
+        sim = Simulator()
+        trace = []
+
+        def process():
+            trace.append(("start", sim.now))
+            yield 4
+            trace.append(("mid", sim.now))
+            yield 6
+            trace.append(("end", sim.now))
+
+        sim.spawn(process())
+        sim.run()
+        assert trace == [("start", 0), ("mid", 4), ("end", 10)]
+
+    def test_processes_interleave(self):
+        sim = Simulator()
+        trace = []
+
+        def worker(name, step):
+            for __ in range(3):
+                yield step
+                trace.append((name, sim.now))
+
+        sim.spawn(worker("fast", 2))
+        sim.spawn(worker("slow", 3))
+        sim.run()
+        # At t=6 both are due; the slow worker's event was scheduled
+        # earlier (at t=3) so FIFO tie-breaking runs it first.
+        assert trace == [
+            ("fast", 2), ("slow", 3), ("fast", 4), ("slow", 6),
+            ("fast", 6), ("slow", 9),
+        ]
+
+    def test_spawn_with_delay(self):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            seen.append(sim.now)
+            yield 0
+
+        sim.spawn(proc(), delay=9)
+        sim.run()
+        assert seen == [9]
+
+    def test_bad_yield_type_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "soon"
+
+        sim.spawn(proc())
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_events_scheduled_during_run(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(2, chain)
+
+        sim.schedule(1, chain)
+        sim.run()
+        assert fired == [1, 3, 5]
+
+
+class TestRandomStream:
+    def test_same_seed_same_draws(self):
+        a = RandomStream(7, "x")
+        b = RandomStream(7, "x")
+        assert [a.uniform_int(1, 100) for __ in range(5)] == [
+            b.uniform_int(1, 100) for __ in range(5)
+        ]
+
+    def test_streams_are_independent(self):
+        factory = StreamFactory(7)
+        a = factory.stream("arrivals")
+        b = factory.stream("quantities")
+        assert [a.uniform_int(1, 100) for __ in range(5)] != [
+            b.uniform_int(1, 100) for __ in range(5)
+        ]
+
+    def test_exponential_ticks_nonnegative(self):
+        stream = RandomStream(1, "x")
+        assert all(stream.exponential_ticks(3.0) >= 0 for __ in range(100))
+
+    def test_exponential_zero_mean(self):
+        assert RandomStream(1, "x").exponential(0) == 0.0
+
+    def test_shuffle_returns_copy(self):
+        stream = RandomStream(1, "x")
+        original = [1, 2, 3, 4]
+        shuffled = stream.shuffle(original)
+        assert sorted(shuffled) == original
+        assert original == [1, 2, 3, 4]
+
+    def test_chance_extremes(self):
+        stream = RandomStream(1, "x")
+        assert not any(stream.chance(0.0) for __ in range(20))
+        assert all(stream.chance(1.0) for __ in range(20))
+
+
+class TestMetrics:
+    def test_counters(self):
+        metrics = Metrics()
+        metrics.count("hits")
+        metrics.count("hits", 2)
+        assert metrics.counter("hits") == 3
+        assert metrics.counter("misses") == 0
+
+    def test_series_summary(self):
+        metrics = Metrics()
+        for value in [1, 2, 3, 4, 100]:
+            metrics.observe("latency", value)
+        summary = metrics.summarise("latency")
+        assert summary.count == 5
+        assert summary.mean == 22
+        assert summary.p50 == 3
+        assert summary.maximum == 100
+
+    def test_summary_of_missing_series(self):
+        assert Metrics().summarise("nothing") is None
+
+    def test_rate(self):
+        metrics = Metrics()
+        metrics.count("good", 3)
+        metrics.count("total", 4)
+        assert metrics.rate("good", "total") == 0.75
+        assert metrics.rate("good", "never") == 0.0
+
+    def test_merge(self):
+        a, b = Metrics(), Metrics()
+        a.count("x")
+        b.count("x", 2)
+        b.observe("s", 1.0)
+        a.merge(b)
+        assert a.counter("x") == 3
+        assert a.summarise("s").count == 1
+
+    def test_percentile_nearest_rank(self):
+        values = [float(v) for v in range(1, 11)]
+        assert percentile(values, 0.5) == 5
+        assert percentile(values, 0.95) == 10
+        assert percentile(values, 0.0) == 1
+
+    def test_snapshot(self):
+        metrics = Metrics()
+        metrics.count("done", 2)
+        metrics.observe("lat", 4)
+        snap = metrics.snapshot()
+        assert snap["done"] == 2
+        assert snap["lat(mean)"] == 4

@@ -1,0 +1,98 @@
+"""Unit tests for workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.workload import (
+    WorkloadSpec,
+    generate_bookings,
+    generate_orders,
+)
+
+
+class TestWorkloadSpec:
+    def test_pool_ids(self):
+        spec = WorkloadSpec(products=3)
+        assert spec.pool_ids == ["product-0", "product-1", "product-2"]
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(quantity_low=5, quantity_high=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(work_low=10, work_high=1)
+        with pytest.raises(ValueError):
+            WorkloadSpec(products=1, products_per_order=2)
+
+    def test_tightness(self):
+        spec = WorkloadSpec(
+            clients=10, products=1, stock_per_product=30,
+            quantity_low=3, quantity_high=3,
+        )
+        assert spec.tightness() == pytest.approx(1.0)
+
+    def test_with_tightness_adjusts_stock(self):
+        spec = WorkloadSpec(
+            clients=10, products=1, quantity_low=3, quantity_high=3
+        )
+        tightened = spec.with_tightness(2.0)
+        assert tightened.stock_per_product == 15
+        assert tightened.tightness() == pytest.approx(2.0)
+
+    def test_with_tightness_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec().with_tightness(0)
+
+
+class TestGenerateOrders:
+    def test_deterministic_for_seed(self):
+        spec = WorkloadSpec(clients=20, seed=5)
+        assert generate_orders(spec) == generate_orders(spec)
+
+    def test_different_seeds_differ(self):
+        a = generate_orders(WorkloadSpec(clients=20, seed=1))
+        b = generate_orders(WorkloadSpec(clients=20, seed=2))
+        assert a != b
+
+    def test_job_shape(self):
+        spec = WorkloadSpec(
+            clients=10, products=4, products_per_order=2,
+            quantity_low=1, quantity_high=3, work_low=2, work_high=9,
+        )
+        jobs = generate_orders(spec)
+        assert len(jobs) == 10
+        for job in jobs:
+            assert len(job.demands) == 2
+            pools = [pool for pool, __ in job.demands]
+            assert pools == sorted(pools)  # canonical order
+            assert len(set(pools)) == 2
+            for __, quantity in job.demands:
+                assert 1 <= quantity <= 3
+            assert 2 <= job.work_ticks <= 9
+
+    def test_arrivals_nondecreasing(self):
+        jobs = generate_orders(WorkloadSpec(clients=50, seed=3))
+        arrivals = [job.arrival for job in jobs]
+        assert arrivals == sorted(arrivals)
+
+    def test_total_quantity(self):
+        spec = WorkloadSpec(clients=5, quantity_low=2, quantity_high=2)
+        for job in generate_orders(spec):
+            assert job.total_quantity == 2
+
+
+class TestGenerateBookings:
+    MENU = [{"floor": 5}, {"view": True}, {"floor": 1, "view": False}]
+
+    def test_deterministic(self):
+        a = generate_bookings(1, 10, self.MENU)
+        b = generate_bookings(1, 10, self.MENU)
+        assert a == b
+
+    def test_conditions_from_menu(self):
+        for booking in generate_bookings(2, 30, self.MENU):
+            assert booking.conditions in self.MENU
+
+    def test_hold_range(self):
+        for booking in generate_bookings(2, 30, self.MENU, hold_low=4, hold_high=6):
+            assert 4 <= booking.hold_ticks <= 6

@@ -1,0 +1,175 @@
+"""Unit tests for the lock manager."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.errors import DeadlockDetected
+from repro.storage.locks import LockManager, LockMode, LockStatus
+
+
+@pytest.fixture
+def locks() -> LockManager:
+    return LockManager()
+
+
+class TestBasicAcquisition:
+    def test_exclusive_grant_on_free_key(self, locks):
+        assert locks.acquire(1, "a", LockMode.EXCLUSIVE) is LockStatus.GRANTED
+
+    def test_shared_locks_coexist(self, locks):
+        assert locks.acquire(1, "a", LockMode.SHARED) is LockStatus.GRANTED
+        assert locks.acquire(2, "a", LockMode.SHARED) is LockStatus.GRANTED
+        assert set(locks.holders("a")) == {1, 2}
+
+    def test_exclusive_blocks_shared(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert locks.acquire(2, "a", LockMode.SHARED) is LockStatus.WAITING
+
+    def test_shared_blocks_exclusive(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        assert locks.acquire(2, "a", LockMode.EXCLUSIVE) is LockStatus.WAITING
+
+    def test_reentrant_same_mode(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "a", LockMode.EXCLUSIVE) is LockStatus.GRANTED
+
+    def test_shared_under_own_exclusive(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert locks.acquire(1, "a", LockMode.SHARED) is LockStatus.GRANTED
+
+    def test_upgrade_sole_shared_holder(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        assert locks.acquire(1, "a", LockMode.EXCLUSIVE) is LockStatus.GRANTED
+        assert locks.holders("a")[1] is LockMode.EXCLUSIVE
+
+    def test_upgrade_with_other_holders_waits(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(2, "a", LockMode.SHARED)
+        assert locks.acquire(1, "a", LockMode.EXCLUSIVE) is LockStatus.WAITING
+
+
+class TestTryAcquire:
+    def test_try_acquire_success(self, locks):
+        assert locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+
+    def test_try_acquire_conflict_leaves_no_trace(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        assert not locks.try_acquire(2, "a", LockMode.SHARED)
+        assert locks.waiting("a") == []
+        assert not locks.is_waiting(2)
+
+    def test_try_acquire_reentrant(self, locks):
+        locks.try_acquire(1, "a", LockMode.SHARED)
+        assert locks.try_acquire(1, "a", LockMode.SHARED)
+
+    def test_try_acquire_upgrade(self, locks):
+        locks.try_acquire(1, "a", LockMode.SHARED)
+        assert locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+
+    def test_try_acquire_upgrade_fails_with_cohabitant(self, locks):
+        locks.try_acquire(1, "a", LockMode.SHARED)
+        locks.try_acquire(2, "a", LockMode.SHARED)
+        assert not locks.try_acquire(1, "a", LockMode.EXCLUSIVE)
+
+
+class TestReleaseAndPromotion:
+    def test_release_promotes_fifo(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.acquire(3, "a", LockMode.EXCLUSIVE)
+        granted = locks.release_all(1)
+        assert granted == [(2, "a")]
+        assert set(locks.holders("a")) == {2}
+
+    def test_release_promotes_shared_batch(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.SHARED)
+        locks.acquire(3, "a", LockMode.SHARED)
+        granted = locks.release_all(1)
+        assert sorted(granted) == [(2, "a"), (3, "a")]
+
+    def test_release_all_clears_every_key(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.SHARED)
+        locks.release_all(1)
+        assert locks.holders("a") == {}
+        assert locks.holders("b") == {}
+        assert locks.locks_held(1) == set()
+
+    def test_release_unknown_txn_is_noop(self, locks):
+        assert locks.release_all(99) == []
+
+    def test_waiter_removed_on_release(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        assert locks.waiting("a") == []
+
+    def test_fifo_fairness_no_overtaking(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)  # waits
+        # A later shared request must not jump the queued writer.
+        assert locks.acquire(3, "a", LockMode.SHARED) is LockStatus.WAITING
+
+
+class TestDeadlockDetection:
+    def test_two_party_deadlock(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)  # 1 waits for 2
+        with pytest.raises(DeadlockDetected):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)  # closes the cycle
+
+    def test_three_party_cycle(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(3, "c", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        locks.acquire(2, "c", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockDetected):
+            locks.acquire(3, "a", LockMode.EXCLUSIVE)
+
+    def test_no_false_positive_on_chain(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)  # 2 waits on 1
+        # 3 waiting on 2's other key is a chain, not a cycle.
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        assert locks.acquire(3, "b", LockMode.EXCLUSIVE) is LockStatus.WAITING
+
+    def test_victim_can_retry_after_release(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockDetected):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.release_all(2)
+        # 1 is promoted to b's holder; the world is consistent again.
+        assert "b" in locks.locks_held(1)
+
+    def test_deadlock_leaves_requester_unqueued(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "b", LockMode.EXCLUSIVE)
+        locks.acquire(1, "b", LockMode.EXCLUSIVE)
+        with pytest.raises(DeadlockDetected):
+            locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        assert 2 not in locks.waiting("a")
+
+
+class TestIntrospection:
+    def test_holders_is_a_copy(self, locks):
+        locks.acquire(1, "a", LockMode.SHARED)
+        holders = locks.holders("a")
+        holders[99] = LockMode.SHARED
+        assert 99 not in locks.holders("a")
+
+    def test_locks_held_excludes_waiting(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        assert locks.locks_held(2) == set()
+
+    def test_waiting_order(self, locks):
+        locks.acquire(1, "a", LockMode.EXCLUSIVE)
+        locks.acquire(2, "a", LockMode.EXCLUSIVE)
+        locks.acquire(3, "a", LockMode.EXCLUSIVE)
+        assert locks.waiting("a") == [2, 3]

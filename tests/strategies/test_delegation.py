@@ -1,0 +1,158 @@
+"""Unit tests for the delegation strategy (§5): merchant → distributor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.clock import LogicalClock
+from repro.core.environment import Environment
+from repro.core.manager import PromiseManager
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+from repro.strategies.delegation import DelegationStrategy
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+
+@pytest.fixture
+def distributor():
+    """Upstream promise maker holding the real backorder stock."""
+    clock = LogicalClock()
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("backorders", ResourcePoolStrategy())
+    manager = PromiseManager(
+        store=store, resources=resources, clock=clock,
+        registry=registry, name="distributor",
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "backorders", 10)
+    return manager
+
+
+@pytest.fixture
+def merchant(distributor):
+    """Downstream promise maker delegating 'backorders' upstream."""
+    clock = LogicalClock()
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("backorders", DelegationStrategy(distributor, "merchant"))
+    registry.assign("widgets", ResourcePoolStrategy())
+    manager = PromiseManager(
+        store=store, resources=resources, clock=clock,
+        registry=registry, name="merchant",
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "widgets", 5)
+    return manager
+
+
+def upstream_id(manager, promise_id):
+    promise = manager.promise(promise_id)
+    return promise.meta["delegation"]["upstream_promise"]
+
+
+class TestDelegatedGrant:
+    def test_grant_creates_upstream_promise(self, merchant, distributor):
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 3)], duration=10
+        )
+        assert response.accepted
+        assert distributor.is_promise_active(upstream_id(merchant, response.promise_id))
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert (pool.available, pool.allocated) == (7, 3)
+
+    def test_upstream_rejection_propagates(self, merchant):
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 11)], duration=10
+        )
+        assert not response.accepted
+        assert "upstream rejected" in response.reason
+
+    def test_release_propagates(self, merchant, distributor):
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 3)], duration=10
+        )
+        upstream = upstream_id(merchant, response.promise_id)
+        merchant.release(response.promise_id)
+        assert not distributor.is_promise_active(upstream)
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert (pool.available, pool.allocated) == (10, 0)
+
+    def test_consume_propagates(self, merchant, distributor):
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 3)], duration=10
+        )
+        outcome = merchant.execute(
+            lambda ctx: "fulfilled",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert (pool.available, pool.allocated, pool.on_hand) == (7, 0, 7)
+
+
+class TestCompensation:
+    def test_local_rejection_releases_upstream(self, merchant, distributor):
+        """A mixed request whose local leg fails must not leak an
+        upstream promise (cross-domain compensation)."""
+        response = merchant.request_promise_for(
+            [
+                quantity_at_least("backorders", 3),
+                quantity_at_least("widgets", 100),  # impossible locally
+            ],
+            duration=10,
+        )
+        assert not response.accepted
+        # The upstream escrow must have been compensated away.
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert (pool.available, pool.allocated) == (10, 0)
+
+
+class TestConsistency:
+    def test_upstream_expiry_detected_as_violation(self, merchant, distributor):
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 3)], duration=100
+        )
+        # The upstream promise was granted with the same duration but on
+        # the distributor's own clock; advance it past expiry.
+        distributor.clock.advance(200)
+        distributor.expire_due()
+        outcome = merchant.execute(lambda ctx: "anything")
+        assert not outcome.success
+        assert response.promise_id in {v.promise_id for v in outcome.violations}
+
+    def test_chain_of_two_delegations(self, distributor):
+        """Merchant -> wholesaler -> distributor: promises chain through
+        two trust domains."""
+        wholesaler_registry = StrategyRegistry()
+        wholesaler_registry.assign(
+            "backorders", DelegationStrategy(distributor, "wholesaler")
+        )
+        wholesaler = PromiseManager(
+            registry=wholesaler_registry, name="wholesaler"
+        )
+        merchant_registry = StrategyRegistry()
+        merchant_registry.assign(
+            "backorders", DelegationStrategy(wholesaler, "merchant")
+        )
+        merchant = PromiseManager(registry=merchant_registry, name="merchant")
+
+        response = merchant.request_promise_for(
+            [quantity_at_least("backorders", 4)], duration=10
+        )
+        assert response.accepted
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert pool.allocated == 4
+        merchant.release(response.promise_id)
+        with distributor.store.begin() as txn:
+            pool = distributor.resources.pool(txn, "backorders")
+        assert pool.allocated == 0

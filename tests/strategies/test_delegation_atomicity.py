@@ -1,0 +1,170 @@
+"""Regression tests: cross-domain effects must respect local atomicity.
+
+A delegated promise's upstream release runs in the upstream's own trust
+domain, where our local transaction cannot reach.  These tests pin the
+two failure shapes the soak test originally exposed:
+
+* a local rollback (failed action, post-action violation) must NOT leak
+  an upstream release;
+* consuming a promise whose upstream backing has expired is a promise
+  violation, not a silent success;
+* promises mixing strategies must give each strategy only its own
+  predicates (no double consumption of quantity atoms).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import Environment
+from repro.core.errors import PromiseViolation
+from repro.core.manager import ActionResult, PromiseManager
+from repro.core.clock import LogicalClock
+from repro.core.predicates import quantity_at_least
+from repro.resources.manager import ResourceManager
+from repro.storage.store import Store
+from repro.strategies.delegation import DelegationStrategy
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+
+@pytest.fixture
+def world():
+    clock = LogicalClock()
+    upstream = PromiseManager(name="up", clock=clock)
+    upstream.registry.assign("remote", ResourcePoolStrategy())
+    with upstream.store.begin() as txn:
+        upstream.resources.create_pool(txn, "remote", 10)
+
+    store = Store()
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("remote", DelegationStrategy(upstream, "local"))
+    registry.assign("stock", ResourcePoolStrategy())
+    local = PromiseManager(
+        store=store, resources=resources, registry=registry,
+        name="local", clock=clock,
+    )
+    with store.begin() as txn:
+        resources.create_pool(txn, "stock", 10)
+    return local, upstream
+
+
+def upstream_allocated(upstream):
+    with upstream.store.begin() as txn:
+        return upstream.resources.pool(txn, "remote").allocated
+
+
+class TestNoUpstreamLeakOnLocalRollback:
+    def test_failed_action_keeps_upstream_escrow(self, world):
+        local, upstream = world
+        response = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        outcome = local.execute(
+            lambda ctx: ActionResult.failed("payment bounced"),
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert not outcome.success
+        assert local.is_promise_active(response.promise_id)
+        # The upstream escrow must be intact: no leaked release.
+        assert upstream_allocated(upstream) == 3
+
+    def test_post_action_violation_keeps_upstream_escrow(self, world):
+        local, upstream = world
+        remote = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        # An escrow guard over most of the local stock; the rogue action
+        # below breaks it by raiding the allocated counter directly.
+        guard = local.request_promise_for([quantity_at_least("stock", 8)], 50)
+        assert guard.accepted
+
+        def rogue(ctx):
+            # Raid the guard's escrow: move a unit out and sell it.
+            ctx.resources.unreserve(ctx.txn, "stock", 1)
+            ctx.resources.remove_stock(ctx.txn, "stock", 1)
+            return "tampered"
+
+        outcome = local.execute(
+            rogue,
+            Environment.of(remote.promise_id, release=[remote.promise_id]),
+        )
+        # The post-action check catches the raided escrow and rolls the
+        # whole request back — including the remote promise's release.
+        assert not outcome.success and outcome.violated
+        assert local.is_promise_active(remote.promise_id)
+        assert upstream_allocated(upstream) == 3
+
+    def test_successful_consume_releases_upstream(self, world):
+        local, upstream = world
+        response = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        outcome = local.execute(
+            lambda ctx: "fulfilled",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        assert upstream_allocated(upstream) == 0
+        with upstream.store.begin() as txn:
+            assert upstream.resources.pool(txn, "remote").on_hand == 7
+
+    def test_failed_exchange_keeps_upstream_escrow(self, world):
+        local, upstream = world
+        held = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        response = local.request_promise_for(
+            [quantity_at_least("stock", 500)],  # impossible locally
+            50,
+            releases=[held.promise_id],
+        )
+        assert not response.accepted
+        assert local.is_promise_active(held.promise_id)
+        assert upstream_allocated(upstream) == 3
+
+
+class TestUpstreamDefault:
+    def test_consume_after_upstream_default_is_violation(self, world):
+        local, upstream = world
+        response = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        # The third party defaults: it releases the backing promise.
+        upstream_id = local.promise(response.promise_id).meta["delegation"][
+            "upstream_promise"
+        ]
+        upstream.release(upstream_id)
+        outcome = local.execute(
+            lambda ctx: "fulfil",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert not outcome.success
+        assert response.promise_id in {v.promise_id for v in outcome.violations}
+
+    def test_plain_release_after_upstream_default_is_quiet(self, world):
+        local, upstream = world
+        response = local.request_promise_for([quantity_at_least("remote", 3)], 50)
+        upstream_id = local.promise(response.promise_id).meta["delegation"][
+            "upstream_promise"
+        ]
+        upstream.release(upstream_id)
+        # Handing back a promise whose backing is already gone is fine.
+        local.release(response.promise_id)
+        assert not local.is_promise_active(response.promise_id)
+
+
+class TestMixedStrategySplit:
+    def test_quantity_atoms_not_double_consumed(self, world):
+        local, upstream = world
+        # One promise spanning the escrow pool and the default
+        # (satisfiability) strategy on an unassigned pool.
+        with local.store.begin() as txn:
+            local.resources.create_pool(txn, "loose", 10)
+        response = local.request_promise_for(
+            [quantity_at_least("stock", 4), quantity_at_least("loose", 2)],
+            50,
+        )
+        assert response.accepted
+        outcome = local.execute(
+            lambda ctx: "consume",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        with local.store.begin() as txn:
+            stock = local.resources.pool(txn, "stock")
+            loose = local.resources.pool(txn, "loose")
+        # Each pool loses exactly its own promised amount, once.
+        assert stock.on_hand == 6
+        assert loose.on_hand == 8

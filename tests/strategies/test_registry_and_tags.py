@@ -1,0 +1,179 @@
+"""Unit tests for the strategy registry, heuristics, and allocated tags."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.parser import P
+from repro.resources.records import InstanceStatus
+from repro.strategies.allocated_tags import AllocatedTagsStrategy
+from repro.strategies.registry import (
+    TENTATIVE_COLLECTION_LIMIT,
+    StrategyRegistry,
+    choose_strategy,
+)
+from repro.strategies.resource_pool import ResourcePoolStrategy
+from repro.strategies.satisfiability import SatisfiabilityStrategy
+from repro.strategies.tentative import TentativeAllocationStrategy
+
+
+class TestRegistry:
+    def test_default_is_satisfiability(self):
+        registry = StrategyRegistry()
+        assert isinstance(registry.strategy_for("anything"), SatisfiabilityStrategy)
+
+    def test_assignment_routes(self):
+        registry = StrategyRegistry()
+        pool = ResourcePoolStrategy()
+        registry.assign("widgets", pool)
+        assert registry.strategy_for("widgets") is pool
+        assert registry.strategy_for("other") is registry.default
+
+    def test_assign_many(self):
+        registry = StrategyRegistry()
+        tags = AllocatedTagsStrategy()
+        registry.assign_many(["a", "b"], tags)
+        assert registry.assignments() == {"a": "allocated_tags", "b": "allocated_tags"}
+
+    def test_strategies_deduplicated(self):
+        registry = StrategyRegistry()
+        pool = ResourcePoolStrategy()
+        registry.assign("a", pool)
+        registry.assign("b", pool)
+        names = [strategy.name for strategy in registry.strategies()]
+        assert sorted(names) == ["resource_pool", "satisfiability"]
+
+
+class TestChooseStrategy:
+    def test_pool(self):
+        assert isinstance(choose_strategy("pool"), ResourcePoolStrategy)
+
+    def test_named(self):
+        assert isinstance(choose_strategy("named"), AllocatedTagsStrategy)
+
+    def test_small_collection(self):
+        assert isinstance(
+            choose_strategy("collection", collection_size=10),
+            TentativeAllocationStrategy,
+        )
+
+    def test_large_collection(self):
+        assert isinstance(
+            choose_strategy(
+                "collection", collection_size=TENTATIVE_COLLECTION_LIMIT + 1
+            ),
+            SatisfiabilityStrategy,
+        )
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            choose_strategy("quantum")
+
+
+class TestAllocatedTags:
+    def test_named_grant_tags_instance(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        assert response.accepted
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-512")
+        assert record.status is InstanceStatus.PROMISED
+        assert record.promise_id == response.promise_id
+        assert not record.tentative
+
+    def test_double_named_promise_rejected(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        first = manager.request_promise_for([P("available('room-512')")], 10)
+        second = manager.request_promise_for([P("available('room-512')")], 10)
+        assert first.accepted and not second.accepted
+
+    def test_unknown_instance_rejected(self, tagged_rooms_manager):
+        # An unknown instance cannot be resolved to any collection, so it
+        # falls through to the default strategy, which rejects it.
+        response = tagged_rooms_manager.request_promise_for(
+            [P("available('room-999')")], 10
+        )
+        assert not response.accepted
+        assert "room-999" in response.reason
+
+    def test_first_fit_is_deterministic_lowest_id(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for(
+            [P("match('rooms', view == true, count=1)")], 10
+        )
+        assert response.accepted
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-102")
+        # view rooms are 102 and 512; first-fit takes the lowest id.
+        assert record.promise_id == response.promise_id
+
+    def test_first_fit_cannot_rearrange(self, tagged_rooms_manager):
+        """The E5 contrast: first-fit paints itself into a corner that
+        tentative allocation escapes."""
+        manager = tagged_rooms_manager
+        # Takes room-512 (only 5th-floor view room is 512; first-fit on
+        # floor==5 takes 512 before 513).
+        first = manager.request_promise_for(
+            [P("match('rooms', floor == 5, count=1)")], 10
+        )
+        assert first.accepted
+        with manager.store.begin() as txn:
+            taken_512 = (
+                manager.resources.instance(txn, "room-512").promise_id
+                == first.promise_id
+            )
+        assert taken_512
+        # Now view rooms {102, 512} has only 102 free: count=2 fails even
+        # though a rearrangement (first -> 513) would admit it.
+        second = manager.request_promise_for(
+            [P("match('rooms', view == true, count=2)")], 10
+        )
+        assert not second.accepted
+
+    def test_release_resets_tags(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        manager.release(response.promise_id)
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-512")
+        assert record.status is InstanceStatus.AVAILABLE
+        assert record.promise_id is None
+
+    def test_consume_marks_taken(self, tagged_rooms_manager):
+        from repro.core.environment import Environment
+
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        outcome = manager.execute(
+            lambda ctx: "sold",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-512")
+        assert record.status is InstanceStatus.TAKEN
+
+    def test_rogue_untag_detected_as_violation(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for([P("available('room-512')")], 10)
+        assert response.accepted
+
+        def rogue(ctx):
+            ctx.resources.set_instance_status(
+                ctx.txn, "room-512", InstanceStatus.AVAILABLE
+            )
+            return "untagged it"
+
+        outcome = manager.execute(rogue)
+        assert not outcome.success and outcome.violated
+
+    def test_multi_instance_grant_atomic(self, tagged_rooms_manager):
+        manager = tagged_rooms_manager
+        response = manager.request_promise_for(
+            [P("available('room-101')"), P("available('room-999')")], 10
+        )
+        assert not response.accepted
+        # The successful first tag must have been rolled back.
+        with manager.store.begin() as txn:
+            record = manager.resources.instance(txn, "room-101")
+        assert record.status is InstanceStatus.AVAILABLE

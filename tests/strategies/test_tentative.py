@@ -1,0 +1,171 @@
+"""Unit tests for the tentative-allocation strategy (§5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PredicateUnsupported
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+from repro.resources.records import InstanceStatus
+
+
+def tagged_to(manager, promise_id):
+    """Instance ids currently tagged to ``promise_id``."""
+    with manager.store.begin() as txn:
+        return sorted(
+            record.instance_id
+            for record in manager.resources.instances_in(txn, "rooms")
+            if record.promise_id == promise_id
+        )
+
+
+class TestRearrangement:
+    def test_paper_room512_scenario(self, tentative_rooms_manager):
+        """§5: a 'view' promise may take 512 tentatively; a later '5th
+        floor' request can steal it because room 102 also has a view."""
+        manager = tentative_rooms_manager
+        view = manager.request_promise_for(
+            [P("match('rooms', view == true, count=1)")], 20
+        )
+        assert view.accepted
+        floor5 = manager.request_promise_for(
+            [P("match('rooms', floor == 5, count=1)")], 20
+        )
+        assert floor5.accepted
+        # Whatever the rearrangement chose, both promises hold disjoint
+        # rooms matching their predicates.
+        view_rooms = tagged_to(manager, view.promise_id)
+        floor_rooms = tagged_to(manager, floor5.promise_id)
+        assert len(view_rooms) == 1 and len(floor_rooms) == 1
+        assert not set(view_rooms) & set(floor_rooms)
+        assert view_rooms[0] in ("room-102", "room-512")
+        assert floor_rooms[0] in ("room-512", "room-513")
+
+    def test_steal_with_fallback(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        view = manager.request_promise_for(
+            [P("match('rooms', view == true, count=1)")], 20
+        )
+        assert view.accepted
+        initially = tagged_to(manager, view.promise_id)
+
+        floor5 = manager.request_promise_for(
+            [P("match('rooms', floor == 5, count=2)")], 20
+        )
+        assert floor5.accepted
+        # floor5 needs both 512 and 513; the view promise must end up on
+        # room-102 regardless of where it started.
+        assert tagged_to(manager, view.promise_id) == ["room-102"]
+        assert tagged_to(manager, floor5.promise_id) == ["room-512", "room-513"]
+        assert initially  # sanity: it was tagged from the start
+
+    def test_rejection_when_no_rearrangement_exists(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        first = manager.request_promise_for(
+            [P("match('rooms', view == true, count=2)")], 20
+        )
+        assert first.accepted
+        second = manager.request_promise_for(
+            [P("match('rooms', floor == 5, count=2)")], 20
+        )
+        assert not second.accepted
+        # Rejection must not disturb the first promise's tags.
+        assert len(tagged_to(manager, first.promise_id)) == 2
+
+    def test_tags_are_tentative_flagged(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        response = manager.request_promise_for([P("match('rooms', count=1)")], 20)
+        with manager.store.begin() as txn:
+            tagged = [
+                record
+                for record in manager.resources.instances_in(txn, "rooms")
+                if record.promise_id == response.promise_id
+            ]
+        assert len(tagged) == 1
+        assert tagged[0].tentative
+        assert tagged[0].status is InstanceStatus.PROMISED
+
+
+class TestReleaseAndConsume:
+    def test_release_frees_instances(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        response = manager.request_promise_for([P("match('rooms', count=3)")], 20)
+        manager.release(response.promise_id)
+        with manager.store.begin() as txn:
+            statuses = {
+                record.status
+                for record in manager.resources.instances_in(txn, "rooms")
+            }
+        assert statuses == {InstanceStatus.AVAILABLE}
+
+    def test_consume_takes_instances(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        response = manager.request_promise_for([P("match('rooms', count=2)")], 20)
+        from repro.core.environment import Environment
+
+        outcome = manager.execute(
+            lambda ctx: "booked",
+            Environment.of(response.promise_id, release=[response.promise_id]),
+        )
+        assert outcome.success
+        with manager.store.begin() as txn:
+            taken = [
+                record.instance_id
+                for record in manager.resources.instances_in(txn, "rooms")
+                if record.status is InstanceStatus.TAKEN
+            ]
+        assert len(taken) == 2
+
+
+class TestConsistencySelfHealing:
+    def test_action_taking_tentative_room_triggers_rearrangement(
+        self, tentative_rooms_manager
+    ):
+        manager = tentative_rooms_manager
+        view = manager.request_promise_for(
+            [P("match('rooms', view == true, count=1)")], 20
+        )
+        assert view.accepted
+        victim = tagged_to(manager, view.promise_id)[0]
+        other_view_room = "room-102" if victim == "room-512" else "room-512"
+
+        def rogue(ctx):
+            ctx.resources.set_instance_status(
+                ctx.txn, victim, InstanceStatus.TAKEN
+            )
+            return "took the promised room"
+
+        outcome = manager.execute(rogue)
+        # The strategy rearranges onto the other viewed room instead of
+        # rolling back (§5: "consider rearranging these tentative
+        # allocations").
+        assert outcome.success
+        assert tagged_to(manager, view.promise_id) == [other_view_room]
+
+    def test_violation_when_no_room_left(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        view = manager.request_promise_for(
+            [P("match('rooms', view == true, count=2)")], 20
+        )
+        assert view.accepted
+
+        def rogue(ctx):
+            ctx.resources.set_instance_status(
+                ctx.txn, "room-512", InstanceStatus.TAKEN
+            )
+            return "took it"
+
+        outcome = manager.execute(rogue)
+        assert not outcome.success
+        assert outcome.violated
+
+
+class TestUnsupportedForms:
+    def test_quantity_atoms_rejected(self, tentative_rooms_manager):
+        manager = tentative_rooms_manager
+        manager.registry.assign(
+            "some-pool", manager.registry.strategy_for("rooms")
+        )
+        with pytest.raises(PredicateUnsupported):
+            manager.request_promise_for([quantity_at_least("some-pool", 1)], 10)

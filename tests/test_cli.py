@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(*argv: str) -> tuple[int, str]:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestFigure1Command:
+    def test_happy_path(self):
+        code, output = run_cli("figure1", "--stock", "12", "--need", "5")
+        assert code == 0
+        assert "GRANTED" in output
+        assert "purchase under promise: ok" in output
+        assert "'available': 0" in output
+
+    def test_rejection_path_with_counter(self):
+        code, output = run_cli("figure1", "--stock", "3", "--need", "5")
+        assert code == 1
+        assert "REJECTED" in output
+        assert "counter-offer: quantity('pink_widgets') >= 3" in output
+
+    def test_limited_rival_appetite(self):
+        code, output = run_cli(
+            "figure1", "--stock", "20", "--need", "5", "--rival-appetite", "2"
+        )
+        assert code == 0
+        assert "sold 2 units" in output
+
+
+class TestCompareCommand:
+    def test_all_regimes(self):
+        code, output = run_cli(
+            "compare", "--clients", "12", "--tightness", "2.0", "--seed", "3"
+        )
+        assert code == 0
+        for name in ("promises", "optimistic", "validation", "locking"):
+            assert name in output
+
+    def test_regime_subset(self):
+        code, output = run_cli(
+            "compare", "--clients", "8", "--regimes", "promises", "locking"
+        )
+        assert code == 0
+        assert "promises" in output and "locking" in output
+        assert "optimistic" not in output
+
+    def test_rejects_unknown_regime(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--regimes", "hopeful"])
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.clients == 32
+        assert args.tightness == 2.0
+        assert sorted(args.regimes) == [
+            "locking", "optimistic", "promises", "validation",
+        ]

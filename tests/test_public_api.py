@@ -1,0 +1,87 @@
+"""Public API surface checks.
+
+Guards the package's importable surface: everything advertised in
+``__all__`` must exist, the README's import style must work, and the
+version must be a sane semver string.
+"""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+import repro
+
+
+class TestTopLevelSurface:
+    def test_all_names_exist(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_version_is_semver(self):
+        assert re.fullmatch(r"\d+\.\d+\.\d+", repro.__version__)
+
+    def test_readme_import_style(self):
+        from repro import (  # noqa: F401 - the import IS the test
+            Environment,
+            P,
+            PromiseManager,
+            ResourcePoolStrategy,
+        )
+
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.core",
+            "repro.storage",
+            "repro.resources",
+            "repro.strategies",
+            "repro.protocol",
+            "repro.services",
+            "repro.baselines",
+            "repro.sim",
+            "repro.tools",
+            "repro.cli",
+        ],
+    )
+    def test_subpackages_import(self, module):
+        __import__(module)
+
+    def test_subpackage_all_names_exist(self):
+        import repro.core
+        import repro.protocol
+        import repro.services
+        import repro.sim
+        import repro.storage
+        import repro.strategies
+
+        for module in (
+            repro.core, repro.protocol, repro.services,
+            repro.sim, repro.storage, repro.strategies,
+        ):
+            missing = [
+                name for name in module.__all__ if not hasattr(module, name)
+            ]
+            assert missing == [], f"{module.__name__}: {missing}"
+
+
+class TestDocstrings:
+    def test_every_public_module_has_a_docstring(self):
+        import importlib
+        import pkgutil
+
+        undocumented = []
+        for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+            module = importlib.import_module(info.name)
+            if not (module.__doc__ or "").strip():
+                undocumented.append(info.name)
+        assert undocumented == []
+
+    def test_core_public_classes_documented(self):
+        from repro import (
+            Environment, PromiseManager, PromiseRequest, PromiseResponse,
+        )
+
+        for item in (Environment, PromiseManager, PromiseRequest, PromiseResponse):
+            assert (item.__doc__ or "").strip(), item
