@@ -21,6 +21,7 @@ Package layout (see DESIGN.md for the full inventory):
 * :mod:`repro.resources` — pools / named instances / property collections
 * :mod:`repro.strategies` — the five implementation techniques of §5
 * :mod:`repro.protocol` — SOAP-style promise message protocol of §6
+* :mod:`repro.net` — asyncio TCP transport: framing, retries, dedup
 * :mod:`repro.services` — the paper's example services (merchant, bank,
   hotel, airline, shipping, gallery, travel agent)
 * :mod:`repro.baselines` — locking / optimistic / validation comparators

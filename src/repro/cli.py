@@ -1,6 +1,6 @@
 """Command-line interface: explore the Promises system without writing code.
 
-Two subcommands:
+Four subcommands:
 
 ``figure1``
     Run the paper's Figure-1 ordering walkthrough over the full protocol
@@ -11,15 +11,30 @@ Two subcommands:
     Run one workload under any subset of the four isolation regimes and
     print the outcome table — a configurable version of experiment E1/E2.
 
+``serve``
+    Host a promise-enabled merchant deployment on a TCP socket (the
+    networked Figure-2 pipeline); ``--self-test`` stands the server up
+    on a loopback port, drives a client through grant / action /
+    redelivery, and exits.
+
+``call``
+    Talk to a running server: request a promise and/or invoke a service
+    operation from another process.
+
 Examples::
 
     python -m repro.cli figure1 --stock 12 --need 5
     python -m repro.cli compare --clients 32 --tightness 2.0 --regimes promises locking
+    python -m repro.cli serve --port 7807 --stock 100
+    python -m repro.cli call --connect 127.0.0.1:7807 --predicate "quantity('widgets') >= 5" --duration 30
+    python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import os
 import sys
 from typing import Sequence
 
@@ -30,10 +45,17 @@ from .baselines import (
     ValidationRegime,
 )
 from .core.environment import Environment
+from .core.errors import PredicateSyntaxError
 from .core.parser import P
+from .net import NetworkTransport, PromiseServer, ThreadedServer
+from .protocol.client import PromiseClient
+from .protocol.errors import ProtocolError
+from .protocol.messages import ActionPayload, Message
 from .services.deployment import Deployment
 from .services.merchant import MerchantService
 from .sim.workload import WorkloadSpec
+
+DEFAULT_PORT = 7807
 
 REGIMES = {
     "promises": PromiseRegime,
@@ -73,6 +95,42 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--regimes", nargs="+", choices=sorted(REGIMES), default=sorted(REGIMES)
     )
+
+    serve = commands.add_parser(
+        "serve", help="host a promise-enabled deployment over TCP"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=None,
+                       help=f"listen port (default {DEFAULT_PORT}; "
+                            "--self-test defaults to an ephemeral port)")
+    serve.add_argument("--endpoint", default="shop",
+                       help="endpoint/deployment name (default shop)")
+    serve.add_argument("--stock", type=int, default=100,
+                       help="initial 'widgets' pool stock (default 100)")
+    serve.add_argument("--self-test", action="store_true",
+                       help="serve on loopback, run a client round trip "
+                            "(grant, action, redelivery), then exit")
+
+    call = commands.add_parser(
+        "call", help="send one promise/action request to a running server"
+    )
+    call.add_argument("--connect", default=f"127.0.0.1:{DEFAULT_PORT}",
+                      help="server address as host:port")
+    call.add_argument("--endpoint", default="shop")
+    call.add_argument(
+        "--client-name", default=None,
+        help="client identity; default: unique per invocation, so "
+             "separate processes never share message-id namespaces",
+    )
+    call.add_argument("--predicate", action="append", default=[],
+                      help="predicate text for a promise request (repeatable)")
+    call.add_argument("--duration", type=int, default=30,
+                      help="requested promise duration in ticks (default 30)")
+    call.add_argument("--service", default=None)
+    call.add_argument("--operation", default=None)
+    call.add_argument("--param", action="append", default=[],
+                      help="action parameter as key=value (repeatable)")
+    call.add_argument("--timeout", type=float, default=5.0)
     return parser
 
 
@@ -168,6 +226,203 @@ def run_compare(
     return 0
 
 
+def _build_served_deployment(endpoint: str, stock: int) -> Deployment:
+    """The deployment `serve` hosts: a merchant over a widgets pool."""
+    deployment = Deployment(name=endpoint, counter_offers=True)
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("widgets")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "widgets", stock)
+    return deployment
+
+
+def run_serve(
+    host: str,
+    port: int | None,
+    endpoint: str,
+    stock: int,
+    self_test: bool,
+    out=sys.stdout,
+) -> int:
+    """Host the deployment over TCP; returns a process exit code."""
+    if port is None:
+        port = 0 if self_test else DEFAULT_PORT
+    deployment = _build_served_deployment(endpoint, stock)
+    server = PromiseServer(host=host, port=port)
+    server.register(endpoint, deployment.endpoint.handle)
+
+    if self_test:
+        return _serve_self_test(server, endpoint, stock, out=out)
+
+    async def serve() -> None:
+        bound_host, bound_port = await server.start()
+        print(
+            f"serving endpoint {endpoint!r} on {bound_host}:{bound_port} "
+            f"(widgets stock: {stock})",
+            file=out,
+        )
+        await server.serve_forever()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down", file=out)
+    except OSError as error:
+        print(f"cannot serve on {host}:{port}: {error}", file=out)
+        return 2
+    return 0
+
+
+def _serve_self_test(
+    server: PromiseServer, endpoint: str, stock: int, out=sys.stdout
+) -> int:
+    """Loopback smoke test: grant, action under promise, redelivery."""
+    with ThreadedServer(server) as (host, bound_port):
+        print(f"self-test: serving on {host}:{bound_port}", file=out)
+        with NetworkTransport((host, bound_port)) as transport:
+            client = PromiseClient("self-test", transport)
+            response = client.request_promise(
+                endpoint, [P("quantity('widgets') >= 5")], 30
+            )
+            if not response.accepted:
+                print(f"self-test FAILED: {response.reason}", file=out)
+                return 1
+            print(f"promise granted: {response.promise_id}", file=out)
+
+            # Lose a reply on purpose; the client's retry must redeliver
+            # and the server's dedup cache must not re-run the sale.
+            transport.plan_reply_drop(transport.stats.sent + 1)
+            outcome = client.call(
+                endpoint, "merchant", "sell",
+                {"product": "widgets", "quantity": 1},
+                environment=Environment.of(response.promise_id),
+            )
+            if not outcome.success:
+                print(f"self-test FAILED: {outcome.reason}", file=out)
+                return 1
+            level = client.call(
+                endpoint, "merchant", "stock_level", {"product": "widgets"}
+            )
+            remaining = (
+                level.value.get("available", 0) + level.value.get("allocated", 0)
+            )
+            sold_once = remaining == stock - 1  # one unit sold, not two
+            print(
+                f"action under promise: ok (stock {level.value}, "
+                f"exactly one sale after dropped reply + redelivery)",
+                file=out,
+            )
+
+            # Deterministic §6 redelivery probe: the same message id twice
+            # must be served from the reply cache, byte-identically.
+            probe = Message(
+                message_id="self-test:probe",
+                sender="self-test",
+                recipient=endpoint,
+                action=ActionPayload(
+                    "merchant", "stock_level", {"product": "widgets"}
+                ),
+            )
+            first = transport.send(probe)
+            duplicates_before = server.stats.duplicates_served
+            second = transport.send(probe)
+            deduplicated = (
+                first == second
+                and server.stats.duplicates_served == duplicates_before + 1
+            )
+            print(
+                f"redelivery probe: duplicate served from cache: "
+                f"{'yes' if deduplicated else 'NO'}",
+                file=out,
+            )
+            faults = client.release(endpoint, response.promise_id)
+            healthy = not faults and sold_once and deduplicated
+    print("self-test " + ("ok" if healthy else "FAILED"), file=out)
+    return 0 if healthy else 1
+
+
+def run_call(
+    connect: str,
+    endpoint: str,
+    client_name: str | None,
+    predicates: Sequence[str],
+    duration: int,
+    service: str | None,
+    operation: str | None,
+    params: Sequence[str],
+    timeout: float,
+    out=sys.stdout,
+) -> int:
+    """One promise request and/or action against a running server."""
+    if not predicates and not (service and operation):
+        print(
+            "nothing to do: give --predicate and/or --service + --operation",
+            file=out,
+        )
+        return 2
+    host, _, port_text = connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        print(f"bad --connect address {connect!r} (want host:port)", file=out)
+        return 2
+    if client_name is None:
+        # Every invocation is a fresh process whose message-id counter
+        # restarts at 1; the server deduplicates on message id (§6), so
+        # the identity itself must make the namespace process-unique.
+        client_name = f"cli-{os.getpid()}-{os.urandom(3).hex()}"
+
+    try:
+        with NetworkTransport(
+            (host, int(port_text)), timeout=timeout
+        ) as transport:
+            client = PromiseClient(client_name, transport)
+            environment = None
+            code = 0
+            if predicates:
+                response = client.request_promise(
+                    endpoint, [P(text) for text in predicates], duration
+                )
+                if response.accepted:
+                    print(f"promise GRANTED as {response.promise_id} "
+                          f"for {response.duration} ticks", file=out)
+                    environment = Environment.of(response.promise_id)
+                else:
+                    print(f"promise REJECTED: {response.reason}", file=out)
+                    if response.counter is not None:
+                        print(f"counter-offer: {response.counter.describe()}",
+                              file=out)
+                    code = 1
+            if service and operation and code == 0:
+                outcome = client.call(
+                    endpoint, service, operation,
+                    _parse_params(params), environment=environment,
+                )
+                status = (
+                    "ok" if outcome.success else f"failed: {outcome.reason}"
+                )
+                print(f"{service}.{operation}: {status}", file=out)
+                if outcome.value is not None:
+                    print(f"result: {outcome.value}", file=out)
+                code = 0 if outcome.success else 1
+    except PredicateSyntaxError as error:
+        print(f"bad predicate: {error}", file=out)
+        return 2
+    except ProtocolError as error:
+        print(f"error: {error}", file=out)
+        return 2
+    return code
+
+
+def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
+    """``key=value`` CLI pairs, with ints parsed as ints."""
+    params: dict[str, object] = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            raise SystemExit(f"bad --param {pair!r} (want key=value)")
+        params[key] = int(value) if value.lstrip("-").isdigit() else value
+    return params
+
+
 def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -182,6 +437,17 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             args.seed,
             args.regimes,
             out=out,
+        )
+    if args.command == "serve":
+        return run_serve(
+            args.host, args.port, args.endpoint, args.stock,
+            args.self_test, out=out,
+        )
+    if args.command == "call":
+        return run_call(
+            args.connect, args.endpoint, args.client_name,
+            args.predicate, args.duration, args.service, args.operation,
+            args.param, args.timeout, out=out,
         )
     raise AssertionError("unreachable")  # pragma: no cover
 

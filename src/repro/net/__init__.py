@@ -1,0 +1,54 @@
+"""Networked promise managers: the protocol of §6 over real sockets.
+
+The paper's prototype (Figure 2, §8) ran the promise manager behind a
+SOAP/Web-Services stack; this package supplies the equivalent substrate
+so client, promise manager and resource manager can live in separate
+processes:
+
+* :mod:`repro.net.framing` — length-prefixed wire frames for SOAP
+  envelopes, with max-frame-size and truncation errors;
+* :mod:`repro.net.server` — an asyncio TCP server hosting any
+  registered ``Handler``, with per-connection read loops, graceful
+  shutdown and §6 duplicate suppression (redelivered requests return
+  the cached reply instead of re-executing);
+* :mod:`repro.net.client` — a connection-pooling blocking client with
+  per-request deadlines and retry via
+  :class:`~repro.protocol.retry.RetryPolicy`;
+* :mod:`repro.net.transport` — :class:`NetworkTransport`, a drop-in
+  replacement for the in-process transport, fault plans included.
+"""
+
+from .client import ClientStats, NetworkClient
+from .framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    FrameError,
+    FrameTooLarge,
+    TruncatedFrame,
+    encode_frame,
+    read_frame,
+    read_frame_async,
+)
+from .server import (
+    TRANSPORT_FAULT_PREFIX,
+    PromiseServer,
+    ServerStats,
+    ThreadedServer,
+)
+from .transport import NetworkTransport
+
+__all__ = [
+    "ClientStats",
+    "DEFAULT_MAX_FRAME_SIZE",
+    "FrameError",
+    "FrameTooLarge",
+    "NetworkClient",
+    "NetworkTransport",
+    "PromiseServer",
+    "ServerStats",
+    "TRANSPORT_FAULT_PREFIX",
+    "ThreadedServer",
+    "TruncatedFrame",
+    "encode_frame",
+    "read_frame",
+    "read_frame_async",
+]

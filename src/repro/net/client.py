@@ -1,0 +1,205 @@
+"""Connection-pooling client for the networked promise protocol.
+
+A blocking counterpart to the asyncio server: callers hand it encoded
+envelope bytes and get encoded reply bytes back.  Three concerns live
+here, all below the codec:
+
+* **Pooling** — idle sockets are kept (bounded) and reused, so a
+  request mix does not pay a TCP handshake per message.
+* **Deadlines** — each request carries an overall deadline; every
+  socket operation gets the *remaining* time, so a stuck server
+  surfaces as :class:`~repro.protocol.errors.RequestTimeout` rather
+  than a hang.
+* **Retries** — a :class:`~repro.protocol.retry.RetryPolicy` re-sends
+  the same bytes (same message id) on transport failures; the server's
+  §6 reply cache makes that redelivery at-most-once.
+
+Connection errors and truncated frames are mapped onto
+:class:`~repro.protocol.errors.TransportFailure`, keeping the exception
+vocabulary identical to the in-process transport.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from ..protocol.errors import RequestTimeout, TransportFailure
+from ..protocol.retry import RetryPolicy
+from .framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    FrameTooLarge,
+    TruncatedFrame,
+    encode_frame,
+    read_frame,
+)
+
+
+@dataclass
+class ClientStats:
+    """Counters for pooling and failure behaviour."""
+
+    requests: int = 0
+    connections_opened: int = 0
+    connections_reused: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    failures: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+
+
+class NetworkClient:
+    """Blocking framed request/reply over a pooled TCP connection set."""
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float = 5.0,
+        pool_size: int = 4,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.address = address
+        self.timeout = timeout
+        self.pool_size = pool_size
+        self.max_frame_size = max_frame_size
+        self.retry = retry or RetryPolicy.none()
+        self.stats = ClientStats()
+        self._idle: deque[socket.socket] = deque()
+        self._closed = False
+
+    # ------------------------------------------------------------ requests
+
+    def request(self, payload: bytes, timeout: float | None = None) -> bytes:
+        """Round-trip ``payload`` and return the reply bytes.
+
+        Retries per the policy on transport failures and timeouts;
+        ``payload`` (and thus the message id inside it) is identical on
+        every attempt, which is what makes retrying safe against a
+        deduplicating server.
+        """
+        if self._closed:
+            raise TransportFailure("client is closed")
+        self.stats.requests += 1
+        budget = self.timeout if timeout is None else timeout
+        before = self.retry.retries
+        try:
+            reply = self.retry.run(lambda: self._attempt(payload, budget))
+        except TransportFailure:
+            self.stats.failures += 1
+            raise
+        finally:
+            self.stats.retries += self.retry.retries - before
+        return reply
+
+    def send_and_abandon(self, payload: bytes) -> None:
+        """Deliver ``payload`` and drop the connection without reading.
+
+        The socket-layer reimplementation of the in-process transport's
+        *reply drop*: the server receives and executes the request, but
+        the reply has nowhere to go.  Used by the deterministic fault
+        plans; a subsequent :meth:`request` with the same payload then
+        exercises the redelivery path.
+        """
+        sock = self._connect(self.timeout)
+        try:
+            frame = encode_frame(payload, self.max_frame_size)
+            sock.sendall(frame)
+            self.stats.bytes_sent += len(payload)
+        finally:
+            self._discard(sock)
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        self._closed = True
+        while self._idle:
+            self._discard(self._idle.popleft())
+
+    def __enter__(self) -> "NetworkClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _attempt(self, payload: bytes, budget: float) -> bytes:
+        deadline = time.monotonic() + budget
+        sock = self._checkout(deadline)
+        try:
+            frame = encode_frame(payload, self.max_frame_size)
+            sock.settimeout(self._remaining(deadline))
+            sock.sendall(frame)
+            self.stats.bytes_sent += len(payload)
+
+            def recv(count: int) -> bytes:
+                sock.settimeout(self._remaining(deadline))
+                return sock.recv(count)
+
+            reply = read_frame(recv, self.max_frame_size)
+        except socket.timeout as exc:
+            self.stats.timeouts += 1
+            self._discard(sock)
+            raise RequestTimeout(
+                f"no reply from {self.address[0]}:{self.address[1]} "
+                f"within {budget:.3f}s"
+            ) from exc
+        except RequestTimeout:
+            self.stats.timeouts += 1
+            self._discard(sock)
+            raise
+        except FrameTooLarge:
+            self._discard(sock)
+            raise
+        except (TruncatedFrame, OSError) as exc:
+            self._discard(sock)
+            raise TransportFailure(f"connection failed: {exc}") from exc
+        if reply is None:
+            self._discard(sock)
+            raise TransportFailure("server closed the connection mid-request")
+        self.stats.bytes_received += len(reply)
+        self._checkin(sock)
+        return reply
+
+    def _checkout(self, deadline: float) -> socket.socket:
+        if self._idle:
+            self.stats.connections_reused += 1
+            return self._idle.popleft()
+        return self._connect(self._remaining(deadline))
+
+    def _checkin(self, sock: socket.socket) -> None:
+        if self._closed or len(self._idle) >= self.pool_size:
+            self._discard(sock)
+        else:
+            self._idle.append(sock)
+
+    def _connect(self, timeout: float) -> socket.socket:
+        try:
+            sock = socket.create_connection(self.address, timeout=timeout)
+        except socket.timeout as exc:
+            self.stats.timeouts += 1
+            raise RequestTimeout(
+                f"connect to {self.address[0]}:{self.address[1]} timed out"
+            ) from exc
+        except OSError as exc:
+            raise TransportFailure(f"cannot connect: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.stats.connections_opened += 1
+        return sock
+
+    @staticmethod
+    def _remaining(deadline: float) -> float:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RequestTimeout("request deadline elapsed")
+        return remaining
+
+    @staticmethod
+    def _discard(sock: socket.socket) -> None:
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -1,0 +1,120 @@
+"""Length-prefixed wire framing for SOAP envelopes.
+
+TCP is a byte stream; the promise protocol is message-oriented.  Each
+:class:`~repro.protocol.soap.SoapCodec` envelope therefore travels as
+one *frame*: a 4-byte big-endian unsigned length followed by exactly
+that many payload bytes (the UTF-8 XML text).  Frames larger than the
+negotiated maximum are rejected before any allocation — a malformed or
+hostile peer cannot make the server buffer an arbitrary amount — and a
+connection that closes mid-frame surfaces as :class:`TruncatedFrame`
+rather than a silently short payload.
+
+Both halves of the stack share this module: the asyncio server reads
+frames with :func:`read_frame_async`, the blocking client with
+:func:`read_frame` over any ``recv``-style callable.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import struct
+from typing import Callable
+
+from ..protocol.errors import ProtocolError
+
+HEADER = struct.Struct(">I")
+
+#: Default ceiling on one frame's payload (1 MiB of XML is far beyond
+#: any legitimate promise envelope).
+DEFAULT_MAX_FRAME_SIZE = 1 << 20
+
+
+class FrameError(ProtocolError):
+    """The byte stream violates the framing protocol."""
+
+
+class FrameTooLarge(FrameError):
+    """A frame's declared (or actual) size exceeds the maximum."""
+
+    def __init__(self, size: int, max_size: int) -> None:
+        super().__init__(f"frame of {size} bytes exceeds limit {max_size}")
+        self.size = size
+        self.max_size = max_size
+
+
+class TruncatedFrame(FrameError):
+    """The connection closed in the middle of a frame."""
+
+
+def encode_frame(
+    payload: bytes, max_size: int = DEFAULT_MAX_FRAME_SIZE
+) -> bytes:
+    """Prefix ``payload`` with its length; rejects oversized payloads."""
+    if len(payload) > max_size:
+        raise FrameTooLarge(len(payload), max_size)
+    return HEADER.pack(len(payload)) + payload
+
+
+def read_frame(
+    recv: Callable[[int], bytes], max_size: int = DEFAULT_MAX_FRAME_SIZE
+) -> bytes | None:
+    """Read one frame from a blocking ``recv(n) -> bytes`` callable.
+
+    Returns ``None`` on a clean end-of-stream (EOF before any header
+    byte); raises :class:`TruncatedFrame` when the stream ends inside a
+    header or payload, and :class:`FrameTooLarge` when the declared
+    length exceeds ``max_size``.
+    """
+    header = _recv_exact(recv, HEADER.size, allow_eof=True)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > max_size:
+        raise FrameTooLarge(length, max_size)
+    payload = _recv_exact(recv, length, allow_eof=False)
+    assert payload is not None
+    return payload
+
+
+async def read_frame_async(
+    reader: asyncio.StreamReader, max_size: int = DEFAULT_MAX_FRAME_SIZE
+) -> bytes | None:
+    """Read one frame from an asyncio stream; ``None`` on clean EOF."""
+    try:
+        header = await reader.readexactly(HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrame(
+            f"connection closed inside frame header "
+            f"({len(exc.partial)}/{HEADER.size} bytes)"
+        ) from exc
+    (length,) = HEADER.unpack(header)
+    if length > max_size:
+        raise FrameTooLarge(length, max_size)
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed inside frame payload "
+            f"({len(exc.partial)}/{length} bytes)"
+        ) from exc
+
+
+def _recv_exact(
+    recv: Callable[[int], bytes], count: int, allow_eof: bool
+) -> bytes | None:
+    """Accumulate exactly ``count`` bytes from a short-read-prone recv."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = recv(remaining)
+        if not chunk:
+            if allow_eof and not chunks:
+                return None
+            raise TruncatedFrame(
+                f"connection closed after {count - remaining}/{count} bytes"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

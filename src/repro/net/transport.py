@@ -1,0 +1,173 @@
+"""Networked message transport with the in-process transport's surface.
+
+:class:`NetworkTransport` exposes exactly the contract of
+:class:`~repro.protocol.transport.InProcessTransport` — ``send(Message)
+-> Message``, ``register()``, ``stats``, ``wire_log`` and the
+deterministic fault plans — so every existing service wiring, baseline
+and benchmark can run over real sockets unchanged: hand a
+``Deployment`` a ``NetworkTransport`` bound to a local
+:class:`~repro.net.server.PromiseServer` and the Figure-2 pipeline
+spans an actual TCP hop.
+
+The fault plans are reimplemented at the socket layer: a *request drop*
+never writes to the socket, a *reply drop* writes the request and then
+closes the connection before reading — the server executes the action
+but the reply is lost, the classic partial failure §6's redelivery
+semantics exist to survive.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..protocol.errors import TransportFailure, UnknownEndpoint
+from ..protocol.messages import Message
+from ..protocol.retry import RetryPolicy
+from ..protocol.soap import SoapCodec
+from ..protocol.transport import (
+    DEFAULT_LOG_LIMIT,
+    Handler,
+    TransportStats,
+    _FaultPlan,
+)
+from .client import NetworkClient
+from .framing import DEFAULT_MAX_FRAME_SIZE
+from .server import TRANSPORT_FAULT_PREFIX, PromiseServer
+
+
+class NetworkTransport:
+    """Request/reply routing to promise endpoints over TCP.
+
+    Construct with either a started local ``server`` (then
+    :meth:`register` forwards to it, letting ``Deployment`` wire itself
+    the same way it does in-process) or a bare ``address`` of a remote
+    server (then :meth:`register` raises — handlers live in the server
+    process).
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int] | None = None,
+        server: PromiseServer | None = None,
+        codec: SoapCodec | None = None,
+        timeout: float = 5.0,
+        retry: RetryPolicy | None = None,
+        pool_size: int = 4,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        log_limit: int | None = DEFAULT_LOG_LIMIT,
+    ) -> None:
+        if address is None:
+            if server is None:
+                raise ValueError("need an address or a local server")
+            address = server.address
+        self._server = server
+        self._codec = codec or SoapCodec()
+        self._client = NetworkClient(
+            address,
+            timeout=timeout,
+            max_frame_size=max_frame_size,
+            pool_size=pool_size,
+            retry=retry or RetryPolicy.network(),
+        )
+        self._faults = _FaultPlan()
+        self._log: deque[str] = deque(maxlen=log_limit)
+        self.stats = TransportStats()
+
+    # ------------------------------------------------------------- surface
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The server address this transport talks to."""
+        return self._client.address
+
+    @property
+    def client(self) -> NetworkClient:
+        """The underlying pooled byte-level client (for its stats)."""
+        return self._client
+
+    def register(self, endpoint: str, handler: Handler) -> None:
+        """Register on the co-hosted local server (if there is one)."""
+        if self._server is None:
+            raise TransportFailure(
+                "cannot register a handler through a remote-only transport; "
+                "register on the PromiseServer in the serving process"
+            )
+        self._server.register(endpoint, handler)
+
+    def endpoints(self) -> list[str]:
+        """Endpoint names of the co-hosted local server."""
+        if self._server is None:
+            return []
+        return self._server.endpoints()
+
+    def plan_request_drop(self, delivery_number: int) -> None:
+        """Drop the Nth (1-based) request before it touches the socket."""
+        self._faults.drop_requests.add(delivery_number)
+
+    def plan_reply_drop(self, delivery_number: int) -> None:
+        """Send the Nth request, then sever the connection unread."""
+        self._faults.drop_replies.add(delivery_number)
+
+    def send(self, message: Message) -> Message:
+        """Deliver ``message`` over TCP and return the decoded reply.
+
+        Exception vocabulary matches the in-process transport:
+        :class:`UnknownEndpoint` for unroutable recipients (mapped back
+        from the server's ``transport:`` fault) and
+        :class:`TransportFailure` for drops, resets and timeouts.
+        """
+        self.stats.sent += 1
+        delivery = self.stats.sent
+
+        encoded = self._codec.encode(message)
+        payload = encoded.encode("utf-8")
+        self.stats.bytes_on_wire += len(payload)
+        self._log.append(encoded)
+
+        if delivery in self._faults.drop_requests:
+            self.stats.dropped_requests += 1
+            raise TransportFailure(
+                f"request {message.message_id} lost in transit"
+            )
+
+        if delivery in self._faults.drop_replies:
+            self._client.send_and_abandon(payload)
+            self.stats.dropped_replies += 1
+            raise TransportFailure(
+                f"reply to {message.message_id} lost in transit"
+            )
+
+        reply_bytes = self._client.request(payload)
+        reply_text = reply_bytes.decode("utf-8")
+        self.stats.bytes_on_wire += len(reply_bytes)
+        self._log.append(reply_text)
+        reply = self._codec.decode(reply_text)
+        self._raise_transport_faults(message, reply)
+        self.stats.delivered += 1
+        return reply
+
+    def close(self) -> None:
+        """Release pooled connections."""
+        self._client.close()
+
+    def __enter__(self) -> "NetworkTransport":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    @property
+    def wire_log(self) -> list[str]:
+        """XML of recent envelopes sent/received (newest last)."""
+        return list(self._log)
+
+    # ----------------------------------------------------------- internals
+
+    def _raise_transport_faults(self, message: Message, reply: Message) -> None:
+        for fault in reply.faults:
+            if not fault.startswith(TRANSPORT_FAULT_PREFIX):
+                continue
+            detail = fault[len(TRANSPORT_FAULT_PREFIX):]
+            if detail.startswith("unknown-endpoint"):
+                raise UnknownEndpoint(message.recipient)
+            raise TransportFailure(detail)

@@ -10,22 +10,59 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
+import itertools
+from typing import Protocol
+
 from ..core.environment import Environment
 from ..core.errors import PromiseRejected
 from ..core.predicates import Predicate
 from ..core.promise import IdGenerator, PromiseRequest, PromiseResponse
 from .errors import ProtocolError
 from .messages import ActionOutcomePayload, ActionPayload, Message
-from .transport import InProcessTransport
+from .retry import RetryPolicy
+
+
+class MessageTransport(Protocol):
+    """Anything that can deliver a request message and return the reply.
+
+    Satisfied by :class:`~repro.protocol.transport.InProcessTransport`
+    and :class:`~repro.net.transport.NetworkTransport` alike — client
+    code is transport-agnostic.
+    """
+
+    def send(self, message: Message) -> Message:  # pragma: no cover
+        ...
 
 
 class PromiseClient:
-    """A promise-aware client application's protocol stub."""
+    """A promise-aware client application's protocol stub.
 
-    def __init__(self, name: str, transport: InProcessTransport) -> None:
+    Sends are wrapped in a :class:`~repro.protocol.retry.RetryPolicy`
+    (default: up to three immediate redeliveries, no backoff).  Because
+    retries re-send the *same* message id, the transport's §6 reply
+    cache guarantees at-most-once execution — a retried request whose
+    reply was lost gets the original reply back.  Pass
+    ``retry=RetryPolicy.none()`` to surface transport faults directly.
+    """
+
+    _instances = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        transport: MessageTransport,
+        retry: RetryPolicy | None = None,
+    ) -> None:
         self.name = name
         self._transport = transport
-        self._message_ids = IdGenerator(f"{name}:msg")
+        self._retry = retry or RetryPolicy.fast()
+        # Message ids seed the transports' §6 duplicate-suppression
+        # cache, so they must be unique per *stub instance*, not just
+        # per client name — two stubs named "teller" must never emit
+        # the same id.  A deterministic process-wide instance counter
+        # keeps runs reproducible.
+        instance = next(self._instances)
+        self._message_ids = IdGenerator(f"{name}:c{instance}:msg")
         self._request_ids = IdGenerator(f"{name}:req")
 
     # ------------------------------------------------------------ messages
@@ -174,7 +211,7 @@ class PromiseClient:
     # ------------------------------------------------------------ internals
 
     def _send(self, message: Message) -> Message:
-        return self._transport.send(message)
+        return self._retry.run(lambda: self._transport.send(message))
 
     @staticmethod
     def _single_response(reply: Message, request_id: str) -> PromiseResponse:

@@ -5,14 +5,24 @@ and promise-responses", and a reply may carry "a piggybacked response
 reporting on the outcome of a previous request".  The tracker keeps the
 set of outstanding request ids and matches responses as they arrive — in
 any order, possibly piggybacked on unrelated messages.
+
+This module also houses :class:`ReplyCache`, the server-side half of
+§6's atomic message processing: replies are remembered by message id so
+a redelivered request (a client retrying after a lost reply) gets the
+original reply back instead of being executed a second time.  Both the
+in-process transport and the networked server use it.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Generic, TypeVar
 
 from ..core.promise import PromiseRequest, PromiseResponse
 from .errors import CorrelationError
+
+ReplyT = TypeVar("ReplyT")
 
 
 @dataclass(frozen=True)
@@ -64,3 +74,48 @@ class CorrelationTracker:
         if request is None:
             raise CorrelationError(f"no outstanding request {request_id!r}")
         return request
+
+
+class ReplyCache(Generic[ReplyT]):
+    """Bounded LRU cache of replies keyed by request message id.
+
+    Implements the duplicate-suppression side of §6's "atomic
+    processing": when a message id is seen again (a redelivery), the
+    cached reply is returned verbatim — byte-identical when the cached
+    value is the encoded envelope — and the handler is *not* re-run.
+
+    The cache is capacity-bounded (least-recently-used eviction) so a
+    long-lived server does not grow without limit; a retry storm only
+    needs the last few thousand replies to stay idempotent.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self._replies: OrderedDict[str, ReplyT] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, message_id: str) -> ReplyT | None:
+        """The cached reply for ``message_id``, or None if unseen."""
+        reply = self._replies.get(message_id)
+        if reply is None:
+            self.misses += 1
+            return None
+        self._replies.move_to_end(message_id)
+        self.hits += 1
+        return reply
+
+    def put(self, message_id: str, reply: ReplyT) -> None:
+        """Remember the reply sent for ``message_id``."""
+        self._replies[message_id] = reply
+        self._replies.move_to_end(message_id)
+        while len(self._replies) > self.capacity:
+            self._replies.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._replies)
+
+    def __contains__(self, message_id: str) -> bool:
+        return message_id in self._replies

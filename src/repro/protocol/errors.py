@@ -23,5 +23,14 @@ class TransportFailure(ProtocolError):
     """The (simulated) transport dropped or failed to deliver a message."""
 
 
+class RequestTimeout(TransportFailure):
+    """A request's deadline elapsed before the reply arrived.
+
+    Subclasses :class:`TransportFailure` because a timeout is
+    indistinguishable from a lost message to the caller — and, like a
+    lost message, it is safe to retry under §6's at-most-once header
+    processing."""
+
+
 class CorrelationError(ProtocolError):
     """A response arrived that matches no outstanding request."""

@@ -9,19 +9,31 @@ see what actually survives serialisation.
 
 The transport also supports deterministic fault injection (drop the
 request or the reply on chosen deliveries) so tests can exercise the
-failure paths that motivate promises in the first place.
+failure paths that motivate promises in the first place, and implements
+§6's at-most-once delivery: replies are cached by message id, so a
+redelivered request (same message id) returns the original reply
+byte-for-byte instead of re-executing the handler.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from .correlation import ReplyCache
 from .errors import TransportFailure, UnknownEndpoint
 from .messages import Message
 from .soap import SoapCodec
 
 Handler = Callable[[Message], Message]
+
+#: Default bound on the wire log; long simulations would otherwise grow it
+#: without limit (one XML string per message that crosses the wire).
+DEFAULT_LOG_LIMIT = 1024
+
+#: Default capacity of the at-most-once reply cache.
+DEFAULT_DEDUP_CAPACITY = 1024
 
 
 @dataclass
@@ -32,6 +44,7 @@ class TransportStats:
     delivered: int = 0
     dropped_requests: int = 0
     dropped_replies: int = 0
+    duplicates_served: int = 0
     bytes_on_wire: int = 0
 
 
@@ -44,15 +57,30 @@ class _FaultPlan:
 
 
 class InProcessTransport:
-    """Synchronous request/reply routing between named endpoints."""
+    """Synchronous request/reply routing between named endpoints.
 
-    def __init__(self, codec: SoapCodec | None = None, wire_format: bool = True) -> None:
+    ``log_limit`` caps the wire log (a ring buffer of the most recent
+    entries); pass ``None`` to opt out and keep every envelope.
+    ``dedup_capacity`` sizes the §6 reply cache; pass ``None`` to
+    disable duplicate suppression entirely.
+    """
+
+    def __init__(
+        self,
+        codec: SoapCodec | None = None,
+        wire_format: bool = True,
+        log_limit: int | None = DEFAULT_LOG_LIMIT,
+        dedup_capacity: int | None = DEFAULT_DEDUP_CAPACITY,
+    ) -> None:
         self._handlers: dict[str, Handler] = {}
         self._codec = codec or SoapCodec()
         self._wire_format = wire_format
         self._faults = _FaultPlan()
         self.stats = TransportStats()
-        self._log: list[str] = []
+        self._log: deque[str] = deque(maxlen=log_limit)
+        self._replies: ReplyCache[object] | None = (
+            ReplyCache(dedup_capacity) if dedup_capacity else None
+        )
 
     def register(self, endpoint: str, handler: Handler) -> None:
         """Expose ``handler`` under the endpoint name ``endpoint``."""
@@ -75,7 +103,9 @@ class InProcessTransport:
 
         Raises :class:`UnknownEndpoint` for unroutable recipients and
         :class:`TransportFailure` when a fault plan drops the request or
-        the reply.
+        the reply.  A message id seen before is served from the reply
+        cache without re-invoking the handler (§6 atomic processing) —
+        that is what makes redelivery after a lost reply safe.
         """
         self.stats.sent += 1
         delivery = self.stats.sent
@@ -90,7 +120,32 @@ class InProcessTransport:
             )
 
         inbound = self._round_trip(message)
+
+        cached = (
+            self._replies.get(inbound.message_id)
+            if self._replies is not None
+            else None
+        )
+        if cached is not None:
+            self.stats.duplicates_served += 1
+            self.stats.delivered += 1
+            return self._replay(cached)
+
         reply = handler(inbound)
+
+        # Encode (and cache) the reply *before* the drop decision: the
+        # encode work happened either way, so ``bytes_on_wire`` counts
+        # it, and the cached reply is what makes the client's redelivery
+        # return the identical envelope without re-executing.
+        if self._wire_format:
+            encoded = self._codec.encode(reply)
+            self.stats.bytes_on_wire += len(encoded)
+            self._log.append(encoded)
+            stored: object = encoded
+        else:
+            stored = reply
+        if self._replies is not None:
+            self._replies.put(inbound.message_id, stored)
 
         if delivery in self._faults.drop_replies:
             self.stats.dropped_replies += 1
@@ -98,13 +153,13 @@ class InProcessTransport:
                 f"reply to {message.message_id} lost in transit"
             )
 
-        outbound = self._round_trip(reply)
+        outbound = self._codec.decode(encoded) if self._wire_format else reply
         self.stats.delivered += 1
         return outbound
 
     @property
     def wire_log(self) -> list[str]:
-        """XML of every message that crossed the wire (newest last)."""
+        """XML of recent messages that crossed the wire (newest last)."""
         return list(self._log)
 
     def _round_trip(self, message: Message) -> Message:
@@ -114,3 +169,13 @@ class InProcessTransport:
         self.stats.bytes_on_wire += len(encoded)
         self._log.append(encoded)
         return self._codec.decode(encoded)
+
+    def _replay(self, cached: object) -> Message:
+        """Re-deliver a cached reply (it crosses the wire again)."""
+        if self._wire_format:
+            assert isinstance(cached, str)
+            self.stats.bytes_on_wire += len(cached)
+            self._log.append(cached)
+            return self._codec.decode(cached)
+        assert isinstance(cached, Message)
+        return cached

@@ -1,0 +1,104 @@
+"""Unit tests for length-prefixed wire framing."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+
+import pytest
+
+from repro.net.framing import (
+    DEFAULT_MAX_FRAME_SIZE,
+    HEADER,
+    FrameTooLarge,
+    TruncatedFrame,
+    encode_frame,
+    read_frame,
+    read_frame_async,
+)
+
+
+def reader_for(data: bytes, chunk: int | None = None):
+    """A recv-style callable over in-memory bytes, optionally dribbling."""
+    stream = io.BytesIO(data)
+    def recv(count: int) -> bytes:
+        if chunk is not None:
+            count = min(count, chunk)
+        return stream.read(count)
+    return recv
+
+
+class TestEncodeFrame:
+    def test_roundtrip(self):
+        frame = encode_frame(b"<Envelope/>")
+        assert frame[: HEADER.size] == HEADER.pack(11)
+        assert read_frame(reader_for(frame)) == b"<Envelope/>"
+
+    def test_empty_payload(self):
+        assert read_frame(reader_for(encode_frame(b""))) == b""
+
+    def test_oversize_payload_rejected_before_send(self):
+        with pytest.raises(FrameTooLarge):
+            encode_frame(b"x" * 100, max_size=99)
+
+    def test_default_limit_allows_large_envelopes(self):
+        payload = b"x" * (1 << 16)
+        assert len(encode_frame(payload)) == HEADER.size + (1 << 16)
+        assert DEFAULT_MAX_FRAME_SIZE >= 1 << 20
+
+
+class TestReadFrame:
+    def test_clean_eof_returns_none(self):
+        assert read_frame(reader_for(b"")) is None
+
+    def test_eof_inside_header_is_truncation(self):
+        with pytest.raises(TruncatedFrame):
+            read_frame(reader_for(b"\x00\x00"))
+
+    def test_eof_inside_payload_is_truncation(self):
+        frame = encode_frame(b"hello world")
+        with pytest.raises(TruncatedFrame):
+            read_frame(reader_for(frame[:-4]))
+
+    def test_declared_length_over_limit_rejected(self):
+        frame = encode_frame(b"x" * 512)
+        with pytest.raises(FrameTooLarge):
+            read_frame(reader_for(frame), max_size=100)
+
+    def test_short_reads_reassembled(self):
+        frame = encode_frame(b"abcdefghij")
+        assert read_frame(reader_for(frame, chunk=1)) == b"abcdefghij"
+
+    def test_two_frames_back_to_back(self):
+        recv = reader_for(encode_frame(b"one") + encode_frame(b"two"))
+        assert read_frame(recv) == b"one"
+        assert read_frame(recv) == b"two"
+        assert read_frame(recv) is None
+
+
+class TestReadFrameAsync:
+    def run_read(self, data: bytes, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame_async(reader, **kwargs)
+        return asyncio.run(go())
+
+    def test_roundtrip(self):
+        assert self.run_read(encode_frame(b"<Envelope/>")) == b"<Envelope/>"
+
+    def test_clean_eof_returns_none(self):
+        assert self.run_read(b"") is None
+
+    def test_eof_inside_header_is_truncation(self):
+        with pytest.raises(TruncatedFrame):
+            self.run_read(b"\x00")
+
+    def test_eof_inside_payload_is_truncation(self):
+        with pytest.raises(TruncatedFrame):
+            self.run_read(encode_frame(b"hello")[:-2])
+
+    def test_over_limit_rejected(self):
+        with pytest.raises(FrameTooLarge):
+            self.run_read(encode_frame(b"x" * 512), max_size=100)

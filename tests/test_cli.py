@@ -59,6 +59,131 @@ class TestCompareCommand:
             build_parser().parse_args(["compare", "--regimes", "hopeful"])
 
 
+class TestServeCommand:
+    def test_self_test_round_trip(self):
+        code, output = run_cli("serve", "--self-test")
+        assert code == 0
+        assert "promise granted" in output
+        assert "duplicate served from cache: yes" in output
+        assert "self-test ok" in output
+
+    def test_self_test_with_custom_stock_and_endpoint(self):
+        code, output = run_cli(
+            "serve", "--self-test", "--stock", "7", "--endpoint", "store"
+        )
+        assert code == 0
+        assert "self-test ok" in output
+
+
+class TestCallCommand:
+    @pytest.fixture
+    def server_address(self):
+        from repro.cli import _build_served_deployment
+        from repro.net import PromiseServer, ThreadedServer
+
+        deployment = _build_served_deployment("shop", stock=20)
+        server = PromiseServer()
+        server.register("shop", deployment.endpoint.handle)
+        with ThreadedServer(server) as (host, port):
+            yield f"{host}:{port}"
+
+    def test_promise_request(self, server_address):
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--predicate", "quantity('widgets') >= 5",
+        )
+        assert code == 0
+        assert "GRANTED" in output
+
+    def test_promise_rejection_exit_code(self, server_address):
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--predicate", "quantity('widgets') >= 500",
+        )
+        assert code == 1
+        assert "REJECTED" in output
+
+    def test_action_call(self, server_address):
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--service", "merchant", "--operation", "sell",
+            "--param", "product=widgets", "--param", "quantity=3",
+        )
+        assert code == 0
+        assert "merchant.sell: ok" in output
+
+    def test_promise_plus_action(self, server_address):
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--predicate", "quantity('widgets') >= 2",
+            "--service", "merchant", "--operation", "sell",
+            "--param", "product=widgets", "--param", "quantity=1",
+        )
+        assert code == 0
+        assert "GRANTED" in output and "merchant.sell: ok" in output
+
+    def test_nothing_to_do(self):
+        code, output = run_cli("call")
+        assert code == 2
+        assert "nothing to do" in output
+
+    def test_bad_address(self):
+        code, output = run_cli(
+            "call", "--connect", "nonsense", "--predicate", "true",
+        )
+        assert code == 2
+        assert "bad --connect" in output
+
+    def test_unreachable_server_reports_cleanly(self):
+        code, output = run_cli(
+            "call", "--connect", "127.0.0.1:1",
+            "--predicate", "quantity('widgets') >= 1",
+        )
+        assert code == 2
+        assert output.startswith("error: ")
+
+    def test_bad_predicate_reports_cleanly(self, server_address):
+        code, output = run_cli(
+            "call", "--connect", server_address, "--predicate", "quantity(",
+        )
+        assert code == 2
+        assert output.startswith("bad predicate: ")
+
+    def test_port_conflict_reports_cleanly(self, server_address):
+        host, _, port = server_address.rpartition(":")
+        code, output = run_cli(
+            "serve", "--host", host, "--port", port, "--stock", "5",
+        )
+        assert code == 2
+        assert "cannot serve" in output
+
+    def test_fresh_processes_do_not_collide_in_dedup_cache(
+        self, server_address, monkeypatch
+    ):
+        import itertools
+
+        from repro.protocol.client import PromiseClient
+
+        # Each real CLI invocation is a new process whose per-process
+        # stub counter restarts at 1.  Emulate that reset between two
+        # calls: with a shared client identity both would send message
+        # id "...:c1:msg-1" and the second would be served the first's
+        # cached reply instead of executing its action.
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--predicate", "quantity('widgets') >= 5",
+        )
+        assert code == 0 and "GRANTED" in output
+        monkeypatch.setattr(PromiseClient, "_instances", itertools.count(1))
+        code, output = run_cli(
+            "call", "--connect", server_address,
+            "--service", "merchant", "--operation", "sell",
+            "--param", "product=widgets", "--param", "quantity=3",
+        )
+        assert code == 0
+        assert "merchant.sell: ok" in output
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
