@@ -1,0 +1,228 @@
+"""F3 — crash-recovery cost: replay time vs log length vs checkpoints.
+
+Quantifies the durability tentpole: how long a promise manager takes to
+come back after a kill, as a function of how much WAL it must replay and
+how often it checkpointed while alive.  Two reports:
+
+* ``test_report_f3_recovery`` — recovery time (store replay + runtime
+  ``recover()``) across a grid of workload sizes x checkpoint
+  intervals, with the WAL record count actually replayed;
+* ``test_report_f3_mttr`` — mean time to recovery over TCP: a served
+  deployment is killed mid-workload and restarted from its WAL; MTTR is
+  the gap from kill to the first successful post-restart reply, split
+  into rebuild vs first-reply.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.clock import LogicalClock
+from repro.core.manager import PromiseManager
+from repro.core.parser import P
+from repro.core.promise import PromiseRequest
+from repro.net import NetworkTransport, PromiseServer, ThreadedServer
+from repro.net.server import NET_REPLY_JOURNAL_TABLE
+from repro.recovery import ReplyJournal, recover
+from repro.resources.manager import ResourceManager
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+from repro.storage.store import Store
+from repro.strategies.registry import StrategyRegistry
+from repro.strategies.resource_pool import ResourcePoolStrategy
+
+from .common import print_table, run_once
+
+STOCK = 10_000_000
+
+
+def build_manager(wal_path, checkpoint_every=None) -> PromiseManager:
+    store = Store(wal_path=wal_path, auto_checkpoint_every=checkpoint_every)
+    resources = ResourceManager(store)
+    registry = StrategyRegistry()
+    registry.assign("stock", ResourcePoolStrategy())
+    manager = PromiseManager(
+        store=store,
+        resources=resources,
+        clock=LogicalClock(),
+        registry=registry,
+        name="pm",
+    )
+    if not store.recovered:
+        with store.begin() as txn:
+            resources.create_pool(txn, "stock", STOCK)
+    return manager
+
+
+def run_workload(
+    manager: PromiseManager, grants: int, keep_active: int = 10
+) -> None:
+    """``grants`` grant/release pairs — the log grows while live state
+    stays small (the last ``keep_active`` promises stay granted),
+    exactly as a long-lived server's would.  Releasing the rest keeps
+    the workload linear: every manager transaction sweeps the active
+    table, so live size, not log size, is what grant latency feels."""
+    for index in range(grants):
+        request = PromiseRequest(
+            request_id=f"bench:req-{index}",
+            predicates=(P("quantity('stock') >= 1"),),
+            duration=1_000_000,
+            client_id="bench",
+        )
+        response = manager.request_promise(
+            request, dedup_key=f"bench:req-{index}"
+        )
+        if index < grants - keep_active:
+            manager.release(
+                response.promise_id, dedup_key=f"bench:rel-{index}"
+            )
+
+
+def timed_recovery(wal_path) -> tuple[float, float, int, int]:
+    """(replay_s, recover_s, wal_records, active) for one restart."""
+    start = time.perf_counter()
+    manager = build_manager(wal_path)
+    replay_s = time.perf_counter() - start
+    start = time.perf_counter()
+    report = recover(manager)
+    recover_s = time.perf_counter() - start
+    assert report.healthy, report.findings
+    manager.store.close()
+    return replay_s, recover_s, report.wal_records, report.promises_active
+
+
+def test_bench_recovery_small_log(benchmark, tmp_path):
+    """Micro-kernel: restart+recover from a 200-grant log."""
+    wal = tmp_path / "bench.wal"
+    manager = build_manager(wal)
+    run_workload(manager, 200)
+    manager.store.close()
+
+    def restart():
+        store = Store(wal_path=wal)
+        resources = ResourceManager(store)
+        registry = StrategyRegistry()
+        registry.assign("stock", ResourcePoolStrategy())
+        revived = PromiseManager(
+            store=store, resources=resources, clock=LogicalClock(),
+            registry=registry, name="pm",
+        )
+        report = recover(revived)
+        store.close()
+        return report
+
+    report = benchmark(restart)
+    assert report.healthy
+
+
+def test_report_f3_recovery(benchmark, tmp_path):
+    """Recovery time across log length x checkpoint interval."""
+
+    def sweep():
+        rows = []
+        for grants in (200, 1000, 3000):
+            for interval in (None, 500, 2000):
+                wal = tmp_path / f"f3-{grants}-{interval}.wal"
+                manager = build_manager(wal, checkpoint_every=interval)
+                start = time.perf_counter()
+                run_workload(manager, grants)
+                workload_s = time.perf_counter() - start
+                manager.store.close()
+                replay_s, recover_s, records, active = timed_recovery(wal)
+                rows.append({
+                    "grants": grants,
+                    "checkpoint": interval or "never",
+                    "wal records": records,
+                    "active": active,
+                    "workload ms": workload_s * 1000,
+                    "replay ms": replay_s * 1000,
+                    "recover ms": recover_s * 1000,
+                    "total ms": (replay_s + recover_s) * 1000,
+                })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "F3: recovery time vs log length vs checkpoint interval",
+        ["grants", "checkpoint", "wal records", "active",
+         "workload ms", "replay ms", "recover ms", "total ms"],
+        rows,
+    )
+
+
+def _served_shop(wal):
+    shop = Deployment(name="shop", wal_path=str(wal))
+    shop.add_service(MerchantService())
+    shop.use_pool_strategy("stock")
+    if shop.recovered:
+        shop.recover()
+    else:
+        with shop.seed() as txn:
+            shop.resources.create_pool(txn, "stock", STOCK)
+    journal = ReplyJournal(shop.store, table=NET_REPLY_JOURNAL_TABLE)
+    server = PromiseServer(reply_journal=journal)
+    server.register("shop", shop.endpoint.handle)
+    threaded = ThreadedServer(server)
+    address = threaded.start()
+    return shop, threaded, address
+
+
+def test_report_f3_mttr(benchmark, tmp_path):
+    """Kill a served deployment mid-workload; time the restart to first
+    successful reply, per pre-kill workload size."""
+
+    def sweep():
+        rows = []
+        for requests in (50, 200, 800):
+            wal = tmp_path / f"mttr-{requests}.wal"
+            shop, threaded, address = _served_shop(wal)
+            with NetworkTransport(address) as transport:
+                client = PromiseClientShim(transport)
+                for index in range(requests):
+                    client.sell(index)
+            # The kill: tear the server down mid-life, release the WAL.
+            threaded.stop()
+            shop.close()
+
+            start = time.perf_counter()
+            shop, threaded, address = _served_shop(wal)
+            rebuilt_s = time.perf_counter() - start
+            with NetworkTransport(address) as transport:
+                client = PromiseClientShim(transport)
+                client.sell(requests)  # first post-restart request
+            mttr_s = time.perf_counter() - start
+            threaded.stop()
+            shop.close()
+            report = shop.recovery_report
+            rows.append({
+                "pre-kill requests": requests,
+                "wal records": report.wal_records if report else 0,
+                "rebuild ms": rebuilt_s * 1000,
+                "first reply ms": (mttr_s - rebuilt_s) * 1000,
+                "MTTR ms": mttr_s * 1000,
+            })
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    print_table(
+        "F3: MTTR over TCP (kill mid-workload, restart from WAL)",
+        ["pre-kill requests", "wal records", "rebuild ms",
+         "first reply ms", "MTTR ms"],
+        rows,
+    )
+
+
+class PromiseClientShim:
+    """Minimal client for the MTTR sweep: one sell action per call."""
+
+    def __init__(self, transport) -> None:
+        from repro.protocol.client import PromiseClient
+
+        self._client = PromiseClient("bench", transport)
+
+    def sell(self, index: int):
+        outcome = self._client.call(
+            "shop", "merchant", "sell", {"product": "stock", "quantity": 1}
+        )
+        assert outcome.success, outcome.reason
+        return outcome

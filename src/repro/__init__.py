@@ -26,6 +26,9 @@ Package layout (see DESIGN.md for the full inventory):
   hotel, airline, shipping, gallery, travel agent)
 * :mod:`repro.baselines` — locking / optimistic / validation comparators
 * :mod:`repro.sim` — deterministic discrete-event concurrency harness
+* :mod:`repro.recovery` — crash recovery: durable reply journal, restart
+  path, post-recovery audit report
+* :mod:`repro.faults` — deterministic crash-point injection for tests
 """
 
 from .core import (
@@ -73,6 +76,7 @@ from .resources import (
     PropertyView,
     ResourceManager,
 )
+from .recovery import RecoveryReport, ReplyJournal, recover
 from .storage import Store
 from .strategies import (
     AllocatedTagsStrategy,
@@ -122,6 +126,8 @@ __all__ = [
     "PropertyType",
     "PropertyView",
     "QuantityAtLeast",
+    "RecoveryReport",
+    "ReplyJournal",
     "ResourceManager",
     "ResourcePoolStrategy",
     "SatisfiabilityStrategy",
@@ -134,6 +140,7 @@ __all__ = [
     "parse_predicate",
     "property_match",
     "quantity_at_least",
+    "recover",
     "render_predicate",
     "where",
     "__version__",

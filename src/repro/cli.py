@@ -21,13 +21,20 @@ Four subcommands:
     Talk to a running server: request a promise and/or invoke a service
     operation from another process.
 
+``doctor``
+    Open a deployment's write-ahead log, run crash recovery and the
+    invariant audit, and report what it found — the post-mortem half of
+    ``serve --wal``.
+
 Examples::
 
     python -m repro.cli figure1 --stock 12 --need 5
     python -m repro.cli compare --clients 32 --tightness 2.0 --regimes promises locking
     python -m repro.cli serve --port 7807 --stock 100
+    python -m repro.cli serve --port 7807 --stock 100 --wal /var/lib/shop.wal
     python -m repro.cli call --connect 127.0.0.1:7807 --predicate "quantity('widgets') >= 5" --duration 30
     python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
+    python -m repro.cli doctor --wal /var/lib/shop.wal --repair
 """
 
 from __future__ import annotations
@@ -48,7 +55,10 @@ from .core.environment import Environment
 from .core.errors import PredicateSyntaxError
 from .core.parser import P
 from .net import NetworkTransport, PromiseServer, ThreadedServer
+from .net.server import NET_REPLY_JOURNAL_TABLE
 from .protocol.client import PromiseClient
+from .recovery import ReplyJournal
+from .storage.errors import RecoveryError
 from .protocol.errors import ProtocolError
 from .protocol.messages import ActionPayload, Message
 from .services.deployment import Deployment
@@ -107,9 +117,19 @@ def build_parser() -> argparse.ArgumentParser:
                        help="endpoint/deployment name (default shop)")
     serve.add_argument("--stock", type=int, default=100,
                        help="initial 'widgets' pool stock (default 100)")
+    serve.add_argument("--wal", default=None, metavar="PATH",
+                       help="write-ahead log file; state survives restarts "
+                            "and an existing log is recovered on startup")
+    serve.add_argument("--fsync", action="store_true",
+                       help="fsync the WAL after every record (durable "
+                            "against power loss, slower)")
+    serve.add_argument("--checkpoint-every", type=int, default=None,
+                       metavar="N",
+                       help="compact the WAL after every N records")
     serve.add_argument("--self-test", action="store_true",
                        help="serve on loopback, run a client round trip "
-                            "(grant, action, redelivery), then exit")
+                            "(grant, action, redelivery), then kill the "
+                            "server and restart it from the WAL")
 
     call = commands.add_parser(
         "call", help="send one promise/action request to a running server"
@@ -131,6 +151,18 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("--param", action="append", default=[],
                       help="action parameter as key=value (repeatable)")
     call.add_argument("--timeout", type=float, default=5.0)
+
+    doctor = commands.add_parser(
+        "doctor", help="recover a WAL-backed deployment and audit it"
+    )
+    doctor.add_argument("--wal", required=True, metavar="PATH",
+                        help="write-ahead log file to open")
+    doctor.add_argument("--endpoint", default="shop",
+                        help="deployment name the log belongs to "
+                             "(default shop)")
+    doctor.add_argument("--repair", action="store_true",
+                        help="repair mechanically safe drift before "
+                             "the audit")
     return parser
 
 
@@ -226,14 +258,51 @@ def run_compare(
     return 0
 
 
-def _build_served_deployment(endpoint: str, stock: int) -> Deployment:
-    """The deployment `serve` hosts: a merchant over a widgets pool."""
-    deployment = Deployment(name=endpoint, counter_offers=True)
+def _build_served_deployment(
+    endpoint: str,
+    stock: int,
+    wal_path: str | None = None,
+    fsync: bool = False,
+    checkpoint_every: int | None = None,
+    out=sys.stdout,
+) -> Deployment:
+    """The deployment `serve` hosts: a merchant over a widgets pool.
+
+    With a WAL that already holds state, the pool is *not* re-seeded —
+    the log is the truth — and the runtime (clock, id pools, expiry
+    backlog) is recovered from it.
+    """
+    deployment = Deployment(
+        name=endpoint,
+        counter_offers=True,
+        wal_path=wal_path,
+        fsync=fsync,
+        auto_checkpoint_every=checkpoint_every,
+    )
     deployment.add_service(MerchantService())
     deployment.use_pool_strategy("widgets")
-    with deployment.seed() as txn:
-        deployment.resources.create_pool(txn, "widgets", stock)
+    if deployment.recovered:
+        report = deployment.recover()
+        print(f"recovery: {report.summary()}", file=out)
+    else:
+        with deployment.seed() as txn:
+            deployment.resources.create_pool(txn, "widgets", stock)
     return deployment
+
+
+def _build_server(
+    deployment: Deployment, endpoint: str, host: str, port: int
+) -> PromiseServer:
+    """A :class:`PromiseServer` for ``deployment``, with a durable
+    reply journal when the deployment has one to give."""
+    journal = None
+    if deployment.store.durable:
+        journal = ReplyJournal(
+            deployment.store, table=NET_REPLY_JOURNAL_TABLE
+        )
+    server = PromiseServer(host=host, port=port, reply_journal=journal)
+    server.register(endpoint, deployment.endpoint.handle)
+    return server
 
 
 def run_serve(
@@ -242,23 +311,32 @@ def run_serve(
     endpoint: str,
     stock: int,
     self_test: bool,
+    wal: str | None = None,
+    fsync: bool = False,
+    checkpoint_every: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Host the deployment over TCP; returns a process exit code."""
     if port is None:
         port = 0 if self_test else DEFAULT_PORT
-    deployment = _build_served_deployment(endpoint, stock)
-    server = PromiseServer(host=host, port=port)
-    server.register(endpoint, deployment.endpoint.handle)
 
     if self_test:
-        return _serve_self_test(server, endpoint, stock, out=out)
+        return _serve_self_test(
+            host, port, endpoint, stock, wal,
+            fsync=fsync, checkpoint_every=checkpoint_every, out=out,
+        )
+
+    deployment = _build_served_deployment(
+        endpoint, stock, wal, fsync, checkpoint_every, out=out
+    )
+    server = _build_server(deployment, endpoint, host, port)
 
     async def serve() -> None:
         bound_host, bound_port = await server.start()
+        durability = f", wal: {wal}" if wal else ""
         print(
             f"serving endpoint {endpoint!r} on {bound_host}:{bound_port} "
-            f"(widgets stock: {stock})",
+            f"(widgets stock: {stock}{durability})",
             file=out,
         )
         await server.serve_forever()
@@ -274,9 +352,57 @@ def run_serve(
 
 
 def _serve_self_test(
-    server: PromiseServer, endpoint: str, stock: int, out=sys.stdout
+    host: str,
+    port: int,
+    endpoint: str,
+    stock: int,
+    wal: str | None,
+    fsync: bool = False,
+    checkpoint_every: int | None = None,
+    out=sys.stdout,
 ) -> int:
-    """Loopback smoke test: grant, action under promise, redelivery."""
+    """Loopback smoke test, in two lives of the same deployment.
+
+    Life one: grant, action under promise, §6 redelivery — as before.
+    Then the server is killed, and life two restarts from the WAL
+    (a temporary file when ``--wal`` was not given): recovery must come
+    up healthy, the pre-crash stock must survive, and a client retrying
+    a pre-crash message must get the journaled reply byte-for-byte.
+    """
+    import tempfile
+
+    cleanup: str | None = None
+    if wal is None:
+        fd, wal = tempfile.mkstemp(prefix="repro-selftest-", suffix=".wal")
+        os.close(fd)
+        os.unlink(wal)  # the WAL layer creates it; we only needed a name
+        cleanup = wal
+    try:
+        return _self_test_two_lives(
+            host, port, endpoint, stock, wal,
+            fsync=fsync, checkpoint_every=checkpoint_every, out=out,
+        )
+    finally:
+        if cleanup is not None:
+            for leftover in (cleanup, cleanup + ".tmp"):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)
+
+
+def _self_test_two_lives(
+    host: str,
+    port: int,
+    endpoint: str,
+    stock: int,
+    wal: str,
+    fsync: bool,
+    checkpoint_every: int | None,
+    out=sys.stdout,
+) -> int:
+    deployment = _build_served_deployment(
+        endpoint, stock, wal, fsync, checkpoint_every, out=out
+    )
+    server = _build_server(deployment, endpoint, host, port)
     with ThreadedServer(server) as (host, bound_port):
         print(f"self-test: serving on {host}:{bound_port}", file=out)
         with NetworkTransport((host, bound_port)) as transport:
@@ -336,7 +462,56 @@ def _serve_self_test(
                 file=out,
             )
             faults = client.release(endpoint, response.promise_id)
-            healthy = not faults and sold_once and deduplicated
+            life_one_ok = not faults and sold_once and deduplicated
+
+    # Kill the server (the context manager above tore it down without
+    # ceremony) and start a second life from the same WAL.
+    deployment.close()
+    print(f"killed server; restarting from {wal}", file=out)
+    deployment = _build_served_deployment(
+        endpoint, stock, wal, fsync, checkpoint_every, out=out
+    )
+    report = deployment.recovery_report
+    recovered_ok = report is not None and report.healthy
+    server = _build_server(deployment, endpoint, host, port)
+    with ThreadedServer(server) as (host, bound_port):
+        with NetworkTransport((host, bound_port)) as transport:
+            client = PromiseClient("self-test-2", transport)
+            level = client.call(
+                endpoint, "merchant", "stock_level", {"product": "widgets"}
+            )
+            stock_survived = (
+                level.value.get("available", 0)
+                + level.value.get("allocated", 0)
+            ) == stock - 1
+            print(
+                f"stock after restart: {level.value} "
+                f"({'survived' if stock_survived else 'LOST'})",
+                file=out,
+            )
+            # Retry a pre-crash message: the reply journal must replay
+            # the original envelope byte-for-byte, not re-execute.
+            probe = Message(
+                message_id="self-test:probe",
+                sender="self-test",
+                recipient=endpoint,
+                action=ActionPayload(
+                    "merchant", "stock_level", {"product": "widgets"}
+                ),
+            )
+            replayed = transport.send(probe)
+            journal_replayed = (
+                replayed == first and server.stats.duplicates_served == 1
+            )
+            print(
+                f"pre-crash message retried: journaled reply replayed: "
+                f"{'yes' if journal_replayed else 'NO'}",
+                file=out,
+            )
+    deployment.close()
+    healthy = (
+        life_one_ok and recovered_ok and stock_survived and journal_replayed
+    )
     print("self-test " + ("ok" if healthy else "FAILED"), file=out)
     return 0 if healthy else 1
 
@@ -412,6 +587,34 @@ def run_call(
     return code
 
 
+def run_doctor(
+    wal: str, endpoint: str, repair: bool, out=sys.stdout
+) -> int:
+    """Recover a WAL-backed deployment and audit it; 0 when healthy."""
+    if not os.path.exists(wal):
+        print(f"no such WAL: {wal}", file=out)
+        return 2
+    try:
+        deployment = Deployment(name=endpoint, wal_path=wal)
+    except RecoveryError as error:
+        print(f"unrecoverable WAL: {error}", file=out)
+        return 2
+    try:
+        deployment.add_service(MerchantService())
+        deployment.use_pool_strategy("widgets")
+        report = deployment.recover(repair=repair)
+        print(report.summary(), file=out)
+        for note in report.notes:
+            print(f"note: {note}", file=out)
+        for finding in report.repaired:
+            print(f"repaired: {finding}", file=out)
+        for finding in report.findings:
+            print(f"finding: {finding}", file=out)
+        return 0 if report.healthy else 1
+    finally:
+        deployment.close()
+
+
 def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
     """``key=value`` CLI pairs, with ints parsed as ints."""
     params: dict[str, object] = {}
@@ -441,7 +644,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     if args.command == "serve":
         return run_serve(
             args.host, args.port, args.endpoint, args.stock,
-            args.self_test, out=out,
+            args.self_test, args.wal, args.fsync, args.checkpoint_every,
+            out=out,
         )
     if args.command == "call":
         return run_call(
@@ -449,6 +653,8 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             args.predicate, args.duration, args.service, args.operation,
             args.param, args.timeout, out=out,
         )
+    if args.command == "doctor":
+        return run_doctor(args.wal, args.endpoint, args.repair, out=out)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Mapping, Sequence
 
+from ..faults.crashpoints import crash_point
 from ..resources.manager import ResourceManager
 from ..resources.records import INSTANCES_TABLE
 from ..storage.store import Store
@@ -61,6 +62,12 @@ from .table import PromiseTable
 
 _STRATEGIES_KEY = "strategies"
 _SPLIT_KEY = "split"
+
+#: Table holding manager runtime state that must survive a restart
+#: (currently the logical-clock tick).  Lives beside the promise table so
+#: WAL replay restores it for free.
+MANAGER_META_TABLE = "promise_manager_meta"
+CLOCK_KEY = "clock"
 
 
 @dataclass
@@ -155,6 +162,33 @@ class ExecuteOutcome:
         """True when the action was rolled back for violating promises."""
         return bool(self.violations)
 
+    def to_dict(self) -> dict[str, object]:
+        """Serialise for the reply journal."""
+        return {
+            "success": self.success,
+            "value": self.value,
+            "reason": self.reason,
+            "released": list(self.released),
+            "violations": [
+                [violation.promise_id, violation.detail]
+                for violation in self.violations
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "ExecuteOutcome":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            success=bool(payload.get("success")),
+            value=payload.get("value"),
+            reason=str(payload.get("reason", "")),
+            released=tuple(str(item) for item in payload.get("released", ())),  # type: ignore[union-attr]
+            violations=tuple(
+                Violation(str(promise_id), str(detail))
+                for promise_id, detail in payload.get("violations", ())  # type: ignore[union-attr]
+            ),
+        )
+
 
 class PromiseManager:
     """Grants, tracks, enforces and releases promises.
@@ -173,12 +207,18 @@ class PromiseManager:
         max_duration: int | None = None,
         counter_offers: bool = False,
     ) -> None:
+        # Imported here, not at module level: repro.recovery imports this
+        # module (the recover() entry point takes a PromiseManager).
+        from ..recovery.journal import ReplyJournal
+
         self.name = name
         self._store = store or Store()
         self._resources = resources or ResourceManager(self._store)
         self.clock = clock or LogicalClock()
         self.registry = registry or StrategyRegistry()
         self._table = PromiseTable(self._store)
+        self._store.create_table(MANAGER_META_TABLE)
+        self.journal = ReplyJournal(self._store)
         self._promise_ids = IdGenerator(f"{name}:prm")
         self._request_ids = IdGenerator(f"{name}:req")
         self.max_duration = max_duration
@@ -206,9 +246,16 @@ class PromiseManager:
         """A fresh correlation id for a promise request."""
         return self._request_ids.next_id()
 
+    def observe_issued_id(self, used_id: str) -> None:
+        """Advance the id pools past an id recovered from disk."""
+        self._promise_ids.ensure_past(used_id)
+        self._request_ids.ensure_past(used_id)
+
     # -------------------------------------------------------- promise API
 
-    def request_promise(self, request: PromiseRequest) -> PromiseResponse:
+    def request_promise(
+        self, request: PromiseRequest, *, dedup_key: str | None = None
+    ) -> PromiseResponse:
         """Process a ``<promise-request>`` (§6): grant or reject atomically.
 
         All predicates grant together or the request is rejected (§4 first
@@ -216,12 +263,23 @@ class PromiseManager:
         they are exchanged atomically: "if these new promises cannot be
         granted, the existing promises must continue to hold" (§6) — the
         rollback of the enclosing transaction restores them.
+
+        With ``dedup_key`` set (the protocol endpoint passes the request
+        id), the response is journaled *inside the grant transaction* and
+        a redelivered request — even one arriving after a crash and
+        restart — returns the original response instead of granting
+        twice (§4: granting and replying are one atomic unit).
         """
         now = self.clock.now
         txn = self._store.begin()
         compensations: list[tuple[IsolationStrategy, object]] = []
         post_commit: list[Callable[[], None]] = []
         try:
+            if dedup_key is not None:
+                replayed = self.journal.get(txn, dedup_key)
+                if replayed is not None:
+                    txn.abort()
+                    return PromiseResponse.from_dict(replayed)  # type: ignore[arg-type]
             swept = self._sweep(txn, now, post_commit)
             for promise_id in request.releases:
                 self._release_in_txn(
@@ -267,9 +325,15 @@ class PromiseManager:
                         if self.counter_offers
                         else None
                     )
-                    return PromiseResponse.rejected(
+                    response = PromiseResponse.rejected(
                         request.request_id, decision.reason, counter=counter
                     )
+                    if dedup_key is not None:
+                        # The grant transaction aborted, so there is no
+                        # effect to be atomic with; a crash before this
+                        # records merely lets a retry re-evaluate.
+                        self.journal.record_alone(dedup_key, response.to_dict())
+                    return response
                 strategy_names.append(strategy.name)
                 meta[strategy.name] = decision.meta
 
@@ -285,7 +349,17 @@ class PromiseManager:
                 meta=meta,
             )
             self._table.insert(txn, promise)
+            response = PromiseResponse(
+                promise_id=promise_id,
+                result=PromiseResult.ACCEPTED,
+                duration=duration,
+                correlation=request.request_id,
+            )
+            if dedup_key is not None:
+                self.journal.record(txn, dedup_key, response.to_dict())
+            self._persist_clock(txn, now)
             txn.commit()
+            crash_point("manager.after-grant-before-reply")
             self._run_post_commit(post_commit)
             self._emit_expired(swept, now)
             for released_id in request.releases:
@@ -302,12 +376,7 @@ class PromiseManager:
                 promise_id=promise_id,
                 client_id=request.client_id,
             )
-            return PromiseResponse(
-                promise_id=promise_id,
-                result=PromiseResult.ACCEPTED,
-                duration=duration,
-                correlation=request.request_id,
-            )
+            return response
         except Exception:
             if txn.is_active:
                 txn.abort()
@@ -362,11 +431,25 @@ class PromiseManager:
                 return index, response
         return -1, response
 
-    def release(self, promise_id: str, consume: bool = False) -> None:
-        """Release a promise; with ``consume``, take its resources too."""
+    def release(
+        self,
+        promise_id: str,
+        consume: bool = False,
+        *,
+        dedup_key: str | None = None,
+    ) -> None:
+        """Release a promise; with ``consume``, take its resources too.
+
+        With ``dedup_key`` set, a redelivered release (same key) is a
+        no-op instead of a promise-state fault: the journal remembers it
+        already ran, across restarts included.
+        """
         now = self.clock.now
         post_commit: list[Callable[[], None]] = []
         with self._store.begin() as txn:
+            if dedup_key is not None and self.journal.get(txn, dedup_key) is not None:
+                txn.abort()
+                return
             swept = self._sweep(txn, now, post_commit)
             self._release_in_txn(
                 txn, promise_id, consume=consume, now=now,
@@ -379,6 +462,9 @@ class PromiseManager:
                         sorted({v.promise_id for v in violations}),
                         "; ".join(v.detail for v in violations[:3]),
                     )
+            if dedup_key is not None:
+                self.journal.record(txn, dedup_key, {"released": promise_id})
+            self._persist_clock(txn, now)
         self._run_post_commit(post_commit)
         self._emit_expired(swept, now)
         self._emit(
@@ -412,6 +498,8 @@ class PromiseManager:
         action: Action,
         environment: Environment | None = None,
         client_id: str = "anonymous",
+        *,
+        dedup_key: str | None = None,
     ) -> ExecuteOutcome:
         """Run an application action under a promise environment (§8).
 
@@ -419,12 +507,23 @@ class PromiseManager:
         the bundled releases, then re-check every promise.  Any failure
         rolls back the whole transaction, so the action and its releases
         are atomic and violated promises force the action to be undone.
+
+        With ``dedup_key`` set, the outcome of a *committed* action is
+        journaled in the same transaction, so a redelivery — before or
+        after a restart — replays the original outcome instead of
+        running the action twice (§4: performing an action and updating
+        promise state are one atomic unit).
         """
         environment = environment or Environment.empty()
         now = self.clock.now
         txn = self._store.begin()
         post_commit: list[Callable[[], None]] = []
         try:
+            if dedup_key is not None:
+                replayed = self.journal.get(txn, dedup_key)
+                if replayed is not None:
+                    txn.abort()
+                    return ExecuteOutcome.from_dict(replayed)  # type: ignore[arg-type]
             swept = self._sweep(txn, now, post_commit)
             self._validate_environment(txn, environment, now)
 
@@ -440,12 +539,17 @@ class PromiseManager:
                 )
             except ActionFailed as failure:
                 txn.abort()
-                return ExecuteOutcome(success=False, reason=str(failure))
+                return self._journal_failure(
+                    dedup_key, ExecuteOutcome(success=False, reason=str(failure))
+                )
             result = self._normalise(raw)
             if not result.success:
                 txn.abort()
-                return ExecuteOutcome(success=False, reason=result.reason)
+                return self._journal_failure(
+                    dedup_key, ExecuteOutcome(success=False, reason=result.reason)
+                )
 
+            crash_point("manager.after-action-before-release")
             released: list[str] = []
             for promise_id in environment.releases():
                 self._release_in_txn(
@@ -465,13 +569,23 @@ class PromiseManager:
                         client_id=client_id,
                         detail=violation.detail,
                     )
-                return ExecuteOutcome(
-                    success=False,
-                    reason="action rolled back: promises violated",
-                    violations=tuple(violations),
+                return self._journal_failure(
+                    dedup_key,
+                    ExecuteOutcome(
+                        success=False,
+                        reason="action rolled back: promises violated",
+                        violations=tuple(violations),
+                    ),
                 )
 
+            outcome = ExecuteOutcome(
+                success=True, value=result.value, released=tuple(released)
+            )
+            if dedup_key is not None:
+                self.journal.record(txn, dedup_key, outcome.to_dict())
+            self._persist_clock(txn, now)
             txn.commit()
+            crash_point("manager.after-execute-commit")
             self._run_post_commit(post_commit)
             self._emit_expired(swept, now)
             for consumed_id in released:
@@ -481,18 +595,19 @@ class PromiseManager:
                     promise_id=consumed_id,
                     client_id=client_id,
                 )
-            return ExecuteOutcome(
-                success=True, value=result.value, released=tuple(released)
-            )
+            return outcome
         except PromiseViolation as violation:
             if txn.is_active:
                 txn.abort()
-            return ExecuteOutcome(
-                success=False,
-                reason=str(violation),
-                violations=tuple(
-                    Violation(pid, violation.detail)
-                    for pid in violation.promise_ids
+            return self._journal_failure(
+                dedup_key,
+                ExecuteOutcome(
+                    success=False,
+                    reason=str(violation),
+                    violations=tuple(
+                        Violation(pid, violation.detail)
+                        for pid in violation.promise_ids
+                    ),
                 ),
             )
         except Exception:
@@ -520,6 +635,7 @@ class PromiseManager:
         post_commit: list[Callable[[], None]] = []
         with self._store.begin() as txn:
             swept = self._sweep(txn, now, post_commit)
+            self._persist_clock(txn, now)
         self._run_post_commit(post_commit)
         self._emit_expired(swept, now)
         return swept
@@ -530,6 +646,25 @@ class PromiseManager:
             return self._table.vacuum(txn)
 
     # ------------------------------------------------------------ internals
+
+    def _persist_clock(self, txn: Transaction, now: int) -> None:
+        """Record the clock tick so recovery can resume logical time."""
+        stored = txn.get_or_none(MANAGER_META_TABLE, CLOCK_KEY)
+        if not isinstance(stored, Mapping) or stored.get("now") != now:
+            txn.put(MANAGER_META_TABLE, CLOCK_KEY, {"now": now})
+
+    def _journal_failure(
+        self, dedup_key: str | None, outcome: ExecuteOutcome
+    ) -> ExecuteOutcome:
+        """Journal a failed outcome (its transaction already aborted).
+
+        Nothing committed, so there is no effect to be atomic with; the
+        separate journal write just keeps a redelivery from re-running
+        the action once the failure has been reported.
+        """
+        if dedup_key is not None:
+            self.journal.record_alone(dedup_key, outcome.to_dict())
+        return outcome
 
     def _normalise(self, raw: object) -> ActionResult:
         if isinstance(raw, ActionResult):

@@ -17,7 +17,6 @@ duration, and the correlation back to the request.
 from __future__ import annotations
 
 import enum
-import itertools
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -255,11 +254,26 @@ class IdGenerator:
 
     def __init__(self, prefix: str) -> None:
         self._prefix = prefix
-        self._counter = itertools.count(1)
+        self._issued = 0
 
     def next_id(self) -> str:
         """Produce the next id, e.g. ``prm-42``."""
-        return f"{self._prefix}-{next(self._counter)}"
+        self._issued += 1
+        return f"{self._prefix}-{self._issued}"
+
+    def ensure_past(self, used_id: str) -> None:
+        """Advance the counter past a previously issued id.
+
+        Recovery feeds every id found on disk through this so a
+        restarted manager never re-issues one; ids with a foreign prefix
+        (client-generated dedup keys, say) are ignored.
+        """
+        prefix = f"{self._prefix}-"
+        if not used_id.startswith(prefix):
+            return
+        suffix = used_id[len(prefix):]
+        if suffix.isdigit():
+            self._issued = max(self._issued, int(suffix))
 
     def take(self, count: int) -> list[str]:
         """Produce ``count`` consecutive ids."""

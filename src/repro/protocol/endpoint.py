@@ -26,6 +26,7 @@ from ..core.errors import (
 )
 from ..core.manager import Action, PromiseManager
 from ..core.promise import IdGenerator, PromiseResponse
+from ..faults.crashpoints import SimulatedCrash, crash_point
 from .errors import MalformedMessage
 from .messages import ActionOutcomePayload, ActionPayload, Message
 
@@ -49,6 +50,10 @@ class PromiseEndpoint:
         self._resolve = resolve
         self.name = name or manager.name
         self._message_ids = IdGenerator(f"{self.name}:msg")
+        # Durable reply dedup only earns its keep when the store outlives
+        # the process; in-memory deployments rely on the transport's
+        # ReplyCache, and disabling that disables dedup entirely.
+        self._journal_replies = manager.store.durable
 
     def handle(self, message: Message) -> Message:
         """Process one inbound message and build the reply.
@@ -64,7 +69,12 @@ class PromiseEndpoint:
 
         for request in message.promise_requests:
             try:
-                response = self.manager.request_promise(request)
+                response = self.manager.request_promise(
+                    request,
+                    dedup_key=(
+                        request.request_id if self._journal_replies else None
+                    ),
+                )
             except (PredicateError, UnknownPromise, PromiseStateError) as exc:
                 response = PromiseResponse.rejected(request.request_id, str(exc))
             except PromiseExpired as exc:
@@ -82,6 +92,7 @@ class PromiseEndpoint:
         elif message.environment is not None:
             self._pure_release(message.environment, faults)
 
+        crash_point("endpoint.before-reply")
         return message.reply(
             message_id=self._message_ids.next_id(),
             promise_responses=tuple(responses),
@@ -103,7 +114,14 @@ class PromiseEndpoint:
         environment = message.environment or Environment.empty()
         try:
             result = self.manager.execute(
-                action, environment, client_id=message.sender
+                action,
+                environment,
+                client_id=message.sender,
+                dedup_key=(
+                    f"{message.message_id}:action"
+                    if self._journal_replies
+                    else None
+                ),
             )
         except PromiseExpired as exc:
             faults.append(f"promise-expired: {exc.promise_id}")
@@ -114,6 +132,10 @@ class PromiseEndpoint:
         except PromiseStateError as exc:
             faults.append(f"promise-state: {exc}")
             return None
+        except SimulatedCrash:
+            # Fault injection models the *process* dying; swallowing it
+            # here would turn a crash into a polite fault reply.
+            raise
         except Exception as exc:  # noqa: BLE001 - service boundary
             # An unexpected application error must not take the endpoint
             # down; the manager already rolled the transaction back, so
@@ -136,7 +158,15 @@ class PromiseEndpoint:
         """A promise-release message: environment, no action (§6)."""
         for promise_id in environment.releases():
             try:
-                self.manager.release(promise_id, consume=False)
+                self.manager.release(
+                    promise_id,
+                    consume=False,
+                    dedup_key=(
+                        f"release:{promise_id}"
+                        if self._journal_replies
+                        else None
+                    ),
+                )
             except PromiseExpired as exc:
                 faults.append(f"promise-expired: {exc.promise_id}")
             except UnknownPromise as exc:

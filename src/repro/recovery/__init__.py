@@ -1,0 +1,31 @@
+"""Crash recovery for promise managers (paper §4's guarantees, durably).
+
+Section 4 requires granting-and-replying, and acting-while-updating
+promise state, to be *atomic*; §8's prototype keeps promises in a
+commercial DBMS precisely so those guarantees survive a crash.  This
+package is the reproduction's equivalent over the embedded store's
+write-ahead log:
+
+* :class:`~repro.recovery.journal.ReplyJournal` — the §6 reply-dedup
+  cache as a *table in the transactional store*, written in the same
+  transaction as the grant or action it answers, so a request
+  redelivered after a crash gets the original reply instead of a second
+  execution;
+* :func:`~repro.recovery.recover.recover` — the restart path: replay
+  the WAL (done by :class:`~repro.storage.store.Store`), restore the
+  logical clock and id counters, sweep promises that expired while the
+  manager was down, and audit the result with
+  :class:`~repro.tools.doctor.Doctor`.
+"""
+
+from .journal import REPLY_JOURNAL_TABLE, ReplyJournal
+from .recover import CLOCK_KEY, MANAGER_META_TABLE, RecoveryReport, recover
+
+__all__ = [
+    "CLOCK_KEY",
+    "MANAGER_META_TABLE",
+    "REPLY_JOURNAL_TABLE",
+    "RecoveryReport",
+    "ReplyJournal",
+    "recover",
+]

@@ -1,0 +1,136 @@
+"""Durable §6 reply journal.
+
+"To make this work, the promise manager needs to treat the processing of
+each message as an atomic unit" (§4) — including the *reply*.  The
+in-memory :class:`~repro.protocol.correlation.ReplyCache` gives
+at-most-once semantics while a process lives; this journal gives them
+*across restarts* by keeping replies in a table of the same transactional
+store that holds the promise table.  A reply recorded with
+:meth:`ReplyJournal.record` inside the grant/action transaction commits
+or vanishes together with the effect it describes, which is exactly the
+atomicity a redelivered request needs: either the effect happened and
+the original reply is replayable, or neither survived and re-execution
+is safe.
+
+Entries carry monotonically increasing sequence numbers; when the
+journal exceeds its capacity it evicts the oldest half in one sweep, so
+the amortised cost per record stays O(1) while a retry storm still finds
+every recent reply.
+"""
+
+from __future__ import annotations
+
+from ..storage.transactions import Transaction
+
+REPLY_JOURNAL_TABLE = "reply_journal"
+
+_META_KEY = "__meta__"
+
+
+class ReplyJournal:
+    """Bounded, durable map of dedup key -> reply payload."""
+
+    def __init__(
+        self,
+        store,
+        table: str = REPLY_JOURNAL_TABLE,
+        capacity: int = 4096,
+    ) -> None:
+        if capacity < 2:
+            raise ValueError("journal capacity must be at least 2")
+        self._store = store
+        self._table = table
+        self._capacity = capacity
+        store.create_table(table)
+
+    @property
+    def table(self) -> str:
+        """Name of the backing store table."""
+        return self._table
+
+    # -------------------------------------------------------------- in-txn
+
+    def get(self, txn: Transaction, key: str) -> object | None:
+        """The journaled reply payload for ``key``, or None if unseen."""
+        entry = txn.get_or_none(self._table, key)
+        if isinstance(entry, dict):
+            return entry.get("payload")
+        return None
+
+    def record(self, txn: Transaction, key: str, payload: object) -> None:
+        """Journal ``payload`` under ``key`` inside ``txn``.
+
+        Calling this in the same transaction as the effect it answers is
+        what makes grant-and-reply (or action-and-reply) atomic across a
+        crash.  Re-recording an existing key overwrites it.
+        """
+        meta = txn.get_or_none(self._table, _META_KEY)
+        if not isinstance(meta, dict):
+            meta = {"next_seq": 1, "count": 0}
+        seq = int(meta["next_seq"])  # type: ignore[arg-type]
+        fresh = txn.get_or_none(self._table, key) is None
+        txn.put(self._table, key, {"seq": seq, "payload": payload})
+        count = int(meta["count"]) + (1 if fresh else 0)  # type: ignore[arg-type]
+        if count > self._capacity:
+            count -= self._evict(txn, seq)
+        txn.put(self._table, _META_KEY, {"next_seq": seq + 1, "count": count})
+
+    def keys(self, txn: Transaction) -> list[str]:
+        """All journaled dedup keys (recovery uses this to bump id pools)."""
+        return [key for key, __ in txn.scan(self._table) if key != _META_KEY]
+
+    def entries(self, txn: Transaction) -> list[tuple[str, object]]:
+        """``(key, payload)`` pairs, oldest first (server cache warm-up)."""
+        rows = [
+            (key, entry)
+            for key, entry in txn.scan(self._table)
+            if key != _META_KEY and isinstance(entry, dict)
+        ]
+        rows.sort(key=lambda item: int(item[1].get("seq", 0)))  # type: ignore[union-attr]
+        return [(key, entry.get("payload")) for key, entry in rows]  # type: ignore[union-attr]
+
+    def count(self, txn: Transaction) -> int:
+        """Number of journaled replies."""
+        meta = txn.get_or_none(self._table, _META_KEY)
+        if isinstance(meta, dict):
+            return int(meta.get("count", 0))  # type: ignore[arg-type]
+        return 0
+
+    # ------------------------------------------------------- own-transaction
+
+    def get_alone(self, key: str) -> object | None:
+        """Like :meth:`get` in a transaction of its own."""
+        with self._store.begin() as txn:
+            return self.get(txn, key)
+
+    def entries_alone(self) -> list[tuple[str, object]]:
+        """Like :meth:`entries` in a transaction of its own."""
+        with self._store.begin() as txn:
+            return self.entries(txn)
+
+    def record_alone(self, key: str, payload: object) -> None:
+        """Like :meth:`record` in a transaction of its own.
+
+        Used for outcomes whose own transaction *aborted* (rejections,
+        failed actions): there is no effect to be atomic with, so a
+        crash between the abort and this record merely lets the retry
+        re-evaluate — which is safe, because nothing happened.
+        """
+        with self._store.begin() as txn:
+            self.record(txn, key, payload)
+
+    # ------------------------------------------------------------ internals
+
+    def _evict(self, txn: Transaction, next_seq: int) -> int:
+        """Drop the oldest half of the journal; returns entries removed."""
+        horizon = next_seq - self._capacity // 2
+        victims = [
+            key
+            for key, entry in txn.scan(self._table)
+            if key != _META_KEY
+            and isinstance(entry, dict)
+            and int(entry.get("seq", 0)) < horizon  # type: ignore[arg-type]
+        ]
+        for key in victims:
+            txn.delete(self._table, key)
+        return len(victims)

@@ -21,6 +21,7 @@ from __future__ import annotations
 from ..core.clock import LogicalClock
 from ..core.manager import PromiseManager
 from ..protocol.client import PromiseClient
+from ..recovery import RecoveryReport, recover
 from ..protocol.endpoint import PromiseEndpoint
 from ..protocol.transport import InProcessTransport
 from ..resources.manager import ResourceManager
@@ -45,10 +46,17 @@ class Deployment:
         max_duration: int | None = None,
         wire_format: bool = True,
         counter_offers: bool = False,
+        wal_path: str | None = None,
+        fsync: bool = False,
+        auto_checkpoint_every: int | None = None,
     ) -> None:
         self.name = name
         self.clock = clock or LogicalClock()
-        self.store = Store()
+        self.store = Store(
+            wal_path=wal_path,
+            fsync=fsync,
+            auto_checkpoint_every=auto_checkpoint_every,
+        )
         self.resources = ResourceManager(self.store)
         self.registry = StrategyRegistry()
         self.manager = PromiseManager(
@@ -69,6 +77,7 @@ class Deployment:
         self._pool_strategy: ResourcePoolStrategy | None = None
         self._tags_strategy: AllocatedTagsStrategy | None = None
         self._tentative_strategy: TentativeAllocationStrategy | None = None
+        self.recovery_report: RecoveryReport | None = None
 
     # ------------------------------------------------------------- wiring
 
@@ -85,6 +94,32 @@ class Deployment:
     def seed(self) -> Transaction:
         """A transaction for populating initial resource state."""
         return self.store.begin()
+
+    @property
+    def recovered(self) -> bool:
+        """True when the store replayed an existing WAL on startup.
+
+        Callers use this to skip re-seeding resources that the log
+        already holds.
+        """
+        return self.store.recovered
+
+    def recover(self, *, repair: bool = True) -> RecoveryReport:
+        """Restore runtime state after a restart from an existing WAL.
+
+        Call this *after* wiring services and strategies — the
+        expired-while-down sweep dispatches each promise's ``on_expire``
+        through the strategy registry, so escrowed resources only flow
+        back if the owning strategy is registered again.  The report is
+        also kept on :attr:`recovery_report` for later inspection.
+        """
+        report = recover(self.manager, repair=repair)
+        self.recovery_report = report
+        return report
+
+    def close(self) -> None:
+        """Release the store's WAL file handle."""
+        self.store.close()
 
     # ---------------------------------------------------- strategy routing
 

@@ -23,6 +23,7 @@ import itertools
 from pathlib import Path
 from typing import Callable, Iterator
 
+from ..faults.crashpoints import crash_point
 from .errors import (
     DuplicateKey,
     KeyNotFound,
@@ -49,16 +50,29 @@ class Store:
     alias the store's internal state.
     """
 
-    def __init__(self, wal_path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        wal_path: str | Path | None = None,
+        *,
+        fsync: bool = False,
+        auto_checkpoint_every: int | None = None,
+    ) -> None:
+        if auto_checkpoint_every is not None and auto_checkpoint_every < 1:
+            raise ValueError("auto_checkpoint_every must be positive")
         self._tables: dict[str, dict[str, object]] = {}
         self._locks = LockManager()
-        self._wal = WriteAheadLog(wal_path)
-        self._txn_ids = itertools.count(1)
+        self._wal = WriteAheadLog(wal_path, fsync=fsync)
+        self._auto_checkpoint_every = auto_checkpoint_every
+        # Continue txn numbering past anything the log already mentions,
+        # so a replayed id can never mean two different transactions.
+        self._txn_ids = itertools.count(self._wal.max_txn_id() + 1)
         self._active: dict[int, Transaction] = {}
+        self.recovered = False
         if len(self._wal):
             self._tables = {
                 table: dict(rows) for table, rows in self._wal.replay().items()
             }
+            self.recovered = True
 
     # ----------------------------------------------------------- schema API
 
@@ -93,6 +107,7 @@ class Store:
         txn = Transaction(self, next(self._txn_ids))
         self._active[txn.txn_id] = txn
         self._wal.append(LogRecordType.BEGIN, txn_id=txn.txn_id)
+        crash_point("store.after-begin")
         return txn
 
     def transaction(self) -> Transaction:
@@ -125,10 +140,19 @@ class Store:
         }
         self._wal.checkpoint(snapshot)
 
+    def close(self) -> None:
+        """Release the WAL file handle (idempotent; store stays readable)."""
+        self._wal.close()
+
     @property
     def wal(self) -> WriteAheadLog:
         """The underlying write-ahead log (read-mostly; tests and recovery)."""
         return self._wal
+
+    @property
+    def durable(self) -> bool:
+        """True when the WAL is backed by a file (state survives restarts)."""
+        return self._wal.path is not None
 
     @property
     def lock_manager(self) -> LockManager:
@@ -184,6 +208,7 @@ class Store:
         self._wal.append(
             LogRecordType.PUT, txn_id=txn.txn_id, table=table, key=key, value=stored
         )
+        crash_point("store.after-put")
 
     def _insert(self, txn: Transaction, table: str, key: str, value: object) -> None:
         rows = self._require_table(table)
@@ -244,9 +269,17 @@ class Store:
                 )
 
     def _commit(self, txn: Transaction) -> None:
+        crash_point("store.before-commit")
         self._wal.append(LogRecordType.COMMIT, txn_id=txn.txn_id)
+        crash_point("store.after-commit")
         txn.status = TransactionStatus.COMMITTED
         self._finish(txn)
+        if (
+            self._auto_checkpoint_every is not None
+            and not self._active
+            and self._wal.records_since_checkpoint >= self._auto_checkpoint_every
+        ):
+            self.checkpoint()
 
     def _abort(self, txn: Transaction) -> None:
         self._rollback_to(txn, 0)

@@ -5,17 +5,36 @@ rebuilt after a crash by replaying committed transactions.  The log is
 deliberately simple — physical REDO images keyed by (table, key) — because
 the substrate only needs to honour the ACID contract the prototype relies on
 (paper, §8), not compete with a production engine.
+
+Durability discipline:
+
+* appends go through one persistent file handle and are flushed per
+  record; ``fsync=True`` additionally fsyncs each append, trading
+  throughput for power-loss durability;
+* a *torn tail* — the final line cut short by a crash mid-append — is
+  logged, dropped, and truncated away rather than making the log
+  unopenable; corruption anywhere *before* the tail still raises, since
+  dropping committed history would be silent data loss;
+* :meth:`checkpoint` writes the snapshot to a temporary file and
+  atomically ``os.replace``\\ s it over the log, so a crash at any point
+  leaves either the full old log or the complete checkpoint — never an
+  empty or half-written file.
 """
 
 from __future__ import annotations
 
 import enum
 import json
+import logging
+import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import IO, Iterator
 
+from ..faults.crashpoints import SimulatedCrash, crash_point, crashed, should_crash
 from .errors import RecoveryError
+
+logger = logging.getLogger(__name__)
 
 
 class LogRecordType(enum.Enum):
@@ -81,12 +100,27 @@ class WriteAheadLog:
     the log into the after-state of all *committed* transactions.
     """
 
-    def __init__(self, path: str | Path | None = None) -> None:
+    def __init__(self, path: str | Path | None = None, *, fsync: bool = False) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._path = Path(path) if path is not None else None
-        if self._path is not None and self._path.exists():
-            self._load()
+        self._fsync = fsync
+        self._handle: IO[str] | None = None
+        self._since_checkpoint = 0
+        #: Human-readable notes recovery surfaces (torn tail drops etc.).
+        self.recovery_notes: list[str] = []
+        if self._path is not None:
+            # A stale temp file is an interrupted checkpoint whose
+            # os.replace never ran; the main log is authoritative.
+            tmp = self._tmp_path()
+            if tmp.exists():
+                self.recovery_notes.append(
+                    f"removed interrupted checkpoint temp file {tmp.name}"
+                )
+                tmp.unlink()
+            if self._path.exists():
+                self._load()
+            self._handle = self._path.open("a", encoding="utf-8")
 
     def __len__(self) -> int:
         return len(self._records)
@@ -98,6 +132,33 @@ class WriteAheadLog:
     def last_lsn(self) -> int:
         """LSN of the most recent record, 0 when empty."""
         return self._next_lsn - 1
+
+    @property
+    def path(self) -> Path | None:
+        """The backing file, when persistent."""
+        return self._path
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        """Appends since the last checkpoint (drives auto-checkpointing)."""
+        return self._since_checkpoint
+
+    def max_txn_id(self) -> int:
+        """Highest transaction id the log mentions (0 when none).
+
+        A store reopening this log continues numbering *past* it, so
+        replay never sees one id meaning two different transactions.
+        """
+        return max(
+            (record.txn_id for record in self._records if record.txn_id is not None),
+            default=0,
+        )
+
+    def close(self) -> None:
+        """Close the backing file handle (idempotent)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
     def append(
         self,
@@ -118,16 +179,27 @@ class WriteAheadLog:
         )
         self._next_lsn += 1
         self._records.append(record)
-        if self._path is not None:
-            with self._path.open("a", encoding="utf-8") as handle:
-                handle.write(record.to_json() + "\n")
+        self._since_checkpoint += 1
+        if self._handle is not None and not crashed():
+            line = record.to_json() + "\n"
+            if should_crash("wal.torn-append"):
+                # Power loss mid-append: half the record reaches disk.
+                self._handle.write(line[: max(1, len(line) // 2)])
+                self._handle.flush()
+                raise SimulatedCrash("wal.torn-append")
+            self._handle.write(line)
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
         return record
 
     def checkpoint(self, snapshot: dict[str, dict[str, object]]) -> LogRecord:
         """Write a CHECKPOINT carrying a full store snapshot and truncate.
 
         After a checkpoint, replay starts from the snapshot rather than the
-        beginning of time.
+        beginning of time.  The file swap is atomic (temp file +
+        ``os.replace``): a crash mid-checkpoint leaves the previous log
+        intact, never a destroyed one.
         """
         record = LogRecord(
             lsn=self._next_lsn,
@@ -135,10 +207,19 @@ class WriteAheadLog:
             value=snapshot,
         )
         self._next_lsn += 1
-        self._records = [record]
-        if self._path is not None:
-            with self._path.open("w", encoding="utf-8") as handle:
+        if self._path is not None and not crashed():
+            tmp = self._tmp_path()
+            with tmp.open("w", encoding="utf-8") as handle:
                 handle.write(record.to_json() + "\n")
+                handle.flush()
+                if self._fsync:
+                    os.fsync(handle.fileno())
+            crash_point("wal.mid-checkpoint")
+            self.close()
+            os.replace(tmp, self._path)
+            self._handle = self._path.open("a", encoding="utf-8")
+        self._records = [record]
+        self._since_checkpoint = 0
         return record
 
     def replay(self) -> dict[str, dict[str, object]]:
@@ -190,15 +271,56 @@ class WriteAheadLog:
 
     # ------------------------------------------------------------ internals
 
-    def _load(self) -> None:
+    def _tmp_path(self) -> Path:
         assert self._path is not None
-        lines: Iterable[str]
-        with self._path.open("r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
-            record = LogRecord.from_json(line)
-            self._records.append(record)
-            self._next_lsn = max(self._next_lsn, record.lsn + 1)
+        return self._path.with_name(self._path.name + ".tmp")
+
+    def _load(self) -> None:
+        """Read the log back, tolerating a crash-torn final line.
+
+        A record cut short mid-append is the *expected* signature of a
+        crash; it was never acknowledged, so it is dropped and the file
+        truncated back to the last whole record.  A malformed line with
+        valid records after it is genuine corruption and still raises.
+        """
+        assert self._path is not None
+        raw = self._path.read_bytes()
+        pos = 0
+        truncate_at: int | None = None
+        while pos < len(raw):
+            newline = raw.find(b"\n", pos)
+            end = newline + 1 if newline != -1 else len(raw)
+            line = raw[pos:end].strip()
+            if line:
+                try:
+                    record = LogRecord.from_json(line.decode("utf-8"))
+                except (RecoveryError, UnicodeDecodeError) as exc:
+                    if raw[end:].strip():
+                        raise RecoveryError(
+                            f"corrupt WAL record before end of log "
+                            f"(byte offset {pos})"
+                        ) from exc
+                    truncate_at = pos
+                    break
+                self._records.append(record)
+                self._next_lsn = max(self._next_lsn, record.lsn + 1)
+                if record.record_type is LogRecordType.CHECKPOINT:
+                    self._since_checkpoint = 0
+                else:
+                    self._since_checkpoint += 1
+            pos = end
+        if truncate_at is not None:
+            dropped = len(raw) - truncate_at
+            note = (
+                f"dropped torn tail record ({dropped} bytes) "
+                f"at byte offset {truncate_at}"
+            )
+            logger.warning("%s: %s", self._path, note)
+            self.recovery_notes.append(note)
+            with self._path.open("r+b") as handle:
+                handle.truncate(truncate_at)
+        elif raw and not raw.endswith(b"\n"):
+            # Final record is whole but its newline was lost; restore it
+            # so the next append starts on a fresh line.
+            with self._path.open("ab") as handle:
+                handle.write(b"\n")

@@ -1,0 +1,88 @@
+"""Unit tests for the crash-point harness itself."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults.crashpoints import (
+    CRASH_POINTS,
+    CrashSchedule,
+    SimulatedCrash,
+    armed,
+    clear,
+    crash_point,
+    crashed,
+    install,
+    should_crash,
+)
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    clear()
+    yield
+    clear()
+
+
+class TestSchedule:
+    def test_fires_on_nth_hit(self):
+        schedule = CrashSchedule("p", hits=3)
+        assert not schedule.due("p")
+        assert not schedule.due("p")
+        assert schedule.due("p")
+
+    def test_other_points_do_not_consume_hits(self):
+        schedule = CrashSchedule("p", hits=2)
+        assert not schedule.due("q")
+        assert not schedule.due("p")
+        assert schedule.due("p")
+
+    def test_fires_at_most_once(self):
+        schedule = CrashSchedule("p")
+        assert schedule.due("p")
+        assert not schedule.due("p")
+
+
+class TestModuleState:
+    def test_unarmed_crash_point_is_free(self):
+        crash_point("store.after-begin")  # no schedule: no-op
+        assert not should_crash("store.after-begin")
+        assert not crashed()
+
+    def test_install_and_fire(self):
+        install("store.after-begin")
+        assert not crashed()
+        with pytest.raises(SimulatedCrash) as excinfo:
+            crash_point("store.after-begin")
+        assert excinfo.value.point == "store.after-begin"
+        assert crashed()
+        # Dead processes do not die twice.
+        crash_point("store.after-begin")
+
+    def test_clear_disarms(self):
+        install("store.after-begin")
+        clear()
+        crash_point("store.after-begin")
+        assert not crashed()
+
+    def test_should_crash_leaves_raising_to_caller(self):
+        install("wal.torn-append")
+        assert should_crash("wal.torn-append")
+        assert crashed()  # the schedule considers the process dead
+
+    def test_armed_context_manager_disarms_on_exit(self):
+        with pytest.raises(SimulatedCrash):
+            with armed("store.after-begin"):
+                crash_point("store.after-begin")
+        assert not crashed()
+        crash_point("store.after-begin")  # disarmed again
+
+
+class TestRegistry:
+    def test_points_are_unique_and_namespaced(self):
+        assert len(set(CRASH_POINTS)) == len(CRASH_POINTS)
+        assert all("." in point for point in CRASH_POINTS)
+
+    def test_matrix_floor(self):
+        # The ISSUE's acceptance floor: at least eight named points.
+        assert len(CRASH_POINTS) >= 8

@@ -74,6 +74,55 @@ class TestServeCommand:
         assert code == 0
         assert "self-test ok" in output
 
+    def test_self_test_restarts_from_wal(self, tmp_path):
+        wal = tmp_path / "shop.wal"
+        code, output = run_cli("serve", "--self-test", "--wal", str(wal))
+        assert code == 0
+        assert "killed server; restarting from" in output
+        assert "recovery:" in output
+        assert "stock after restart" in output and "survived" in output
+        assert "journaled reply replayed: yes" in output
+        assert "self-test ok" in output
+        assert wal.exists()  # an explicit WAL is kept for inspection
+
+    def test_self_test_cleans_up_implicit_wal(self):
+        code, output = run_cli("serve", "--self-test")
+        assert code == 0
+        wal_name = output.split("restarting from ")[1].splitlines()[0]
+        import os
+
+        assert not os.path.exists(wal_name)
+
+
+class TestDoctorCommand:
+    def test_healthy_wal(self, tmp_path):
+        wal = tmp_path / "shop.wal"
+        code, __ = run_cli("serve", "--self-test", "--wal", str(wal))
+        assert code == 0
+        code, output = run_cli("doctor", "--wal", str(wal))
+        assert code == 0
+        assert "healthy" in output
+
+    def test_repair_flag_accepted(self, tmp_path):
+        wal = tmp_path / "shop.wal"
+        run_cli("serve", "--self-test", "--wal", str(wal))
+        code, output = run_cli("doctor", "--wal", str(wal), "--repair")
+        assert code == 0
+
+    def test_missing_wal(self, tmp_path):
+        code, output = run_cli("doctor", "--wal", str(tmp_path / "nope.wal"))
+        assert code == 2
+        assert "no such WAL" in output
+
+    def test_torn_tail_reported_as_note(self, tmp_path):
+        wal = tmp_path / "shop.wal"
+        run_cli("serve", "--self-test", "--wal", str(wal))
+        raw = wal.read_bytes()
+        wal.write_bytes(raw[:-10])  # tear the final record
+        code, output = run_cli("doctor", "--wal", str(wal))
+        assert code == 0
+        assert "torn tail" in output
+
 
 class TestCallCommand:
     @pytest.fixture

@@ -43,6 +43,8 @@ class TestTopLevelSurface:
             "repro.sim",
             "repro.tools",
             "repro.cli",
+            "repro.recovery",
+            "repro.faults",
         ],
     )
     def test_subpackages_import(self, module):
@@ -50,15 +52,17 @@ class TestTopLevelSurface:
 
     def test_subpackage_all_names_exist(self):
         import repro.core
+        import repro.faults
         import repro.protocol
+        import repro.recovery
         import repro.services
         import repro.sim
         import repro.storage
         import repro.strategies
 
         for module in (
-            repro.core, repro.protocol, repro.services,
-            repro.sim, repro.storage, repro.strategies,
+            repro.core, repro.faults, repro.protocol, repro.recovery,
+            repro.services, repro.sim, repro.storage, repro.strategies,
         ):
             missing = [
                 name for name in module.__all__ if not hasattr(module, name)
