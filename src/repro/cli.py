@@ -17,9 +17,18 @@ Four subcommands:
     on a loopback port, drives a client through grant / action /
     redelivery, and exits.
 
+``serve-cluster``
+    Host a sharded fleet: N promise managers on consecutive ports, each
+    owning the product pools a shared consistent-hash ring places on it.
+    ``--self-test`` boots a two-shard fleet on loopback, drives a
+    gateway through single-shard, cross-shard and shard-crash paths,
+    and exits.
+
 ``call``
     Talk to a running server: request a promise and/or invoke a service
-    operation from another process.
+    operation from another process.  With ``--cluster host:port,...``
+    the call goes through a routing gateway over a whole fleet instead
+    of a single server, so predicates may span shards.
 
 ``doctor``
     Open a deployment's write-ahead log, run crash recovery and the
@@ -32,8 +41,11 @@ Examples::
     python -m repro.cli compare --clients 32 --tightness 2.0 --regimes promises locking
     python -m repro.cli serve --port 7807 --stock 100
     python -m repro.cli serve --port 7807 --stock 100 --wal /var/lib/shop.wal
+    python -m repro.cli serve-cluster --shards 4 --port 7807 --products 16 --wal-dir /var/lib/shop
+    python -m repro.cli serve-cluster --self-test
     python -m repro.cli call --connect 127.0.0.1:7807 --predicate "quantity('widgets') >= 5" --duration 30
     python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
+    python -m repro.cli call --cluster 127.0.0.1:7807,127.0.0.1:7808 --predicate "quantity('product-0') >= 2 and quantity('product-1') >= 1"
     python -m repro.cli doctor --wal /var/lib/shop.wal --repair
 """
 
@@ -51,6 +63,7 @@ from .baselines import (
     PromiseRegime,
     ValidationRegime,
 )
+from .cluster import ClusterFleet, ClusterGateway, provision_products
 from .core.environment import Environment
 from .core.errors import PredicateSyntaxError
 from .core.parser import P
@@ -131,11 +144,43 @@ def build_parser() -> argparse.ArgumentParser:
                             "(grant, action, redelivery), then kill the "
                             "server and restart it from the WAL")
 
+    cluster = commands.add_parser(
+        "serve-cluster", help="host a sharded promise-manager fleet over TCP"
+    )
+    cluster.add_argument("--shards", type=int, default=2,
+                         help="number of shard servers to boot (default 2)")
+    cluster.add_argument("--host", default="127.0.0.1")
+    cluster.add_argument("--port", type=int, default=None,
+                         help=f"base port; shard i listens on port+i "
+                              f"(default {DEFAULT_PORT}; --self-test "
+                              "defaults to ephemeral ports)")
+    cluster.add_argument("--endpoint", default="shop",
+                         help="endpoint name every shard serves "
+                              "(default shop)")
+    cluster.add_argument("--products", type=int, default=8,
+                         help="product pools spread over the ring "
+                              "(default 8)")
+    cluster.add_argument("--stock", type=int, default=100,
+                         help="initial stock per product pool (default 100)")
+    cluster.add_argument("--wal-dir", default=None, metavar="DIR",
+                         help="directory for per-shard write-ahead logs "
+                              "(shard-N.wal); state survives restarts")
+    cluster.add_argument("--fsync", action="store_true",
+                         help="fsync each shard's WAL after every record")
+    cluster.add_argument("--self-test", action="store_true",
+                         help="boot a loopback fleet, drive a gateway "
+                              "through single-shard, cross-shard and "
+                              "shard-crash paths, then exit")
+
     call = commands.add_parser(
         "call", help="send one promise/action request to a running server"
     )
     call.add_argument("--connect", default=f"127.0.0.1:{DEFAULT_PORT}",
                       help="server address as host:port")
+    call.add_argument("--cluster", default=None, metavar="ADDRS",
+                      help="comma-separated shard addresses "
+                           "(host:port,host:port,...); routes the call "
+                           "through a cluster gateway instead of --connect")
     call.add_argument("--endpoint", default="shop")
     call.add_argument(
         "--client-name", default=None,
@@ -516,6 +561,215 @@ def _self_test_two_lives(
     return 0 if healthy else 1
 
 
+def run_serve_cluster(
+    shards: int,
+    host: str,
+    port: int | None,
+    endpoint: str,
+    products: int,
+    stock: int,
+    self_test: bool,
+    wal_dir: str | None = None,
+    fsync: bool = False,
+    out=sys.stdout,
+) -> int:
+    """Host a sharded fleet over TCP; returns a process exit code."""
+    if shards < 1:
+        print(f"need at least one shard, got {shards}", file=out)
+        return 2
+    if self_test:
+        return _serve_cluster_self_test(
+            shards, host, endpoint, products, stock, out=out
+        )
+    if port is None:
+        port = DEFAULT_PORT
+
+    fleet = ClusterFleet(
+        shards,
+        endpoint=endpoint,
+        provision=provision_products(products, stock),
+        wal_dir=wal_dir,
+        fsync=fsync,
+        host=host,
+        base_port=port,
+    )
+    try:
+        addresses = fleet.start()
+    except OSError as error:
+        print(f"cannot serve on {host}:{port}+: {error}", file=out)
+        return 2
+    try:
+        durability = f", wal-dir: {wal_dir}" if wal_dir else ""
+        print(
+            f"serving endpoint {endpoint!r} on {shards} shards "
+            f"({products} products x {stock} units{durability})",
+            file=out,
+        )
+        for index, (bound_host, bound_port) in enumerate(addresses):
+            owned = fleet.ring.placement(
+                [f"product-{number}" for number in range(products)]
+            ).get(index, [])
+            print(
+                f"  shard {index}: {bound_host}:{bound_port} "
+                f"({len(owned)} pools)",
+                file=out,
+            )
+        joined = ",".join(f"{h}:{p}" for h, p in addresses)
+        print(f"gateway clients: call --cluster {joined}", file=out)
+        import threading
+
+        threading.Event().wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        print("shutting down fleet", file=out)
+    finally:
+        fleet.stop()
+    return 0
+
+
+def _serve_cluster_self_test(
+    shards: int,
+    host: str,
+    endpoint: str,
+    products: int,
+    stock: int,
+    out=sys.stdout,
+) -> int:
+    """Loopback fleet smoke test: grant, cross-shard, crash, audit.
+
+    Boots the fleet on ephemeral ports with per-shard WALs in a
+    temporary directory, then drives one gateway through the paths that
+    define the subsystem: a single-shard grant/release, a cross-shard
+    composite grant/release, an action routed by its resource
+    parameter, and a shard kill mid-fleet — the cross-shard request must
+    be rejected, the compensation queued, and one flush after restart
+    must leave every shard's doctor audit clean.
+    """
+    import tempfile
+
+    from .protocol.retry import RetryPolicy
+
+    checks: list[tuple[str, bool]] = []
+
+    def check(label: str, ok: bool) -> None:
+        checks.append((label, ok))
+        print(f"{label}: {'ok' if ok else 'FAILED'}", file=out)
+
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as wal_dir:
+        fleet = ClusterFleet(
+            shards,
+            endpoint=endpoint,
+            provision=provision_products(products, stock),
+            wal_dir=wal_dir,
+            host=host,
+        )
+        with fleet:
+            addresses = fleet.addresses()
+            print(
+                f"self-test: {shards} shards on "
+                + ", ".join(f"{h}:{p}" for h, p in addresses),
+                file=out,
+            )
+            pair = _cross_shard_pair(fleet, products)
+            if pair is None:
+                print(
+                    f"self-test FAILED: the ring placed all {products} "
+                    "products on one shard; rerun with more --products",
+                    file=out,
+                )
+                return 1
+            near, far = pair
+            with fleet.gateway(timeout=2.0, retry=RetryPolicy.none()) as gateway:
+                client = PromiseClient(
+                    "cluster-self-test", gateway, retry=RetryPolicy.none()
+                )
+
+                response = client.request_promise(
+                    endpoint, [P(f"quantity('{near}') >= 1")], 30
+                )
+                check("single-shard grant", response.accepted)
+                check(
+                    "single-shard release",
+                    client.release(endpoint, response.promise_id) == (),
+                )
+
+                response = client.request_promise(
+                    endpoint,
+                    [P(f"quantity('{near}') >= 2"), P(f"quantity('{far}') >= 1")],
+                    30,
+                )
+                check(
+                    "cross-shard composite grant",
+                    response.accepted
+                    and response.promise_id.startswith("cluster/"),
+                )
+                check(
+                    "composite release fan-out",
+                    client.release(endpoint, response.promise_id) == (),
+                )
+
+                outcome = client.call(
+                    endpoint, "merchant", "sell",
+                    {"product": far, "quantity": 1},
+                )
+                check("action routed to resource shard", outcome.success)
+
+                victim = fleet.ring.shard_of(far)
+                fleet.kill(victim)
+                response = client.request_promise(
+                    endpoint,
+                    [P(f"quantity('{near}') >= 2"), P(f"quantity('{far}') >= 1")],
+                    30,
+                )
+                check(
+                    "cross-shard request rejected while shard down",
+                    not response.accepted,
+                )
+                check(
+                    "compensation queued for dead shard",
+                    gateway.pending_compensations == 1,
+                )
+                fleet.restart(victim)
+                check("queued compensation flushed", gateway.flush_pending() == 1)
+
+                counts = fleet.live_promises()
+                findings = fleet.audit()
+                check(
+                    "no orphaned sub-promises",
+                    all(count == 0 for count in counts.values()),
+                )
+                check(
+                    "per-shard doctor audit clean",
+                    all(not found for found in findings.values()),
+                )
+    healthy = all(ok for __, ok in checks)
+    print("cluster self-test " + ("ok" if healthy else "FAILED"), file=out)
+    return 0 if healthy else 1
+
+
+def _cross_shard_pair(
+    fleet: ClusterFleet, products: int
+) -> tuple[str, str] | None:
+    """Two product pools the fleet's ring places on different shards."""
+    first = "product-0"
+    home = fleet.ring.shard_of(first)
+    for number in range(1, products):
+        candidate = f"product-{number}"
+        if fleet.ring.shard_of(candidate) != home:
+            return first, candidate
+    return None
+
+
+def _parse_addresses(text: str) -> list[tuple[str, int]] | None:
+    """``host:port,host:port,...`` → address list, or None when bad."""
+    addresses: list[tuple[str, int]] = []
+    for part in text.split(","):
+        host, _, port_text = part.strip().rpartition(":")
+        if not host or not port_text.isdigit():
+            return None
+        addresses.append((host, int(port_text)))
+    return addresses or None
+
+
 def run_call(
     connect: str,
     endpoint: str,
@@ -526,6 +780,7 @@ def run_call(
     operation: str | None,
     params: Sequence[str],
     timeout: float,
+    cluster: str | None = None,
     out=sys.stdout,
 ) -> int:
     """One promise request and/or action against a running server."""
@@ -535,20 +790,40 @@ def run_call(
             file=out,
         )
         return 2
-    host, _, port_text = connect.rpartition(":")
-    if not host or not port_text.isdigit():
-        print(f"bad --connect address {connect!r} (want host:port)", file=out)
-        return 2
+    if cluster is not None:
+        addresses = _parse_addresses(cluster)
+        if addresses is None:
+            print(
+                f"bad --cluster address list {cluster!r} "
+                "(want host:port,host:port,...)",
+                file=out,
+            )
+            return 2
+    else:
+        addresses = _parse_addresses(connect)
+        if addresses is None or len(addresses) != 1:
+            print(
+                f"bad --connect address {connect!r} (want host:port)", file=out
+            )
+            return 2
     if client_name is None:
         # Every invocation is a fresh process whose message-id counter
         # restarts at 1; the server deduplicates on message id (§6), so
         # the identity itself must make the namespace process-unique.
         client_name = f"cli-{os.getpid()}-{os.urandom(3).hex()}"
 
+    def open_transport():
+        if cluster is not None:
+            return ClusterGateway(
+                [
+                    NetworkTransport(address, timeout=timeout)
+                    for address in addresses
+                ]
+            )
+        return NetworkTransport(addresses[0], timeout=timeout)
+
     try:
-        with NetworkTransport(
-            (host, int(port_text)), timeout=timeout
-        ) as transport:
+        with open_transport() as transport:
             client = PromiseClient(client_name, transport)
             environment = None
             code = 0
@@ -647,11 +922,17 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             args.self_test, args.wal, args.fsync, args.checkpoint_every,
             out=out,
         )
+    if args.command == "serve-cluster":
+        return run_serve_cluster(
+            args.shards, args.host, args.port, args.endpoint,
+            args.products, args.stock, args.self_test,
+            args.wal_dir, args.fsync, out=out,
+        )
     if args.command == "call":
         return run_call(
             args.connect, args.endpoint, args.client_name,
             args.predicate, args.duration, args.service, args.operation,
-            args.param, args.timeout, out=out,
+            args.param, args.timeout, cluster=args.cluster, out=out,
         )
     if args.command == "doctor":
         return run_doctor(args.wal, args.endpoint, args.repair, out=out)

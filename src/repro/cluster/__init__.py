@@ -1,0 +1,36 @@
+"""repro.cluster — a sharded promise-manager fleet behind one gateway.
+
+The paper's promise managers are single services; this package is the
+scale-out step the position paper gestures at ("promise managers could
+be provided by trusted third parties", §2): partition the resource space
+over N independent managers and put a routing gateway in front, so
+clients keep speaking the unchanged §6 protocol to what looks like one
+manager.
+
+* :mod:`~repro.cluster.partition` — the deterministic resource → shard
+  map (consistent hashing + explicit co-location pins) every party
+  shares.
+* :mod:`~repro.cluster.gateway` — :class:`ClusterGateway`, a drop-in
+  message transport that forwards single-shard traffic verbatim and
+  scatter-gathers cross-shard promise requests with compensating
+  release, so no torn cross-shard promise survives a rejection, a
+  timeout or a shard crash.
+* :mod:`~repro.cluster.fleet` — :class:`ClusterFleet`, booting the
+  shards (own store, WAL, recovery, TCP port each) with kill/restart of
+  individual members and a fleet-wide consistency audit.
+"""
+
+from .fleet import ClusterFleet, Shard, provision_products
+from .gateway import ClusterGateway, GatewayStats
+from .partition import CrossShardPredicate, PartitionError, PartitionMap
+
+__all__ = [
+    "ClusterFleet",
+    "ClusterGateway",
+    "CrossShardPredicate",
+    "GatewayStats",
+    "PartitionError",
+    "PartitionMap",
+    "Shard",
+    "provision_products",
+]

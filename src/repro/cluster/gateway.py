@@ -1,0 +1,780 @@
+"""Routing gateway presenting a shard fleet as one promise manager.
+
+:class:`ClusterGateway` implements the client-side transport contract
+(``send(Message) -> Message``), so an unmodified
+:class:`~repro.protocol.client.PromiseClient` talks to a whole fleet
+exactly as it talks to one manager.  Three request shapes pass through:
+
+* **Single-shard messages** are forwarded verbatim — same message id end
+  to end, so the shard's §6 reply cache deduplicates the client's own
+  retries with no gateway bookkeeping at all.
+* **Cross-shard promise requests** are split by the
+  :class:`~repro.cluster.partition.PartitionMap` and scatter-gathered:
+  each shard receives a sub-request carrying only its predicates, under
+  a *deterministic* sub-message id derived from the client's
+  (``mid/s3``) — a gateway retry therefore hits the shard reply caches
+  and gets the original grants back instead of double-granting.  Only
+  when **every** shard accepts does the gateway mint a composite promise
+  id mapping onto the sub-promises; any rejection or unreachable shard
+  triggers **compensating release** of the sub-promises that were
+  granted, so no torn cross-shard promise survives.
+* **Releases and actions** on composite promises are rewritten onto the
+  member sub-promises: the action runs on its resource's shard under
+  that shard's sub-promise, and release-on-success fans out to the
+  remaining shards afterwards.
+
+Compensation for an *unreachable* shard uses redeliver-then-release: the
+gateway re-sends the identical sub-message (the shard's reply cache makes
+that a read, not a second grant), and releases whatever that reveals was
+granted.  A shard that stays down gets the pair queued; call
+:meth:`ClusterGateway.flush_pending` once it is back — until the queue
+drains, the grant is time-bounded by its duration anyway, the paper's
+backstop against every orphaned promise.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.environment import Environment
+from ..core.promise import PromiseRequest, PromiseResponse, PromiseResult
+from ..protocol.client import MessageTransport
+from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
+from ..protocol.messages import ActionOutcomePayload, Message
+from .partition import PartitionError, PartitionMap
+
+#: Action parameter names inspected (in order) to place an action on the
+#: shard owning the resource it touches.
+ACTION_RESOURCE_PARAMS = (
+    "product",
+    "pool",
+    "pool_id",
+    "resource",
+    "resource_id",
+    "instance",
+    "instance_id",
+    "collection",
+    "collection_id",
+)
+
+
+@dataclass
+class GatewayStats:
+    """Counters describing how requests moved through the gateway."""
+
+    requests: int = 0
+    forwarded: int = 0
+    scattered: int = 0
+    composite_grants: int = 0
+    composite_rejections: int = 0
+    compensations: int = 0
+    pending_compensations: int = 0
+    releases_routed: int = 0
+    actions_routed: int = 0
+    shard_errors: int = 0
+
+
+@dataclass
+class _PendingCompensation:
+    """A sub-promise whose releasing shard was unreachable."""
+
+    shard: int
+    recipient: str
+    sub_message: Message = field(repr=False)
+
+
+class ClusterGateway:
+    """One logical promise manager over a fleet of shard transports.
+
+    ``transports[i]`` must deliver messages to shard *i* of the fleet the
+    ``ring`` describes; every shard serves the same endpoint name(s), so
+    message recipients pass through untouched.  The gateway is itself a
+    :class:`~repro.protocol.client.MessageTransport` — hand it to a
+    :class:`~repro.protocol.client.PromiseClient` and go.
+    """
+
+    def __init__(
+        self,
+        transports: Sequence[MessageTransport],
+        ring: PartitionMap | None = None,
+        name: str = "cluster",
+    ) -> None:
+        if not transports:
+            raise PartitionError("a gateway needs at least one shard transport")
+        self._transports = list(transports)
+        self.ring = ring or PartitionMap(len(transports))
+        if self.ring.shards != len(self._transports):
+            raise PartitionError(
+                f"partition map covers {self.ring.shards} shards but "
+                f"{len(self._transports)} transports were supplied"
+            )
+        self.name = name
+        self.stats = GatewayStats()
+        # composite promise id -> {shard: sub promise id}
+        self._composites: dict[str, dict[int, str]] = {}
+        # plain (single-shard) promise id -> home shard
+        self._homes: dict[str, int] = {}
+        self._pending: list[_PendingCompensation] = []
+
+    # ------------------------------------------------------------- transport
+
+    def send(self, message: Message) -> Message:
+        """Deliver ``message`` to the fleet and synthesise the one reply."""
+        self.stats.requests += 1
+        try:
+            plan = self._route(message)
+        except PartitionError as exc:
+            return self._partition_fault(message, exc)
+        if len(plan) == 1 and not self._needs_rewrite(message, plan):
+            shard = next(iter(plan))
+            self.stats.forwarded += 1
+            reply = self._transports[shard].send(message)
+            self._note_homes(message, reply, shard)
+            return reply
+        self.stats.scattered += 1
+        return self._scatter(message, plan)
+
+    def close(self) -> None:
+        """Close every shard transport that knows how to close."""
+        for transport in self._transports:
+            closer = getattr(transport, "close", None)
+            if closer is not None:
+                closer()
+
+    def __enter__(self) -> "ClusterGateway":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -------------------------------------------------------------- routing
+
+    def _route(self, message: Message) -> dict[int, list[tuple[PromiseRequest, list]]]:
+        """Which shards the message involves, with per-shard predicates.
+
+        Returns ``{shard: [(original_request, predicates_for_shard), ...]}``;
+        environment-only and action-only messages yield entries with empty
+        request lists for the shards they touch.
+        """
+        plan: dict[int, list[tuple[PromiseRequest, list]]] = {}
+        for request in message.promise_requests:
+            split = self.ring.split_predicates(request.predicates)
+            for shard, predicates in split.items():
+                plan.setdefault(shard, []).append((request, predicates))
+            for release_id in request.releases:
+                for shard in self._shards_of_promise(release_id):
+                    plan.setdefault(shard, [])
+        if message.environment is not None:
+            for promise_id in message.environment.promise_ids:
+                for shard in self._shards_of_promise(promise_id):
+                    plan.setdefault(shard, [])
+        if message.action is not None:
+            plan.setdefault(self._action_shard(message), [])
+        if not plan:
+            plan[0] = []
+        return plan
+
+    def _shards_of_promise(self, promise_id: str) -> list[int]:
+        members = self._composites.get(promise_id)
+        if members is not None:
+            return sorted(members)
+        home = self._homes.get(promise_id)
+        if home is not None:
+            return [home]
+        # A promise this gateway never saw granted (another gateway, or a
+        # restart).  Involve every shard; the rewrite step falls back to
+        # broadcasting, and shards that do not know the id report
+        # ``unknown-promise`` which the merge tolerates for releases.
+        return list(range(self.ring.shards))
+
+    def _action_shard(self, message: Message) -> int:
+        assert message.action is not None
+        for key in ACTION_RESOURCE_PARAMS:
+            value = message.action.params.get(key)
+            if isinstance(value, str):
+                return self.ring.shard_of(value)
+        if message.environment is not None:
+            for promise_id in message.environment.promise_ids:
+                shards = self._shards_of_promise(promise_id)
+                if len(shards) == 1:
+                    return shards[0]
+                members = self._composites.get(promise_id)
+                if members:
+                    return min(members)
+        return 0
+
+    def _needs_rewrite(self, message: Message, plan: Mapping[int, object]) -> bool:
+        """Would forwarding verbatim ship a composite id to a shard?"""
+        ids: list[str] = []
+        if message.environment is not None:
+            ids.extend(message.environment.promise_ids)
+        for request in message.promise_requests:
+            ids.extend(request.releases)
+        return any(promise_id in self._composites for promise_id in ids)
+
+    # -------------------------------------------------------------- scatter
+
+    def _scatter(self, message: Message, plan: dict) -> Message:
+        """Cross-shard execution: grants first, then the action, then
+        deferred releases — each phase deterministic and idempotent."""
+        faults: list[str] = []
+
+        grant_shards = {shard for shard, parts in plan.items() if parts}
+        grant_replies = self._broadcast(
+            message,
+            {
+                shard: self._sub_grant_message(message, shard, plan[shard])
+                for shard in sorted(grant_shards)
+            },
+            faults,
+        )
+        responses, all_granted = self._merge_grants(
+            message, plan, grant_shards, grant_replies, faults
+        )
+
+        outcome: ActionOutcomePayload | None = None
+        if message.action is not None:
+            if all_granted:
+                outcome = self._run_action(message, faults)
+            else:
+                faults.append("action-skipped: promise request rejected")
+        elif message.environment is not None and all_granted:
+            self._scatter_release(message, faults)
+
+        return message.reply(
+            message_id=f"{message.message_id}/reply",
+            promise_responses=tuple(responses),
+            action_outcome=outcome,
+            faults=tuple(dict.fromkeys(faults)),
+        )
+
+    def _broadcast(
+        self,
+        message: Message,
+        sub_messages: Mapping[int, Message],
+        faults: list[str],
+    ) -> dict[int, Message]:
+        """Send sub-messages concurrently; record per-shard failures."""
+        if not sub_messages:
+            return {}
+        replies: dict[int, Message] = {}
+
+        def one(shard: int) -> tuple[int, Message | None, str | None]:
+            try:
+                return shard, self._transports[shard].send(sub_messages[shard]), None
+            except (TransportFailure, RequestTimeout, ProtocolError) as exc:
+                return shard, None, f"shard-{shard}: {type(exc).__name__}: {exc}"
+
+        shards = sorted(sub_messages)
+        if len(shards) == 1:
+            results = [one(shards[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=len(shards)) as pool:
+                results = list(pool.map(one, shards))
+        for shard, reply, error in sorted(results):
+            if reply is not None:
+                replies[shard] = reply
+            else:
+                self.stats.shard_errors += 1
+                faults.append(f"cluster-shard-unreachable: {error}")
+        return replies
+
+    def _sub_grant_message(
+        self,
+        message: Message,
+        shard: int,
+        parts: list[tuple[PromiseRequest, list]],
+    ) -> Message:
+        """The promise-request message shard ``shard`` receives.
+
+        Ids are derived (``mid/s3``, ``rid/s3``) so a redelivery of the
+        client's message regenerates byte-identical sub-messages and the
+        shard's reply cache answers for them.
+        """
+        sub_requests = []
+        for request, predicates in parts:
+            sub_requests.append(
+                PromiseRequest(
+                    request_id=f"{request.request_id}/s{shard}",
+                    client_id=request.client_id,
+                    predicates=tuple(predicates),
+                    duration=request.duration,
+                    releases=self._releases_on_shard(request.releases, shard),
+                )
+            )
+        return Message(
+            message_id=f"{message.message_id}/s{shard}",
+            sender=message.sender,
+            recipient=message.recipient,
+            promise_requests=tuple(sub_requests),
+        )
+
+    def _releases_on_shard(
+        self, releases: Sequence[str], shard: int
+    ) -> tuple[str, ...]:
+        """Map requested atomic releases onto this shard's sub-promises."""
+        mapped: list[str] = []
+        for promise_id in releases:
+            members = self._composites.get(promise_id)
+            if members is not None:
+                if shard in members:
+                    mapped.append(members[shard])
+            elif self._homes.get(promise_id) == shard:
+                # Unknown-home ids are deliberately NOT attached: a shard
+                # that never granted the promise would reject the whole
+                # sub-request over it.  They release post-grant instead.
+                mapped.append(promise_id)
+        return tuple(mapped)
+
+    def _merge_grants(
+        self,
+        message: Message,
+        plan: dict,
+        grant_shards: set[int],
+        replies: dict[int, Message],
+        faults: list[str],
+    ) -> tuple[list[PromiseResponse], bool]:
+        """Combine sub-responses per original request; compensate on
+        partial success."""
+        responses: list[PromiseResponse] = []
+        all_granted = True
+        for request in message.promise_requests:
+            shards = sorted(
+                shard
+                for shard in grant_shards
+                if any(original is request for original, __ in plan[shard])
+            )
+            subs: dict[int, PromiseResponse] = {}
+            rejection: PromiseResponse | None = None
+            unreachable = False
+            for shard in shards:
+                reply = replies.get(shard)
+                if reply is None:
+                    unreachable = True
+                    continue
+                faults.extend(
+                    fault for fault in reply.faults if fault not in faults
+                )
+                sub = self._find_response(reply, f"{request.request_id}/s{shard}")
+                if sub is None:
+                    unreachable = True
+                elif sub.accepted:
+                    subs[shard] = sub
+                elif rejection is None:
+                    rejection = sub
+            if rejection is None and not unreachable and len(subs) == len(shards):
+                responses.append(
+                    self._mint_composite(message, request, subs, faults)
+                )
+                continue
+            all_granted = False
+            self.stats.composite_rejections += 1
+            self._compensate(message, request, subs, shards, faults)
+            reason = (
+                rejection.reason
+                if rejection is not None
+                else "cluster: shard unreachable during scatter-gather"
+            )
+            responses.append(
+                PromiseResponse.rejected(
+                    request.request_id,
+                    f"cluster: {reason}"
+                    if not reason.startswith("cluster")
+                    else reason,
+                    counter=rejection.counter if rejection is not None else None,
+                )
+            )
+        return responses, all_granted
+
+    def _mint_composite(
+        self,
+        message: Message,
+        request: PromiseRequest,
+        subs: dict[int, PromiseResponse],
+        faults: list[str],
+    ) -> PromiseResponse:
+        composite_id = f"{self.name}/{request.request_id}"
+        members = {
+            shard: sub.promise_id
+            for shard, sub in subs.items()
+            if sub.promise_id is not None
+        }
+        self._composites[composite_id] = members
+        self.stats.composite_grants += 1
+        # Swap releases living on the granting shards went out atomically
+        # inside the sub-requests; the rest happen only now that the new
+        # promise holds, honouring §6: "if these new promises cannot be
+        # granted, the existing promises must continue to hold".
+        granted_shards = set(members)
+        for promise_id in request.releases:
+            old = self._composites.get(promise_id)
+            if promise_id == composite_id:
+                continue
+            if old is not None:
+                for shard, sub_id in old.items():
+                    if shard not in granted_shards:
+                        self._release_sub(message, shard, sub_id, faults)
+                self._composites.pop(promise_id, None)
+                continue
+            home = self._homes.get(promise_id)
+            if home is None:
+                self._release_everywhere(message, promise_id, faults)
+            elif home not in granted_shards:
+                self._release_sub(message, home, promise_id, faults)
+                self._homes.pop(promise_id, None)
+            else:
+                self._homes.pop(promise_id, None)
+        return PromiseResponse(
+            promise_id=composite_id,
+            result=PromiseResult.ACCEPTED,
+            duration=min(sub.duration for sub in subs.values()),
+            correlation=request.request_id,
+        )
+
+    def _compensate(
+        self,
+        message: Message,
+        request: PromiseRequest,
+        granted: dict[int, PromiseResponse],
+        shards: list[int],
+        faults: list[str],
+    ) -> None:
+        """Undo a partially granted cross-shard request.
+
+        Reached shards that granted get a release; unreached shards get
+        the identical sub-message redelivered (a cache read when it did
+        execute) and a release for whatever that uncovers.
+        """
+        for shard, sub in granted.items():
+            if sub.promise_id is not None:
+                self._release_sub(message, shard, sub.promise_id, faults)
+        for shard in shards:
+            if shard in granted:
+                continue
+            self._redeliver_and_release(message, request, shard, faults)
+
+    def _redeliver_and_release(
+        self,
+        message: Message,
+        request: PromiseRequest,
+        shard: int,
+        faults: list[str],
+    ) -> None:
+        sub_message = Message(
+            message_id=f"{message.message_id}/s{shard}",
+            sender=message.sender,
+            recipient=message.recipient,
+            promise_requests=(
+                PromiseRequest(
+                    request_id=f"{request.request_id}/s{shard}",
+                    client_id=request.client_id,
+                    predicates=request.predicates,
+                    duration=request.duration,
+                ),
+            ),
+        )
+        try:
+            reply = self._transports[shard].send(sub_message)
+        except (TransportFailure, RequestTimeout, ProtocolError):
+            self.stats.pending_compensations += 1
+            self._pending.append(
+                _PendingCompensation(shard, message.recipient, sub_message)
+            )
+            faults.append(
+                f"cluster-compensation-pending: shard-{shard} unreachable"
+            )
+            return
+        sub = self._find_response(reply, f"{request.request_id}/s{shard}")
+        if sub is not None and sub.accepted and sub.promise_id is not None:
+            self._release_sub(message, shard, sub.promise_id, faults)
+
+    def _release_sub(
+        self, message: Message, shard: int, sub_promise_id: str, faults: list[str]
+    ) -> None:
+        release = Message(
+            message_id=f"{message.message_id}/rel-{shard}-{sub_promise_id}",
+            sender=message.sender,
+            recipient=message.recipient,
+            environment=Environment.of(sub_promise_id, release=[sub_promise_id]),
+        )
+        try:
+            self._transports[shard].send(release)
+            self.stats.compensations += 1
+        except (TransportFailure, RequestTimeout, ProtocolError):
+            self.stats.pending_compensations += 1
+            self._pending.append(
+                _PendingCompensation(shard, message.recipient, release)
+            )
+            faults.append(
+                f"cluster-compensation-pending: shard-{shard} unreachable"
+            )
+
+    # ------------------------------------------------------ actions/releases
+
+    def _run_action(
+        self, message: Message, faults: list[str]
+    ) -> ActionOutcomePayload | None:
+        """Phase two of a combined message: the action, on its shard,
+        under a rewritten environment."""
+        assert message.action is not None
+        shard = self._action_shard(message)
+        environment, companions = self._environment_for(
+            message.environment, shard
+        )
+        action_message = Message(
+            message_id=f"{message.message_id}/act",
+            sender=message.sender,
+            recipient=message.recipient,
+            environment=environment,
+            action=message.action,
+        )
+        self.stats.actions_routed += 1
+        try:
+            reply = self._transports[shard].send(action_message)
+        except (TransportFailure, RequestTimeout, ProtocolError) as exc:
+            self.stats.shard_errors += 1
+            faults.append(
+                f"cluster-shard-unreachable: shard-{shard}: "
+                f"{type(exc).__name__}: {exc}"
+            )
+            return None
+        faults.extend(fault for fault in reply.faults if fault not in faults)
+        outcome = reply.action_outcome
+        if outcome is None:
+            return None
+        released = self._rewrite_released(outcome.released, companions)
+        if outcome.success:
+            # Release-on-success fans out to the released composites'
+            # sub-promises on the *other* shards (the action's shard
+            # already released its member atomically with the action).
+            for composite_id, sub_ids in companions.items():
+                for other_shard, sub_id in sub_ids.items():
+                    self._release_sub(message, other_shard, sub_id, faults)
+                self._composites.pop(composite_id, None)
+        return ActionOutcomePayload(
+            success=outcome.success,
+            value=outcome.value,
+            reason=outcome.reason,
+            released=released,
+            violations=outcome.violations,
+        )
+
+    def _environment_for(
+        self, environment: Environment | None, shard: int
+    ) -> tuple[Environment | None, dict[str, dict[int, str]]]:
+        """Rewrite an environment for the action's shard.
+
+        Returns the shard-local environment plus, for each composite with
+        release-on-success, the member sub-promises on *other* shards
+        that must be released once the action succeeds.
+        """
+        if environment is None:
+            return None, {}
+        ids: list[str] = []
+        release: list[str] = []
+        companions: dict[str, dict[int, str]] = {}
+        for promise_id in environment.promise_ids:
+            released = bool(environment.release_after.get(promise_id))
+            members = self._composites.get(promise_id)
+            if members is None:
+                ids.append(promise_id)
+                if released:
+                    release.append(promise_id)
+                continue
+            local = members.get(shard)
+            if local is not None:
+                ids.append(local)
+                if released:
+                    release.append(local)
+            if released:
+                companions[promise_id] = {
+                    other: sub
+                    for other, sub in members.items()
+                    if other != shard
+                }
+        if not ids:
+            return None, companions
+        return Environment.of(*ids, release=release), companions
+
+    def _rewrite_released(
+        self,
+        released: tuple[str, ...],
+        companions: dict[str, dict[int, str]],
+    ) -> tuple[str, ...]:
+        """Report composite ids (not internal sub ids) back to the client."""
+        sub_to_composite = {}
+        for composite_id, members in self._composites.items():
+            for sub_id in members.values():
+                sub_to_composite[sub_id] = composite_id
+        for composite_id, members in companions.items():
+            for sub_id in members.values():
+                sub_to_composite[sub_id] = composite_id
+        rewritten = tuple(
+            dict.fromkeys(sub_to_composite.get(sub_id, sub_id) for sub_id in released)
+        )
+        return rewritten
+
+    def _scatter_release(self, message: Message, faults: list[str]) -> None:
+        """An environment-only (pure release) message, fanned out."""
+        assert message.environment is not None
+        per_shard: dict[int, tuple[list[str], list[str]]] = {}
+        dropped_composites: list[str] = []
+        for promise_id in message.environment.promise_ids:
+            released = bool(message.environment.release_after.get(promise_id))
+            members = self._composites.get(promise_id)
+            if members is not None:
+                for shard, sub_id in members.items():
+                    ids, rel = per_shard.setdefault(shard, ([], []))
+                    ids.append(sub_id)
+                    if released:
+                        rel.append(sub_id)
+                if released:
+                    dropped_composites.append(promise_id)
+            else:
+                for shard in self._shards_of_promise(promise_id):
+                    ids, rel = per_shard.setdefault(shard, ([], []))
+                    ids.append(promise_id)
+                    if released:
+                        rel.append(promise_id)
+        sub_messages = {
+            shard: Message(
+                message_id=f"{message.message_id}/s{shard}",
+                sender=message.sender,
+                recipient=message.recipient,
+                environment=Environment.of(*ids, release=rel),
+            )
+            for shard, (ids, rel) in per_shard.items()
+        }
+        broadcast = len(per_shard) > 1 and any(
+            self._homes.get(pid) is None and pid not in self._composites
+            for pid in message.environment.promise_ids
+        )
+        replies = self._broadcast(message, sub_messages, faults)
+        self.stats.releases_routed += 1
+        for reply in replies.values():
+            for fault in reply.faults:
+                # A broadcast probes shards that never saw the promise;
+                # their unknown-promise faults are expected noise.
+                if broadcast and fault.startswith("unknown-promise"):
+                    continue
+                if fault not in faults:
+                    faults.append(fault)
+        for composite_id in dropped_composites:
+            self._composites.pop(composite_id, None)
+
+    def _release_everywhere(
+        self, message: Message, promise_id: str, faults: list[str]
+    ) -> None:
+        """Release a plain promise whose home shard is unknown."""
+        shards = self._shards_of_promise(promise_id)
+        for shard in shards:
+            release = Message(
+                message_id=f"{message.message_id}/rel-{shard}-{promise_id}",
+                sender=message.sender,
+                recipient=message.recipient,
+                environment=Environment.of(promise_id, release=[promise_id]),
+            )
+            try:
+                self._transports[shard].send(release)
+            except (TransportFailure, RequestTimeout, ProtocolError):
+                self.stats.pending_compensations += 1
+                self._pending.append(
+                    _PendingCompensation(shard, message.recipient, release)
+                )
+
+    # ------------------------------------------------------------- pending
+
+    @property
+    def pending_compensations(self) -> int:
+        """Sub-promise compensations waiting for a shard to come back."""
+        return len(self._pending)
+
+    def flush_pending(self) -> int:
+        """Retry queued compensations; returns how many cleared.
+
+        Each queued entry is either a release (re-sent as-is — the
+        shard's reply journal makes the release idempotent) or a grant
+        redelivery whose revealed sub-promise then gets released.
+        """
+        cleared = 0
+        remaining: list[_PendingCompensation] = []
+        for entry in self._pending:
+            try:
+                reply = self._transports[entry.shard].send(entry.sub_message)
+            except (TransportFailure, RequestTimeout, ProtocolError):
+                remaining.append(entry)
+                continue
+            if entry.sub_message.promise_requests:
+                # Grant redelivery: release whatever it reveals.
+                done = True
+                for response in reply.promise_responses:
+                    if response.accepted and response.promise_id is not None:
+                        release = Message(
+                            message_id=(
+                                f"{entry.sub_message.message_id}"
+                                f"/rel-{response.promise_id}"
+                            ),
+                            sender=entry.sub_message.sender,
+                            recipient=entry.recipient,
+                            environment=Environment.of(
+                                response.promise_id,
+                                release=[response.promise_id],
+                            ),
+                        )
+                        try:
+                            self._transports[entry.shard].send(release)
+                            self.stats.compensations += 1
+                        except (
+                            TransportFailure,
+                            RequestTimeout,
+                            ProtocolError,
+                        ):
+                            done = False
+                            remaining.append(
+                                _PendingCompensation(
+                                    entry.shard, entry.recipient, release
+                                )
+                            )
+                if done:
+                    cleared += 1
+            else:
+                self.stats.compensations += 1
+                cleared += 1
+        self._pending = remaining
+        return cleared
+
+    # ------------------------------------------------------------ internals
+
+    def _note_homes(self, message: Message, reply: Message, shard: int) -> None:
+        """Track which shard granted each plain promise id (fast path)."""
+        for response in reply.promise_responses:
+            if response.accepted and response.promise_id is not None:
+                self._homes[response.promise_id] = shard
+        if reply.action_outcome is not None:
+            for promise_id in reply.action_outcome.released:
+                self._homes.pop(promise_id, None)
+        if message.environment is not None and message.action is None:
+            for promise_id in message.environment.releases():
+                self._homes.pop(promise_id, None)
+
+    @staticmethod
+    def _find_response(
+        reply: Message, correlation: str
+    ) -> PromiseResponse | None:
+        for response in reply.promise_responses:
+            if response.correlation == correlation:
+                return response
+        return None
+
+    def _partition_fault(self, message: Message, exc: PartitionError) -> Message:
+        responses = tuple(
+            PromiseResponse.rejected(request.request_id, str(exc))
+            for request in message.promise_requests
+        )
+        return message.reply(
+            message_id=f"{message.message_id}/reply",
+            promise_responses=responses,
+            faults=(f"cluster-partition: {exc}",),
+        )

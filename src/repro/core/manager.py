@@ -238,6 +238,11 @@ class PromiseManager:
         return self._resources
 
     @property
+    def fault_scope(self) -> str | None:
+        """The store's crash-injection scope (scoped fault plans)."""
+        return self._store.fault_scope
+
+    @property
     def table(self) -> PromiseTable:
         """The promise table (read-mostly; tests and tooling)."""
         return self._table
@@ -359,7 +364,7 @@ class PromiseManager:
                 self.journal.record(txn, dedup_key, response.to_dict())
             self._persist_clock(txn, now)
             txn.commit()
-            crash_point("manager.after-grant-before-reply")
+            crash_point("manager.after-grant-before-reply", self.fault_scope)
             self._run_post_commit(post_commit)
             self._emit_expired(swept, now)
             for released_id in request.releases:
@@ -549,7 +554,7 @@ class PromiseManager:
                     dedup_key, ExecuteOutcome(success=False, reason=result.reason)
                 )
 
-            crash_point("manager.after-action-before-release")
+            crash_point("manager.after-action-before-release", self.fault_scope)
             released: list[str] = []
             for promise_id in environment.releases():
                 self._release_in_txn(
@@ -585,7 +590,7 @@ class PromiseManager:
                 self.journal.record(txn, dedup_key, outcome.to_dict())
             self._persist_clock(txn, now)
             txn.commit()
-            crash_point("manager.after-execute-commit")
+            crash_point("manager.after-execute-commit", self.fault_scope)
             self._run_post_commit(post_commit)
             self._emit_expired(swept, now)
             for consumed_id in released:

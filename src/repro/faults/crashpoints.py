@@ -13,6 +13,17 @@ unwinding ``except``/``finally`` blocks are silently dropped, exactly as
 they would be in a process that had already died at the crash point.
 Recovery tests then discard the in-memory object graph and rebuild the
 system from the log file alone.
+
+**Scopes.**  A schedule may carry a ``scope`` naming one logical
+process.  Instrumented call sites report the scope of the component they
+belong to (a deployment's ``fault_scope``, plumbed down to its store and
+write-ahead log); a scoped schedule fires only at sites reporting that
+scope, and once fired it freezes only that scope's disks.  This is what
+lets a *fleet* of promise managers share one OS process in tests while
+exactly one of them "dies": arming ``("manager.after-grant-before-reply",
+scope="shard-1")`` kills shard 1 mid-request and leaves its siblings
+running and durable.  An unscoped schedule keeps the original
+whole-process semantics: it fires at any site and freezes every disk.
 """
 
 from __future__ import annotations
@@ -48,16 +59,24 @@ class SimulatedCrash(RuntimeError):
 
 @dataclass
 class CrashSchedule:
-    """Arm one named point; crash on its ``hits``-th occurrence."""
+    """Arm one named point; crash on its ``hits``-th occurrence.
+
+    With a ``scope``, only call sites reporting that scope count (and
+    later freeze); without one, every site counts and every disk
+    freezes — the original single-process semantics.
+    """
 
     point: str
     hits: int = 1
+    scope: str | None = None
     seen: int = field(default=0, init=False)
     fired: bool = field(default=False, init=False)
 
-    def due(self, name: str) -> bool:
+    def due(self, name: str, scope: str | None = None) -> bool:
         """Consume one occurrence of ``name``; True when it is time to die."""
         if self.fired or name != self.point:
+            return False
+        if self.scope is not None and scope != self.scope:
             return False
         self.seen += 1
         if self.seen >= self.hits:
@@ -69,10 +88,10 @@ class CrashSchedule:
 _schedule: CrashSchedule | None = None
 
 
-def install(point: str, hits: int = 1) -> CrashSchedule:
+def install(point: str, hits: int = 1, scope: str | None = None) -> CrashSchedule:
     """Arm ``point``; the ``hits``-th occurrence raises SimulatedCrash."""
     global _schedule
-    _schedule = CrashSchedule(point, hits)
+    _schedule = CrashSchedule(point, hits, scope)
     return _schedule
 
 
@@ -82,24 +101,28 @@ def clear() -> None:
     _schedule = None
 
 
-def crashed() -> bool:
-    """True once the armed crash has fired (the process is 'dead').
+def crashed(scope: str | None = None) -> bool:
+    """True once the armed crash has fired for ``scope`` (it is 'dead').
 
-    The WAL consults this to drop writes attempted by code unwinding
-    past the crash point — a dead process writes nothing to disk.
+    The WAL consults this, passing its own scope, to drop writes
+    attempted by code unwinding past the crash point — a dead process
+    writes nothing to disk.  An unscoped fired schedule reports every
+    scope dead; a scoped one only its own.
     """
-    return _schedule is not None and _schedule.fired
+    if _schedule is None or not _schedule.fired:
+        return False
+    return _schedule.scope is None or _schedule.scope == scope
 
 
-def crash_point(name: str) -> None:
+def crash_point(name: str, scope: str | None = None) -> None:
     """Die here when ``name`` is armed and due; free when nothing is."""
     if _schedule is None:
         return
-    if _schedule.due(name):
+    if _schedule.due(name, scope):
         raise SimulatedCrash(name)
 
 
-def should_crash(name: str) -> bool:
+def should_crash(name: str, scope: str | None = None) -> bool:
     """Like :func:`crash_point`, but lets the caller tear its own effect.
 
     Returns True when the caller should perform its partial effect (for
@@ -108,13 +131,15 @@ def should_crash(name: str) -> bool:
     """
     if _schedule is None:
         return False
-    return _schedule.due(name)
+    return _schedule.due(name, scope)
 
 
 @contextlib.contextmanager
-def armed(point: str, hits: int = 1) -> Iterator[CrashSchedule]:
+def armed(
+    point: str, hits: int = 1, scope: str | None = None
+) -> Iterator[CrashSchedule]:
     """Arm ``point`` for the duration of the block, disarming on exit."""
-    schedule = install(point, hits)
+    schedule = install(point, hits, scope)
     try:
         yield schedule
     finally:

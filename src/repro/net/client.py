@@ -21,6 +21,7 @@ vocabulary identical to the in-process transport.
 
 from __future__ import annotations
 
+import select
 import socket
 import time
 from collections import deque
@@ -44,6 +45,7 @@ class ClientStats:
     requests: int = 0
     connections_opened: int = 0
     connections_reused: int = 0
+    stale_discarded: int = 0
     retries: int = 0
     timeouts: int = 0
     failures: int = 0
@@ -165,9 +167,17 @@ class NetworkClient:
         return reply
 
     def _checkout(self, deadline: float) -> socket.socket:
-        if self._idle:
-            self.stats.connections_reused += 1
-            return self._idle.popleft()
+        while self._idle:
+            sock = self._idle.popleft()
+            if self._usable(sock):
+                self.stats.connections_reused += 1
+                return sock
+            # The peer died (or wrote stray bytes) while this connection
+            # idled in the pool; sending a fresh request down it would
+            # either fail or desynchronise the framing.  Discard and try
+            # the next one rather than burning a retry attempt on it.
+            self.stats.stale_discarded += 1
+            self._discard(sock)
         return self._connect(self._remaining(deadline))
 
     def _checkin(self, sock: socket.socket) -> None:
@@ -189,6 +199,21 @@ class NetworkClient:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self.stats.connections_opened += 1
         return sock
+
+    @staticmethod
+    def _usable(sock: socket.socket) -> bool:
+        """Is this idle pooled socket still good for a request/reply?
+
+        An idle connection should have nothing to say: readability before
+        we have sent anything means the peer closed it (EOF / RST) or
+        left unconsumed bytes on it — either way the next request/reply
+        cycle on it is doomed, so the pool must drop it.
+        """
+        try:
+            readable, __, __ = select.select([sock], [], [], 0)
+        except (OSError, ValueError):
+            return False
+        return not readable
 
     @staticmethod
     def _remaining(deadline: float) -> float:

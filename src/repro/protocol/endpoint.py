@@ -92,7 +92,7 @@ class PromiseEndpoint:
         elif message.environment is not None:
             self._pure_release(message.environment, faults)
 
-        crash_point("endpoint.before-reply")
+        crash_point("endpoint.before-reply", self.manager.fault_scope)
         return message.reply(
             message_id=self._message_ids.next_id(),
             promise_responses=tuple(responses),

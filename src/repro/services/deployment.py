@@ -49,13 +49,23 @@ class Deployment:
         wal_path: str | None = None,
         fsync: bool = False,
         auto_checkpoint_every: int | None = None,
+        manager_name: str | None = None,
+        fault_scope: str | None = None,
     ) -> None:
+        # ``manager_name`` separates the endpoint name clients address
+        # (shared by every shard of a cluster) from the name seeding the
+        # manager's id pools (which must be unique per shard, or two
+        # shards would mint the same promise ids).  ``fault_scope``
+        # likewise tags this deployment's store and WAL for scoped crash
+        # injection, so a fleet test can kill one shard and leave its
+        # siblings' disks live.
         self.name = name
         self.clock = clock or LogicalClock()
         self.store = Store(
             wal_path=wal_path,
             fsync=fsync,
             auto_checkpoint_every=auto_checkpoint_every,
+            fault_scope=fault_scope,
         )
         self.resources = ResourceManager(self.store)
         self.registry = StrategyRegistry()
@@ -64,7 +74,7 @@ class Deployment:
             resources=self.resources,
             clock=self.clock,
             registry=self.registry,
-            name=name,
+            name=manager_name or name,
             max_duration=max_duration,
             counter_offers=counter_offers,
         )
@@ -78,6 +88,7 @@ class Deployment:
         self._tags_strategy: AllocatedTagsStrategy | None = None
         self._tentative_strategy: TentativeAllocationStrategy | None = None
         self.recovery_report: RecoveryReport | None = None
+        self._closed = False
 
     # ------------------------------------------------------------- wiring
 
@@ -118,8 +129,23 @@ class Deployment:
         return report
 
     def close(self) -> None:
-        """Release the store's WAL file handle."""
+        """Release the store's WAL file handle (idempotent).
+
+        Safe to call any number of times, and from ``finally`` blocks
+        racing an earlier explicit close — the second and later calls are
+        no-ops, so tests and the CLI can always pair every Deployment
+        with a close without tracking who closed it first.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self.store.close()
+
+    def __enter__(self) -> "Deployment":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ---------------------------------------------------- strategy routing
 

@@ -11,6 +11,16 @@ exactly in what they guarantee across that window.
 to available stock.  Below 1.0 everybody can win; above 1.0 someone must
 lose, and the question the experiments answer is *when* the losers find
 out and how much work they waste.
+
+``partitions`` and ``cross_fraction`` are the *sharding* knobs for the
+cluster experiments (F4): products are classed into ``partitions``
+groups (product *i* belongs to partition ``i % partitions``, which is
+also how a fleet's partition map places the pools on shards), each order
+draws all its products from one home partition, and a ``cross_fraction``
+share of orders additionally demand a product from a second partition —
+the cross-shard requests a routing gateway must scatter-gather.  With
+``partitions=1`` (the default) generation is bit-identical to the
+pre-cluster workloads, so seeded experiments stay reproducible.
 """
 
 from __future__ import annotations
@@ -34,6 +44,13 @@ class OrderJob:
         """Units demanded across all products."""
         return sum(quantity for __, quantity in self.demands)
 
+    def partitions_touched(self, partitions: int) -> frozenset[int]:
+        """Which partition classes this order's demands land in."""
+        return frozenset(
+            int(pool.rsplit("-", 1)[1]) % partitions
+            for pool, __ in self.demands
+        )
+
 
 @dataclass(frozen=True)
 class WorkloadSpec:
@@ -49,6 +66,8 @@ class WorkloadSpec:
     work_low: int = 5
     work_high: int = 15
     seed: int = 0
+    partitions: int = 1
+    cross_fraction: float = 0.0
 
     def __post_init__(self) -> None:
         if self.products_per_order > self.products:
@@ -57,11 +76,31 @@ class WorkloadSpec:
             raise ValueError("quantity_low must be <= quantity_high")
         if self.work_low > self.work_high:
             raise ValueError("work_low must be <= work_high")
+        if self.partitions < 1:
+            raise ValueError("partitions must be at least 1")
+        if self.partitions > self.products:
+            raise ValueError("cannot have more partitions than products")
+        if not 0.0 <= self.cross_fraction <= 1.0:
+            raise ValueError("cross_fraction must be within [0, 1]")
+        if self.cross_fraction > 0 and self.partitions < 2:
+            raise ValueError("cross-partition orders need at least 2 partitions")
 
     @property
     def pool_ids(self) -> list[str]:
         """Pool ids of all products."""
         return [f"product-{index}" for index in range(self.products)]
+
+    def partition_of(self, pool_id: str) -> int:
+        """Partition class of a product pool (``i % partitions``)."""
+        return int(pool_id.rsplit("-", 1)[1]) % self.partitions
+
+    def pools_in_partition(self, partition: int) -> list[str]:
+        """Product pools belonging to one partition class."""
+        return [
+            pool
+            for index, pool in enumerate(self.pool_ids)
+            if index % self.partitions == partition
+        ]
 
     def expected_demand_per_product(self) -> float:
         """Mean total units demanded from one product pool."""
@@ -91,23 +130,38 @@ class WorkloadSpec:
             work_low=self.work_low,
             work_high=self.work_high,
             seed=self.seed,
+            partitions=self.partitions,
+            cross_fraction=self.cross_fraction,
         )
 
 
 def generate_orders(spec: WorkloadSpec) -> list[OrderJob]:
-    """Deterministically generate the job list for ``spec``."""
+    """Deterministically generate the job list for ``spec``.
+
+    With ``partitions=1`` the draw sequence is unchanged from the
+    pre-cluster generator, keeping every seeded experiment bit-stable.
+    With partitions, each order shops inside one home partition, except
+    that a ``cross_fraction`` share also takes one product from a second
+    partition — the minimum footprint that forces a cluster gateway onto
+    its scatter-gather path.
+    """
     streams = StreamFactory(spec.seed)
     arrivals = streams.stream("arrivals")
     quantities = streams.stream("quantities")
     work = streams.stream("work")
     product_pick = streams.stream("products")
+    partition_pick = streams.stream("partitions")
+    cross_pick = streams.stream("cross")
 
     jobs: list[OrderJob] = []
     clock = 0
     pools = spec.pool_ids
     for index in range(spec.clients):
         clock += arrivals.exponential_ticks(spec.mean_interarrival)
-        chosen = product_pick.sample(pools, spec.products_per_order)
+        if spec.partitions <= 1:
+            chosen = product_pick.sample(pools, spec.products_per_order)
+        else:
+            chosen = _pick_partitioned(spec, product_pick, partition_pick, cross_pick)
         demands = tuple(
             (pool, quantities.uniform_int(spec.quantity_low, spec.quantity_high))
             for pool in sorted(chosen)
@@ -121,6 +175,26 @@ def generate_orders(spec: WorkloadSpec) -> list[OrderJob]:
             )
         )
     return jobs
+
+
+def _pick_partitioned(spec, product_pick, partition_pick, cross_pick) -> list[str]:
+    """Choose an order's products under the partition-aware regime."""
+    home = partition_pick.uniform_int(0, spec.partitions - 1)
+    home_pools = spec.pools_in_partition(home)
+    local = product_pick.sample(
+        home_pools, min(spec.products_per_order, len(home_pools))
+    )
+    if not cross_pick.chance(spec.cross_fraction):
+        return local
+    away = (home + 1 + partition_pick.uniform_int(0, spec.partitions - 2)) % (
+        spec.partitions
+    )
+    away_pool = product_pick.choice(spec.pools_in_partition(away))
+    # One away product is enough to make the order cross-partition; keep
+    # the total around products_per_order rather than inflating demand.
+    if len(local) > 1:
+        local = local[:-1]
+    return local + [away_pool]
 
 
 @dataclass

@@ -56,12 +56,14 @@ class Store:
         *,
         fsync: bool = False,
         auto_checkpoint_every: int | None = None,
+        fault_scope: str | None = None,
     ) -> None:
         if auto_checkpoint_every is not None and auto_checkpoint_every < 1:
             raise ValueError("auto_checkpoint_every must be positive")
         self._tables: dict[str, dict[str, object]] = {}
         self._locks = LockManager()
-        self._wal = WriteAheadLog(wal_path, fsync=fsync)
+        self._fault_scope = fault_scope
+        self._wal = WriteAheadLog(wal_path, fsync=fsync, fault_scope=fault_scope)
         self._auto_checkpoint_every = auto_checkpoint_every
         # Continue txn numbering past anything the log already mentions,
         # so a replayed id can never mean two different transactions.
@@ -107,7 +109,7 @@ class Store:
         txn = Transaction(self, next(self._txn_ids))
         self._active[txn.txn_id] = txn
         self._wal.append(LogRecordType.BEGIN, txn_id=txn.txn_id)
-        crash_point("store.after-begin")
+        crash_point("store.after-begin", self._fault_scope)
         return txn
 
     def transaction(self) -> Transaction:
@@ -153,6 +155,11 @@ class Store:
     def durable(self) -> bool:
         """True when the WAL is backed by a file (state survives restarts)."""
         return self._wal.path is not None
+
+    @property
+    def fault_scope(self) -> str | None:
+        """Scope token for scoped crash injection (one shard of a fleet)."""
+        return self._fault_scope
 
     @property
     def lock_manager(self) -> LockManager:
@@ -208,7 +215,7 @@ class Store:
         self._wal.append(
             LogRecordType.PUT, txn_id=txn.txn_id, table=table, key=key, value=stored
         )
-        crash_point("store.after-put")
+        crash_point("store.after-put", self._fault_scope)
 
     def _insert(self, txn: Transaction, table: str, key: str, value: object) -> None:
         rows = self._require_table(table)
@@ -269,9 +276,9 @@ class Store:
                 )
 
     def _commit(self, txn: Transaction) -> None:
-        crash_point("store.before-commit")
+        crash_point("store.before-commit", self._fault_scope)
         self._wal.append(LogRecordType.COMMIT, txn_id=txn.txn_id)
-        crash_point("store.after-commit")
+        crash_point("store.after-commit", self._fault_scope)
         txn.status = TransactionStatus.COMMITTED
         self._finish(txn)
         if (

@@ -100,11 +100,21 @@ class WriteAheadLog:
     the log into the after-state of all *committed* transactions.
     """
 
-    def __init__(self, path: str | Path | None = None, *, fsync: bool = False) -> None:
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        fsync: bool = False,
+        fault_scope: str | None = None,
+    ) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._path = Path(path) if path is not None else None
         self._fsync = fsync
+        #: Which logical process this log belongs to, for scoped crash
+        #: injection: a scoped simulated crash freezes only the disks of
+        #: its own scope (one shard of a fleet), not its siblings'.
+        self._fault_scope = fault_scope
         self._handle: IO[str] | None = None
         self._since_checkpoint = 0
         #: Human-readable notes recovery surfaces (torn tail drops etc.).
@@ -180,9 +190,9 @@ class WriteAheadLog:
         self._next_lsn += 1
         self._records.append(record)
         self._since_checkpoint += 1
-        if self._handle is not None and not crashed():
+        if self._handle is not None and not crashed(self._fault_scope):
             line = record.to_json() + "\n"
-            if should_crash("wal.torn-append"):
+            if should_crash("wal.torn-append", self._fault_scope):
                 # Power loss mid-append: half the record reaches disk.
                 self._handle.write(line[: max(1, len(line) // 2)])
                 self._handle.flush()
@@ -207,14 +217,14 @@ class WriteAheadLog:
             value=snapshot,
         )
         self._next_lsn += 1
-        if self._path is not None and not crashed():
+        if self._path is not None and not crashed(self._fault_scope):
             tmp = self._tmp_path()
             with tmp.open("w", encoding="utf-8") as handle:
                 handle.write(record.to_json() + "\n")
                 handle.flush()
                 if self._fsync:
                     os.fsync(handle.fileno())
-            crash_point("wal.mid-checkpoint")
+            crash_point("wal.mid-checkpoint", self._fault_scope)
             self.close()
             os.replace(tmp, self._path)
             self._handle = self._path.open("a", encoding="utf-8")

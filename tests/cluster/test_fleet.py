@@ -1,0 +1,239 @@
+"""Fleet fault matrix: shard crashes, timeouts, restarts — no orphans.
+
+The acceptance bar for the cluster subsystem: whatever happens to a
+single shard mid cross-shard request — a crash-point kill after the
+grant committed, a connection black-hole, a full process kill — the
+fleet must end with **zero orphaned sub-promises** (every shard's doctor
+audit clean, every live-promise count zero) and never over-grant.
+
+Runs real :class:`~repro.net.server.PromiseServer` sockets with
+WAL-backed shards, so recovery and the durable reply journal are part of
+the loop.  Marked ``cluster``; CI runs them as the cluster-suite job.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.cluster import ClusterFleet, PartitionMap, provision_products
+from repro.cluster.gateway import ClusterGateway
+from repro.core.parser import P
+from repro.faults.crashpoints import clear, install
+from repro.net.transport import NetworkTransport
+from repro.protocol.client import PromiseClient
+from repro.protocol.messages import ActionPayload, Message
+from repro.protocol.retry import RetryPolicy
+
+pytestmark = pytest.mark.cluster
+
+PRODUCTS = 12
+STOCK = 20
+
+
+@pytest.fixture(autouse=True)
+def disarm():
+    clear()
+    yield
+    clear()
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    ring = PartitionMap(3)
+    fleet = ClusterFleet(
+        3,
+        provision=provision_products(PRODUCTS, STOCK),
+        ring=ring,
+        wal_dir=str(tmp_path),
+    )
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+def cross_pair(ring: PartitionMap) -> tuple[str, str]:
+    first = "product-0"
+    home = ring.shard_of(first)
+    for index in range(1, PRODUCTS):
+        candidate = f"product-{index}"
+        if ring.shard_of(candidate) != home:
+            return first, candidate
+    raise AssertionError("no cross-shard pair")
+
+
+def assert_no_orphans(fleet: ClusterFleet) -> None:
+    assert all(count == 0 for count in fleet.live_promises().values())
+    assert all(not findings for findings in fleet.audit().values())
+
+
+class TestFleetLifecycle:
+    def test_grant_act_release_roundtrip(self, fleet):
+        a, b = cross_pair(fleet.ring)
+        with fleet.gateway() as gateway:
+            client = PromiseClient("alice", gateway)
+            response = client.request_promise(
+                "shop",
+                [P(f"quantity('{a}') >= 3"), P(f"quantity('{b}') >= 2")],
+                30,
+            )
+            assert response.accepted
+            faults = client.release("shop", response.promise_id)
+            assert faults == ()
+        assert_no_orphans(fleet)
+
+    def test_promise_and_reply_journal_survive_restart(self, fleet):
+        home = fleet.ring.shard_of("product-0")
+        with fleet.gateway() as gateway:
+            client = PromiseClient("bob", gateway)
+            response = client.request_promise(
+                "shop", [P("quantity('product-0') >= 5")], 1000
+            )
+            assert response.accepted
+
+            probe = Message(
+                message_id="fleet-test:probe",
+                sender="bob",
+                recipient="shop",
+                action=ActionPayload(
+                    "merchant", "stock_level", {"product": "product-0"}
+                ),
+            )
+            first = gateway.send(probe)
+
+            fleet.kill(home)
+            fleet.restart(home)
+
+            # Same port, same WAL: the promise survived, and the stale
+            # pooled connection is discarded rather than reused.
+            replayed = gateway.send(probe)
+            assert replayed == first
+            assert fleet.shard(home).server.stats.duplicates_served == 1
+        assert fleet.live_promises()[home] == 1
+        assert all(not findings for findings in fleet.audit().values())
+
+
+class TestShardCrashMidScatter:
+    def test_crash_after_grant_is_compensated(self, fleet):
+        """The victim grants its sub-promise, commits, then 'dies' before
+        replying.  Redeliver-then-release must find the journaled grant
+        and release it — no orphan, no over-grant."""
+        a, b = cross_pair(fleet.ring)
+        victim = fleet.ring.shard_of(b)
+        install("manager.after-grant-before-reply", scope=f"shard-{victim}")
+
+        with fleet.gateway(retry=RetryPolicy.none()) as gateway:
+            client = PromiseClient("carol", gateway, retry=RetryPolicy.none())
+            response = client.request_promise(
+                "shop",
+                [P(f"quantity('{a}') >= 3"), P(f"quantity('{b}') >= 2")],
+                30,
+            )
+            assert not response.accepted
+            assert gateway.pending_compensations == 0
+        assert_no_orphans(fleet)
+
+    def test_crashed_shard_still_isolated_from_siblings(self, fleet):
+        """A scoped crash on one shard must not freeze its siblings'
+        WALs: a grant on another shard afterwards still persists."""
+        a, b = cross_pair(fleet.ring)
+        victim = fleet.ring.shard_of(b)
+        survivor = fleet.ring.shard_of(a)
+        install("manager.after-grant-before-reply", scope=f"shard-{victim}")
+
+        with fleet.gateway(retry=RetryPolicy.none()) as gateway:
+            client = PromiseClient("dave", gateway, retry=RetryPolicy.none())
+            client.request_promise(
+                "shop",
+                [P(f"quantity('{a}') >= 3"), P(f"quantity('{b}') >= 2")],
+                30,
+            )
+            response = client.request_promise(
+                "shop", [P(f"quantity('{a}') >= 1")], 1000
+            )
+            assert response.accepted
+
+        fleet.kill(survivor)
+        fleet.restart(survivor)
+        assert fleet.live_promises()[survivor] == 1
+
+    def test_killed_shard_queues_then_flushes(self, fleet):
+        """A shard that is fully down during the scatter gets its
+        compensation queued; after restart, one flush clears it."""
+        a, b = cross_pair(fleet.ring)
+        victim = fleet.ring.shard_of(b)
+        fleet.kill(victim)
+
+        with fleet.gateway(timeout=1.0, retry=RetryPolicy.none()) as gateway:
+            client = PromiseClient("erin", gateway, retry=RetryPolicy.none())
+            response = client.request_promise(
+                "shop",
+                [P(f"quantity('{a}') >= 3"), P(f"quantity('{b}') >= 2")],
+                30,
+            )
+            assert not response.accepted
+            assert gateway.pending_compensations == 1
+
+            fleet.restart(victim)
+            assert gateway.flush_pending() == 1
+            assert gateway.pending_compensations == 0
+            assert_no_orphans(fleet)
+
+
+class TestShardTimeoutMidScatter:
+    def test_black_hole_shard_rejects_and_compensates(self, fleet):
+        """One 'shard' accepts connections but never replies.  The
+        gateway must time out, reject the composite, and compensate the
+        shards that did answer."""
+        a, b = cross_pair(fleet.ring)
+        victim = fleet.ring.shard_of(b)
+
+        hole = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        hole.bind(("127.0.0.1", 0))
+        hole.listen(4)
+        swallowed: list[socket.socket] = []
+        alive = threading.Event()
+        alive.set()
+
+        def swallow() -> None:
+            while alive.is_set():
+                try:
+                    conn, __ = hole.accept()
+                except OSError:
+                    return
+                swallowed.append(conn)
+
+        thread = threading.Thread(target=swallow, daemon=True)
+        thread.start()
+        try:
+            addresses = fleet.addresses()
+            transports = [
+                NetworkTransport(
+                    hole.getsockname() if index == victim else address,
+                    timeout=0.5,
+                    retry=RetryPolicy.none(),
+                )
+                for index, address in enumerate(addresses)
+            ]
+            gateway = ClusterGateway(transports, ring=fleet.ring)
+            client = PromiseClient("frank", gateway, retry=RetryPolicy.none())
+            response = client.request_promise(
+                "shop",
+                [P(f"quantity('{a}') >= 3"), P(f"quantity('{b}') >= 2")],
+                30,
+            )
+            assert not response.accepted
+            # The unanswered shard's compensation is queued, the
+            # answering shard's was applied immediately.
+            assert gateway.pending_compensations == 1
+            counts = fleet.live_promises()
+            assert counts[fleet.ring.shard_of(a)] == 0
+            assert counts[victim] == 0  # the real shard never saw it
+            gateway.close()
+        finally:
+            alive.clear()
+            hole.close()
+            for conn in swallowed:
+                conn.close()

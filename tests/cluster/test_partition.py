@@ -1,0 +1,127 @@
+"""Unit tests for the consistent-hash partition map."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.partition import (
+    CrossShardPredicate,
+    PartitionError,
+    PartitionMap,
+)
+from repro.core.parser import P
+from repro.core.predicates import quantity_at_least
+
+
+class TestPlacement:
+    def test_deterministic_across_instances(self):
+        a = PartitionMap(4)
+        b = PartitionMap(4)
+        for index in range(200):
+            resource = f"product-{index}"
+            assert a.shard_of(resource) == b.shard_of(resource)
+
+    def test_every_shard_gets_resources(self):
+        ring = PartitionMap(4)
+        owners = {ring.shard_of(f"product-{i}") for i in range(200)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        ring = PartitionMap(1)
+        assert {ring.shard_of(f"r{i}") for i in range(50)} == {0}
+
+    def test_growth_moves_a_minority(self):
+        before = PartitionMap(4)
+        after = PartitionMap(5)
+        resources = [f"product-{i}" for i in range(500)]
+        moved = sum(
+            1 for r in resources if before.shard_of(r) != after.shard_of(r)
+        )
+        # Consistent hashing: ~1/5 should move, certainly under half.
+        assert moved < len(resources) / 2
+
+    def test_placement_groups_by_shard(self):
+        ring = PartitionMap(3)
+        grouped = ring.placement(f"product-{i}" for i in range(30))
+        assert sum(len(group) for group in grouped.values()) == 30
+        for shard, group in grouped.items():
+            assert all(ring.shard_of(r) == shard for r in group)
+
+    def test_rejects_degenerate_maps(self):
+        with pytest.raises(PartitionError):
+            PartitionMap(0)
+        with pytest.raises(PartitionError):
+            PartitionMap(2, replicas=0)
+
+
+class TestPinning:
+    def test_pin_overrides_ring(self):
+        ring = PartitionMap(4)
+        resource = "room-512"
+        target = (ring.shard_of(resource) + 1) % 4
+        ring.pin(resource, target)
+        assert ring.shard_of(resource) == target
+
+    def test_pin_together_co_locates(self):
+        ring = PartitionMap(4)
+        rooms = [f"room-{i}" for i in range(10)]
+        shard = ring.pin_together(rooms)
+        assert {ring.shard_of(room) for room in rooms} == {shard}
+
+    def test_pins_survive_constructor(self):
+        ring = PartitionMap(4, pins={"hotel": 3})
+        assert ring.shard_of("hotel") == 3
+        assert PartitionMap(4, pins=ring.pins).shard_of("hotel") == 3
+
+    def test_pin_to_missing_shard_rejected(self):
+        ring = PartitionMap(2)
+        with pytest.raises(PartitionError):
+            ring.pin("x", 2)
+
+
+class TestPredicateSplitting:
+    def _cross_pair(self, ring: PartitionMap) -> tuple[str, str]:
+        first = "product-0"
+        home = ring.shard_of(first)
+        for index in range(1, 100):
+            candidate = f"product-{index}"
+            if ring.shard_of(candidate) != home:
+                return first, candidate
+        raise AssertionError("no cross-shard pair found")
+
+    def test_conjunction_splits_by_shard(self):
+        ring = PartitionMap(4)
+        a, b = self._cross_pair(ring)
+        predicate = P(f"quantity('{a}') >= 3 and quantity('{b}') >= 2")
+        split = ring.split_predicates([predicate])
+        assert len(split) == 2
+        placed = {
+            atom.pool_id: shard
+            for shard, atoms in split.items()
+            for atom in atoms
+        }
+        assert placed == {a: ring.shard_of(a), b: ring.shard_of(b)}
+
+    def test_same_shard_conjunction_stays_whole(self):
+        ring = PartitionMap(4)
+        ring.pin_together(["x", "y"], 1)
+        split = ring.split_predicates(
+            [quantity_at_least("x", 1), quantity_at_least("y", 1)]
+        )
+        assert set(split) == {1}
+        assert len(split[1]) == 2
+
+    def test_cross_shard_or_rejected_with_pin_hint(self):
+        ring = PartitionMap(4)
+        a, b = self._cross_pair(ring)
+        predicate = P(f"quantity('{a}') >= 1 or quantity('{b}') >= 1")
+        with pytest.raises(CrossShardPredicate, match="pin"):
+            ring.split_predicates([predicate])
+
+    def test_pinning_makes_or_splittable(self):
+        ring = PartitionMap(4)
+        a, b = self._cross_pair(ring)
+        ring.pin_together([a, b])
+        predicate = P(f"quantity('{a}') >= 1 or quantity('{b}') >= 1")
+        split = ring.split_predicates([predicate])
+        assert list(split.values()) == [[predicate]]

@@ -86,3 +86,43 @@ class TestRegistry:
     def test_matrix_floor(self):
         # The ISSUE's acceptance floor: at least eight named points.
         assert len(CRASH_POINTS) >= 8
+
+
+class TestScopedSchedules:
+    """Scoped crash schedules: one shard of a fleet dies, not the world."""
+
+    def test_scoped_schedule_ignores_other_scopes(self):
+        schedule = CrashSchedule("p", scope="shard-1")
+        assert not schedule.due("p", scope="shard-0")
+        assert not schedule.due("p", scope=None)
+        assert schedule.due("p", scope="shard-1")
+
+    def test_scoped_crash_fires_only_in_scope(self):
+        install("store.after-begin", scope="shard-1")
+        crash_point("store.after-begin", scope="shard-0")  # no-op
+        crash_point("store.after-begin")  # unscoped site: no-op
+        with pytest.raises(SimulatedCrash):
+            crash_point("store.after-begin", scope="shard-1")
+
+    def test_scoped_death_is_per_scope(self):
+        install("store.after-begin", scope="shard-1")
+        with pytest.raises(SimulatedCrash):
+            crash_point("store.after-begin", scope="shard-1")
+        # Only the crashed scope is dead; siblings keep writing.
+        assert crashed(scope="shard-1")
+        assert not crashed(scope="shard-0")
+        assert not crashed(scope=None)
+
+    def test_unscoped_death_kills_every_scope(self):
+        install("store.after-begin")
+        with pytest.raises(SimulatedCrash):
+            crash_point("store.after-begin")
+        assert crashed()
+        assert crashed(scope="shard-0")
+        assert crashed(scope="shard-1")
+
+    def test_armed_accepts_scope(self):
+        with pytest.raises(SimulatedCrash):
+            with armed("store.after-begin", scope="shard-2"):
+                crash_point("store.after-begin", scope="shard-2")
+        assert not crashed(scope="shard-2")

@@ -1,0 +1,145 @@
+"""Regression tests for connection-pool staleness in NetworkClient.
+
+A pooled idle socket whose peer died must be discarded at checkout, not
+reused: reusing it either fails the request outright or — worse —
+desynchronises the framing against a new peer on the same port.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.net.client import NetworkClient
+from repro.net.framing import encode_frame, read_frame
+from repro.protocol.retry import RetryPolicy
+
+
+class EchoServer:
+    """A tiny framed echo server that closes connections on command."""
+
+    def __init__(self) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(8)
+        self.address = self._listener.getsockname()
+        self._connections: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._alive = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while self._alive:
+            try:
+                conn, __ = self._listener.accept()
+            except OSError:
+                return
+            with self._lock:
+                self._connections.append(conn)
+            threading.Thread(
+                target=self._echo, args=(conn,), daemon=True
+            ).start()
+
+    def _echo(self, conn: socket.socket) -> None:
+        try:
+            while True:
+                payload = read_frame(conn.recv, 1 << 20)
+                if payload is None:
+                    return
+                conn.sendall(encode_frame(payload, 1 << 20))
+        except OSError:
+            pass
+
+    def wait_for_connections(self, count: int, timeout: float = 2.0) -> None:
+        """Block until ``count`` connections have been accepted."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self._connections) >= count:
+                    return
+            time.sleep(0.01)
+        raise AssertionError(f"server never saw {count} connections")
+
+    def drop_connections(self) -> None:
+        """Close every accepted connection (clients' pooled sockets die)."""
+        with self._lock:
+            for conn in self._connections:
+                try:
+                    conn.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                conn.close()
+            self._connections.clear()
+
+    def close(self) -> None:
+        self._alive = False
+        self._listener.close()
+        self.drop_connections()
+
+
+@pytest.fixture()
+def server():
+    server = EchoServer()
+    yield server
+    server.close()
+
+
+class TestStalePoolDetection:
+    def test_dead_pooled_connection_discarded_not_reused(self, server):
+        with NetworkClient(
+            server.address, timeout=2.0, retry=RetryPolicy.none()
+        ) as client:
+            assert client.request(b"one") == b"one"
+            assert client.stats.connections_opened == 1
+
+            # The peer closes the pooled connection between calls.
+            server.drop_connections()
+
+            # Without retries, this must still succeed: the stale socket
+            # is discarded at checkout and a fresh one is dialled.
+            assert client.request(b"two") == b"two"
+            assert client.stats.stale_discarded == 1
+            assert client.stats.connections_opened == 2
+
+    def test_healthy_pooled_connection_is_reused(self, server):
+        with NetworkClient(
+            server.address, timeout=2.0, retry=RetryPolicy.none()
+        ) as client:
+            assert client.request(b"one") == b"one"
+            assert client.request(b"two") == b"two"
+            assert client.stats.connections_opened == 1
+            assert client.stats.connections_reused == 1
+            assert client.stats.stale_discarded == 0
+
+    def test_all_stale_sockets_swept_in_one_checkout(self, server):
+        with NetworkClient(
+            server.address, timeout=2.0, pool_size=4, retry=RetryPolicy.none()
+        ) as client:
+            # Park two idle connections in the pool by overlapping
+            # checkouts: open a second while the first is still out.
+            import time
+
+            deadline = time.monotonic() + 2.0
+            first = client._checkout(deadline)
+            second = client._checkout(deadline)
+            client._checkin(first)
+            client._checkin(second)
+            assert len(client._idle) == 2
+
+            server.wait_for_connections(2)
+            server.drop_connections()
+            # Wait for both FINs to reach the pooled sockets, so the
+            # staleness is visible at checkout time.
+            import select
+
+            for sock in (first, second):
+                select.select([sock], [], [], 2.0)
+
+            assert client.request(b"again") == b"again"
+            assert client.stats.stale_discarded == 2

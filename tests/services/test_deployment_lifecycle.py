@@ -1,0 +1,70 @@
+"""Deployment lifecycle: idempotent close, context manager, shard naming."""
+
+from __future__ import annotations
+
+from repro.core.parser import P
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+
+
+def build(tmp_path=None, **kwargs) -> Deployment:
+    deployment = Deployment(name="shop", **kwargs)
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("widgets")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "widgets", 10)
+    return deployment
+
+
+class TestClose:
+    def test_close_is_idempotent(self, tmp_path):
+        deployment = build(wal_path=str(tmp_path / "shop.wal"))
+        deployment.close()
+        deployment.close()  # second close must be a no-op, not an error
+
+    def test_context_manager_closes(self, tmp_path):
+        wal = str(tmp_path / "shop.wal")
+        with build(wal_path=wal) as deployment:
+            client = deployment.client("alice")
+            assert client.request_promise(
+                "shop", [P("quantity('widgets') >= 1")], 10
+            ).accepted
+        # The WAL handle is released: a second deployment can open it.
+        with Deployment(name="shop", wal_path=wal) as reopened:
+            assert reopened.recovered
+
+    def test_close_then_context_exit_is_safe(self):
+        with build() as deployment:
+            deployment.close()
+        # __exit__ called close() again; reaching here is the assertion.
+
+
+class TestManagerName:
+    def test_manager_name_defaults_to_endpoint_name(self):
+        with build() as deployment:
+            client = deployment.client("alice")
+            response = client.request_promise(
+                "shop", [P("quantity('widgets') >= 1")], 10
+            )
+            assert response.promise_id.startswith("shop:")
+
+    def test_manager_name_separates_id_pools_from_endpoint(self):
+        """Two shards sharing the endpoint name must not mint colliding
+        promise ids."""
+        ids = []
+        for shard in range(2):
+            with Deployment(
+                name="shop", manager_name=f"shop-s{shard}"
+            ) as deployment:
+                deployment.add_service(MerchantService())
+                deployment.use_pool_strategy("widgets")
+                with deployment.seed() as txn:
+                    deployment.resources.create_pool(txn, "widgets", 10)
+                client = deployment.client("alice")
+                response = client.request_promise(
+                    "shop", [P("quantity('widgets') >= 1")], 10
+                )
+                ids.append(response.promise_id)
+        assert ids[0] != ids[1]
+        assert ids[0].startswith("shop-s0:")
+        assert ids[1].startswith("shop-s1:")

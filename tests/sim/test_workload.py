@@ -96,3 +96,61 @@ class TestGenerateBookings:
     def test_hold_range(self):
         for booking in generate_bookings(2, 30, self.MENU, hold_low=4, hold_high=6):
             assert 4 <= booking.hold_ticks <= 6
+
+
+class TestPartitionedWorkload:
+    def test_default_is_bit_identical_to_legacy(self):
+        legacy = generate_orders(WorkloadSpec(clients=40, products=8, seed=9))
+        knobbed = generate_orders(
+            WorkloadSpec(clients=40, products=8, seed=9, partitions=1)
+        )
+        assert legacy == knobbed
+
+    def test_invalid_partition_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(products=4, partitions=0)
+        with pytest.raises(ValueError):
+            WorkloadSpec(products=2, partitions=3)
+        with pytest.raises(ValueError):
+            WorkloadSpec(products=4, partitions=2, cross_fraction=1.5)
+        with pytest.raises(ValueError):
+            WorkloadSpec(products=4, partitions=1, cross_fraction=0.5)
+
+    def test_partition_of_and_pools_in_partition_agree(self):
+        spec = WorkloadSpec(products=10, partitions=3)
+        for pool in spec.pool_ids:
+            assert pool in spec.pools_in_partition(spec.partition_of(pool))
+
+    def test_orders_stay_in_home_partition_without_cross(self):
+        spec = WorkloadSpec(
+            clients=60, products=12, partitions=4, cross_fraction=0.0,
+            products_per_order=2, seed=3,
+        )
+        for job in generate_orders(spec):
+            assert len(job.partitions_touched(spec.partitions)) == 1
+
+    def test_cross_fraction_produces_cross_partition_orders(self):
+        spec = WorkloadSpec(
+            clients=200, products=12, partitions=4, cross_fraction=0.3,
+            products_per_order=2, seed=3,
+        )
+        jobs = generate_orders(spec)
+        crossing = sum(
+            1 for job in jobs if len(job.partitions_touched(spec.partitions)) > 1
+        )
+        observed = crossing / len(jobs)
+        assert 0.2 <= observed <= 0.4
+
+    def test_full_cross_fraction_crosses_always(self):
+        spec = WorkloadSpec(
+            clients=50, products=8, partitions=2, cross_fraction=1.0,
+            products_per_order=2, seed=7,
+        )
+        for job in generate_orders(spec):
+            assert len(job.partitions_touched(spec.partitions)) == 2
+
+    def test_partitioned_generation_deterministic(self):
+        spec = WorkloadSpec(
+            clients=50, products=12, partitions=3, cross_fraction=0.25, seed=11
+        )
+        assert generate_orders(spec) == generate_orders(spec)
