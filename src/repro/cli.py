@@ -35,6 +35,19 @@ Four subcommands:
     invariant audit, and report what it found — the post-mortem half of
     ``serve --wal``.
 
+``chaos``
+    Run one seeded chaos-nemesis schedule against a loopback fleet —
+    randomized request/reply drops, crash points, shard kill/restarts
+    and overload bursts — then print the audit report as JSON.
+    ``--self-test`` instead proves the auditors catch a planted leak.
+
+``serve`` and ``serve-cluster`` accept overload-protection flags:
+``--max-queue`` / ``--rate-limit`` put an admission controller in front
+of every server (shed checks before actions before releases, surfaced
+as a retryable ``overloaded`` fault), and ``--breaker-threshold`` arms
+per-shard circuit breakers on the self-test's client path so a dead
+shard fails fast instead of consuming the retry budget.
+
 Examples::
 
     python -m repro.cli figure1 --stock 12 --need 5
@@ -47,6 +60,9 @@ Examples::
     python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
     python -m repro.cli call --cluster 127.0.0.1:7807,127.0.0.1:7808 --predicate "quantity('product-0') >= 2 and quantity('product-1') >= 1"
     python -m repro.cli doctor --wal /var/lib/shop.wal --repair
+    python -m repro.cli serve --port 7807 --max-queue 64 --rate-limit 200
+    python -m repro.cli chaos --seed 2007 --duration 30
+    python -m repro.cli chaos --self-test
 """
 
 from __future__ import annotations
@@ -74,6 +90,8 @@ from .recovery import ReplyJournal
 from .storage.errors import RecoveryError
 from .protocol.errors import ProtocolError
 from .protocol.messages import ActionPayload, Message
+from .resilience.admission import AdmissionController
+from .resilience.breaker import CircuitBreaker
 from .services.deployment import Deployment
 from .services.merchant import MerchantService
 from .sim.workload import WorkloadSpec
@@ -143,6 +161,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve on loopback, run a client round trip "
                             "(grant, action, redelivery), then kill the "
                             "server and restart it from the WAL")
+    _add_resilience_flags(serve)
 
     cluster = commands.add_parser(
         "serve-cluster", help="host a sharded promise-manager fleet over TCP"
@@ -171,6 +190,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="boot a loopback fleet, drive a gateway "
                               "through single-shard, cross-shard and "
                               "shard-crash paths, then exit")
+    _add_resilience_flags(cluster)
 
     call = commands.add_parser(
         "call", help="send one promise/action request to a running server"
@@ -208,7 +228,61 @@ def build_parser() -> argparse.ArgumentParser:
     doctor.add_argument("--repair", action="store_true",
                         help="repair mechanically safe drift before "
                              "the audit")
+
+    chaos = commands.add_parser(
+        "chaos", help="run one seeded nemesis schedule and audit it"
+    )
+    chaos.add_argument("--seed", type=int, default=2007,
+                       help="schedule seed; same seed, same faults "
+                            "(default 2007)")
+    chaos.add_argument("--duration", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget; the schedule stops "
+                            "early once it is spent")
+    chaos.add_argument("--steps", type=int, default=30,
+                       help="workload/fault steps to run (default 30)")
+    chaos.add_argument("--shards", type=int, default=3,
+                       help="fleet size, at least 2 (default 3)")
+    chaos.add_argument("--products", type=int, default=9,
+                       help="product pools over the ring (default 9)")
+    chaos.add_argument("--stock", type=int, default=20,
+                       help="stock per pool (default 20)")
+    chaos.add_argument("--self-test", action="store_true",
+                       help="prove the invariant auditors catch a "
+                            "planted leak, then exit")
     return parser
+
+
+def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
+    """Overload-protection flags shared by ``serve`` and ``serve-cluster``."""
+    subparser.add_argument(
+        "--max-queue", type=int, default=None, metavar="N",
+        help="admission control: bound on admitted-but-unfinished "
+             "requests per server (default: no admission control)",
+    )
+    subparser.add_argument(
+        "--rate-limit", type=float, default=None, metavar="RPS",
+        help="admission control: token-bucket rate in requests/second "
+             "per server; shed requests get a retryable 'overloaded' "
+             "fault (checks shed first, releases last)",
+    )
+    subparser.add_argument(
+        "--breaker-threshold", type=int, default=None, metavar="N",
+        help="consecutive failures before the self-test client's "
+             "per-endpoint circuit breaker opens (default: no breaker)",
+    )
+
+
+def _admission_from_flags(
+    max_queue: int | None, rate_limit: float | None
+) -> AdmissionController | None:
+    """An admission controller when either flag was given, else None."""
+    if max_queue is None and rate_limit is None:
+        return None
+    return AdmissionController(
+        max_queue=max_queue if max_queue is not None else 64,
+        rate=rate_limit,
+    )
 
 
 def run_figure1(stock: int, need: int, rival_appetite: int, out=sys.stdout) -> int:
@@ -336,7 +410,11 @@ def _build_served_deployment(
 
 
 def _build_server(
-    deployment: Deployment, endpoint: str, host: str, port: int
+    deployment: Deployment,
+    endpoint: str,
+    host: str,
+    port: int,
+    admission: AdmissionController | None = None,
 ) -> PromiseServer:
     """A :class:`PromiseServer` for ``deployment``, with a durable
     reply journal when the deployment has one to give."""
@@ -345,7 +423,9 @@ def _build_server(
         journal = ReplyJournal(
             deployment.store, table=NET_REPLY_JOURNAL_TABLE
         )
-    server = PromiseServer(host=host, port=port, reply_journal=journal)
+    server = PromiseServer(
+        host=host, port=port, reply_journal=journal, admission=admission
+    )
     server.register(endpoint, deployment.endpoint.handle)
     return server
 
@@ -359,6 +439,9 @@ def run_serve(
     wal: str | None = None,
     fsync: bool = False,
     checkpoint_every: int | None = None,
+    max_queue: int | None = None,
+    rate_limit: float | None = None,
+    breaker_threshold: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Host the deployment over TCP; returns a process exit code."""
@@ -368,20 +451,29 @@ def run_serve(
     if self_test:
         return _serve_self_test(
             host, port, endpoint, stock, wal,
-            fsync=fsync, checkpoint_every=checkpoint_every, out=out,
+            fsync=fsync, checkpoint_every=checkpoint_every,
+            max_queue=max_queue, rate_limit=rate_limit,
+            breaker_threshold=breaker_threshold, out=out,
         )
 
     deployment = _build_served_deployment(
         endpoint, stock, wal, fsync, checkpoint_every, out=out
     )
-    server = _build_server(deployment, endpoint, host, port)
+    admission = _admission_from_flags(max_queue, rate_limit)
+    server = _build_server(deployment, endpoint, host, port, admission)
 
     async def serve() -> None:
         bound_host, bound_port = await server.start()
         durability = f", wal: {wal}" if wal else ""
+        shedding = (
+            f", admission: queue<={admission.max_queue}"
+            + (f" rate={admission.rate}/s" if admission.rate else "")
+            if admission
+            else ""
+        )
         print(
             f"serving endpoint {endpoint!r} on {bound_host}:{bound_port} "
-            f"(widgets stock: {stock}{durability})",
+            f"(widgets stock: {stock}{durability}{shedding})",
             file=out,
         )
         await server.serve_forever()
@@ -404,6 +496,9 @@ def _serve_self_test(
     wal: str | None,
     fsync: bool = False,
     checkpoint_every: int | None = None,
+    max_queue: int | None = None,
+    rate_limit: float | None = None,
+    breaker_threshold: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Loopback smoke test, in two lives of the same deployment.
@@ -425,7 +520,9 @@ def _serve_self_test(
     try:
         return _self_test_two_lives(
             host, port, endpoint, stock, wal,
-            fsync=fsync, checkpoint_every=checkpoint_every, out=out,
+            fsync=fsync, checkpoint_every=checkpoint_every,
+            max_queue=max_queue, rate_limit=rate_limit,
+            breaker_threshold=breaker_threshold, out=out,
         )
     finally:
         if cleanup is not None:
@@ -442,15 +539,28 @@ def _self_test_two_lives(
     wal: str,
     fsync: bool,
     checkpoint_every: int | None,
+    max_queue: int | None = None,
+    rate_limit: float | None = None,
+    breaker_threshold: int | None = None,
     out=sys.stdout,
 ) -> int:
+    def breaker() -> CircuitBreaker | None:
+        if breaker_threshold is None:
+            return None
+        return CircuitBreaker(
+            endpoint=endpoint, failure_threshold=breaker_threshold
+        )
+
     deployment = _build_served_deployment(
         endpoint, stock, wal, fsync, checkpoint_every, out=out
     )
-    server = _build_server(deployment, endpoint, host, port)
+    server = _build_server(
+        deployment, endpoint, host, port,
+        _admission_from_flags(max_queue, rate_limit),
+    )
     with ThreadedServer(server) as (host, bound_port):
         print(f"self-test: serving on {host}:{bound_port}", file=out)
-        with NetworkTransport((host, bound_port)) as transport:
+        with NetworkTransport((host, bound_port), breaker=breaker()) as transport:
             client = PromiseClient("self-test", transport)
             response = client.request_promise(
                 endpoint, [P("quantity('widgets') >= 5")], 30
@@ -518,9 +628,12 @@ def _self_test_two_lives(
     )
     report = deployment.recovery_report
     recovered_ok = report is not None and report.healthy
-    server = _build_server(deployment, endpoint, host, port)
+    server = _build_server(
+        deployment, endpoint, host, port,
+        _admission_from_flags(max_queue, rate_limit),
+    )
     with ThreadedServer(server) as (host, bound_port):
-        with NetworkTransport((host, bound_port)) as transport:
+        with NetworkTransport((host, bound_port), breaker=breaker()) as transport:
             client = PromiseClient("self-test-2", transport)
             level = client.call(
                 endpoint, "merchant", "stock_level", {"product": "widgets"}
@@ -571,15 +684,26 @@ def run_serve_cluster(
     self_test: bool,
     wal_dir: str | None = None,
     fsync: bool = False,
+    max_queue: int | None = None,
+    rate_limit: float | None = None,
+    breaker_threshold: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Host a sharded fleet over TCP; returns a process exit code."""
     if shards < 1:
         print(f"need at least one shard, got {shards}", file=out)
         return 2
+    admission = None
+    if max_queue is not None or rate_limit is not None:
+        # One controller per shard (and a fresh one on restart): each
+        # shard's bucket protects its own event loop, not the fleet's.
+        def admission(index: int) -> AdmissionController:
+            return _admission_from_flags(max_queue, rate_limit)
     if self_test:
         return _serve_cluster_self_test(
-            shards, host, endpoint, products, stock, out=out
+            shards, host, endpoint, products, stock,
+            admission=admission, breaker_threshold=breaker_threshold,
+            out=out,
         )
     if port is None:
         port = DEFAULT_PORT
@@ -592,6 +716,7 @@ def run_serve_cluster(
         fsync=fsync,
         host=host,
         base_port=port,
+        admission=admission,
     )
     try:
         addresses = fleet.start()
@@ -632,6 +757,8 @@ def _serve_cluster_self_test(
     endpoint: str,
     products: int,
     stock: int,
+    admission=None,
+    breaker_threshold: int | None = None,
     out=sys.stdout,
 ) -> int:
     """Loopback fleet smoke test: grant, cross-shard, crash, audit.
@@ -661,6 +788,7 @@ def _serve_cluster_self_test(
             provision=provision_products(products, stock),
             wal_dir=wal_dir,
             host=host,
+            admission=admission,
         )
         with fleet:
             addresses = fleet.addresses()
@@ -678,7 +806,12 @@ def _serve_cluster_self_test(
                 )
                 return 1
             near, far = pair
-            with fleet.gateway(timeout=2.0, retry=RetryPolicy.none()) as gateway:
+            with fleet.gateway(
+                timeout=2.0,
+                retry=RetryPolicy.none(),
+                breaker_threshold=breaker_threshold,
+                breaker_reset=0.2,
+            ) as gateway:
                 client = PromiseClient(
                     "cluster-self-test", gateway, retry=RetryPolicy.none()
                 )
@@ -729,6 +862,12 @@ def _serve_cluster_self_test(
                     gateway.pending_compensations == 1,
                 )
                 fleet.restart(victim)
+                if breaker_threshold is not None:
+                    # Give a tripped per-shard breaker time to half-open
+                    # so the flush probe reaches the restarted shard.
+                    import time
+
+                    time.sleep(0.25)
                 check("queued compensation flushed", gateway.flush_pending() == 1)
 
                 counts = fleet.live_promises()
@@ -890,6 +1029,53 @@ def run_doctor(
         deployment.close()
 
 
+def run_chaos(
+    seed: int,
+    duration: float | None,
+    steps: int,
+    shards: int,
+    products: int,
+    stock: int,
+    self_test: bool,
+    out=sys.stdout,
+) -> int:
+    """One seeded nemesis schedule (or the auditors' self-test).
+
+    Prints the run's audit report as JSON; exit code 0 only when every
+    invariant held *and* every fault class demonstrably fired.
+    """
+    import json
+
+    # Imported here, not at module top: the nemesis pulls in the whole
+    # cluster/net stack and is deliberately not exported from
+    # ``repro.faults`` (see its module docstring).
+    from .faults.nemesis import ChaosNemesis, self_test as nemesis_self_test
+
+    if self_test:
+        ok = nemesis_self_test()
+        print(
+            "auditor self-test "
+            + ("ok: planted leak was flagged" if ok else "FAILED"),
+            file=out,
+        )
+        return 0 if ok else 1
+    if shards < 2:
+        print(f"chaos needs at least two shards, got {shards}", file=out)
+        return 2
+    nemesis = ChaosNemesis(
+        seed,
+        shards=shards,
+        products=products,
+        stock=stock,
+        steps=steps,
+        time_budget=duration,
+    )
+    report = nemesis.run()
+    print(json.dumps(report.summary(), indent=2), file=out)
+    print("chaos " + ("ok" if report.ok else "FAILED"), file=out)
+    return 0 if report.ok else 1
+
+
 def _parse_params(pairs: Sequence[str]) -> dict[str, object]:
     """``key=value`` CLI pairs, with ints parsed as ints."""
     params: dict[str, object] = {}
@@ -920,13 +1106,16 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return run_serve(
             args.host, args.port, args.endpoint, args.stock,
             args.self_test, args.wal, args.fsync, args.checkpoint_every,
-            out=out,
+            max_queue=args.max_queue, rate_limit=args.rate_limit,
+            breaker_threshold=args.breaker_threshold, out=out,
         )
     if args.command == "serve-cluster":
         return run_serve_cluster(
             args.shards, args.host, args.port, args.endpoint,
             args.products, args.stock, args.self_test,
-            args.wal_dir, args.fsync, out=out,
+            args.wal_dir, args.fsync,
+            max_queue=args.max_queue, rate_limit=args.rate_limit,
+            breaker_threshold=args.breaker_threshold, out=out,
         )
     if args.command == "call":
         return run_call(
@@ -936,6 +1125,11 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         )
     if args.command == "doctor":
         return run_doctor(args.wal, args.endpoint, args.repair, out=out)
+    if args.command == "chaos":
+        return run_chaos(
+            args.seed, args.duration, args.steps, args.shards,
+            args.products, args.stock, args.self_test, out=out,
+        )
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -36,6 +36,8 @@ from ..net.server import NET_REPLY_JOURNAL_TABLE, PromiseServer, ThreadedServer
 from ..net.transport import NetworkTransport
 from ..protocol.retry import RetryPolicy
 from ..recovery import ReplyJournal
+from ..resilience.admission import AdmissionController
+from ..resilience.breaker import CircuitBreaker
 from ..services.base import ApplicationService
 from ..services.deployment import Deployment
 from ..tools.doctor import Doctor, Finding
@@ -46,6 +48,11 @@ from .partition import PartitionMap
 #: one freshly built shard deployment.  Called on first boot *and* on
 #: restart — use ``deployment.recovered`` to skip re-seeding.
 Provisioner = Callable[[Deployment, int, PartitionMap], None]
+
+#: Admission factory: build one shard's admission controller (or return
+#: ``None`` for no admission control).  Called per boot and per restart,
+#: so a restarted shard starts with a fresh (full) token bucket.
+AdmissionFactory = Callable[[int], "AdmissionController | None"]
 
 
 @dataclass
@@ -79,6 +86,7 @@ class ClusterFleet:
         host: str = "127.0.0.1",
         ring: PartitionMap | None = None,
         base_port: int | None = None,
+        admission: AdmissionFactory | None = None,
     ) -> None:
         self.endpoint = endpoint
         self.ring = ring or PartitionMap(shards)
@@ -93,6 +101,7 @@ class ClusterFleet:
         self._auto_checkpoint_every = auto_checkpoint_every
         self._host = host
         self._base_port = base_port
+        self._admission = admission
         self._shards: list[Shard] = []
         self._started = False
 
@@ -162,11 +171,19 @@ class ClusterFleet:
         timeout: float = 5.0,
         retry: RetryPolicy | None = None,
         name: str = "cluster",
+        breaker_threshold: int | None = None,
+        breaker_reset: float = 5.0,
+        pending_limit: int | None = 256,
+        pending_max_age: float | None = None,
     ) -> ClusterGateway:
         """A routing gateway over this fleet's (current) addresses.
 
         Transports target the shards' ports, which survive
         kill/restart, so one gateway spans shard lifetimes.
+
+        ``breaker_threshold`` (consecutive failures) turns on one
+        circuit breaker per shard; a dead shard then fails fast at the
+        gateway instead of consuming every request's retry schedule.
         """
         transports = [
             NetworkTransport(
@@ -176,7 +193,24 @@ class ClusterFleet:
             )
             for address in self.addresses()
         ]
-        return ClusterGateway(transports, ring=self.ring, name=name)
+        breakers = None
+        if breaker_threshold is not None:
+            breakers = [
+                CircuitBreaker(
+                    endpoint=f"{self.endpoint}-s{index}",
+                    failure_threshold=breaker_threshold,
+                    reset_timeout=breaker_reset,
+                )
+                for index in range(self._count)
+            ]
+        return ClusterGateway(
+            transports,
+            ring=self.ring,
+            name=name,
+            breakers=breakers,
+            pending_limit=pending_limit,
+            pending_max_age=pending_max_age,
+        )
 
     def audit(self) -> dict[int, list[Finding]]:
         """Run the consistency doctor on every live shard.
@@ -223,8 +257,12 @@ class ClusterFleet:
             journal = ReplyJournal(
                 deployment.store, table=NET_REPLY_JOURNAL_TABLE
             )
+        admission = (
+            self._admission(index) if self._admission is not None else None
+        )
         server = PromiseServer(
-            host=self._host, port=port, reply_journal=journal
+            host=self._host, port=port, reply_journal=journal,
+            admission=admission,
         )
         server.register(self.endpoint, deployment.endpoint.handle)
         runner = ThreadedServer(server)

@@ -34,15 +34,17 @@ backstop against every orphaned promise.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Mapping, Sequence
 
 from ..core.environment import Environment
 from ..core.promise import PromiseRequest, PromiseResponse, PromiseResult
 from ..protocol.client import MessageTransport
 from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
 from ..protocol.messages import ActionOutcomePayload, Message
+from ..resilience.breaker import CircuitBreaker, CircuitOpen
 from .partition import PartitionError, PartitionMap
 
 #: Action parameter names inspected (in order) to place an action on the
@@ -74,6 +76,8 @@ class GatewayStats:
     releases_routed: int = 0
     actions_routed: int = 0
     shard_errors: int = 0
+    breaker_fast_failures: int = 0
+    pending_dropped: int = 0
 
 
 @dataclass
@@ -83,6 +87,7 @@ class _PendingCompensation:
     shard: int
     recipient: str
     sub_message: Message = field(repr=False)
+    queued_at: float = 0.0
 
 
 class ClusterGateway:
@@ -93,6 +98,20 @@ class ClusterGateway:
     message recipients pass through untouched.  The gateway is itself a
     :class:`~repro.protocol.client.MessageTransport` — hand it to a
     :class:`~repro.protocol.client.PromiseClient` and go.
+
+    ``breakers[i]`` (optional) is a per-shard
+    :class:`~repro.resilience.CircuitBreaker`: every send to shard *i*
+    consults it first and reports its outcome, so a dead shard stops
+    consuming retry budget across scatter-gathers — it fails fast as
+    unreachable until its breaker half-opens and a probe succeeds.
+
+    ``pending_limit`` / ``pending_max_age`` bound the dead-shard
+    compensation queue by depth and seconds queued.  Dropping a queued
+    compensation is safe, just not free: the orphaned sub-promise is
+    time-bounded by its own duration — the paper's backstop against
+    every orphan — so the bound trades a transient over-reservation for
+    a gateway whose memory cannot grow without limit while a shard
+    stays dead.  Drops are counted in ``stats.pending_dropped``.
     """
 
     def __init__(
@@ -100,6 +119,10 @@ class ClusterGateway:
         transports: Sequence[MessageTransport],
         ring: PartitionMap | None = None,
         name: str = "cluster",
+        breakers: Sequence[CircuitBreaker] | None = None,
+        pending_limit: int | None = 256,
+        pending_max_age: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if not transports:
             raise PartitionError("a gateway needs at least one shard transport")
@@ -110,7 +133,18 @@ class ClusterGateway:
                 f"partition map covers {self.ring.shards} shards but "
                 f"{len(self._transports)} transports were supplied"
             )
+        self.breakers = list(breakers) if breakers is not None else None
+        if self.breakers is not None and len(self.breakers) != len(
+            self._transports
+        ):
+            raise PartitionError(
+                f"{len(self.breakers)} breakers for "
+                f"{len(self._transports)} shard transports"
+            )
         self.name = name
+        self.pending_limit = pending_limit
+        self.pending_max_age = pending_max_age
+        self._clock = clock
         self.stats = GatewayStats()
         # composite promise id -> {shard: sub promise id}
         self._composites: dict[str, dict[int, str]] = {}
@@ -130,11 +164,16 @@ class ClusterGateway:
         if len(plan) == 1 and not self._needs_rewrite(message, plan):
             shard = next(iter(plan))
             self.stats.forwarded += 1
-            reply = self._transports[shard].send(message)
+            reply = self._shard_send(shard, message)
             self._note_homes(message, reply, shard)
             return reply
         self.stats.scattered += 1
-        return self._scatter(message, plan)
+        expires_at = (
+            time.monotonic() + message.deadline
+            if message.deadline is not None
+            else None
+        )
+        return self._scatter(message, plan, expires_at)
 
     def close(self) -> None:
         """Close every shard transport that knows how to close."""
@@ -216,16 +255,28 @@ class ClusterGateway:
 
     # -------------------------------------------------------------- scatter
 
-    def _scatter(self, message: Message, plan: dict) -> Message:
+    def _scatter(
+        self, message: Message, plan: dict, expires_at: float | None = None
+    ) -> Message:
         """Cross-shard execution: grants first, then the action, then
-        deferred releases — each phase deterministic and idempotent."""
+        deferred releases — each phase deterministic and idempotent.
+
+        ``expires_at`` is the absolute form of the client's deadline;
+        each phase re-stamps the *remaining* budget onto its
+        sub-messages, so a shard reached late in a slow scatter sees an
+        honest (smaller, possibly spent) allowance.  Compensations are
+        deliberately sent without a deadline — they must run even when
+        nobody is waiting for the original request any more.
+        """
         faults: list[str] = []
 
         grant_shards = {shard for shard, parts in plan.items() if parts}
         grant_replies = self._broadcast(
             message,
             {
-                shard: self._sub_grant_message(message, shard, plan[shard])
+                shard: self._sub_grant_message(
+                    message, shard, plan[shard], expires_at
+                )
                 for shard in sorted(grant_shards)
             },
             faults,
@@ -237,11 +288,11 @@ class ClusterGateway:
         outcome: ActionOutcomePayload | None = None
         if message.action is not None:
             if all_granted:
-                outcome = self._run_action(message, faults)
+                outcome = self._run_action(message, faults, expires_at)
             else:
                 faults.append("action-skipped: promise request rejected")
         elif message.environment is not None and all_granted:
-            self._scatter_release(message, faults)
+            self._scatter_release(message, faults, expires_at)
 
         return message.reply(
             message_id=f"{message.message_id}/reply",
@@ -263,7 +314,7 @@ class ClusterGateway:
 
         def one(shard: int) -> tuple[int, Message | None, str | None]:
             try:
-                return shard, self._transports[shard].send(sub_messages[shard]), None
+                return shard, self._shard_send(shard, sub_messages[shard]), None
             except (TransportFailure, RequestTimeout, ProtocolError) as exc:
                 return shard, None, f"shard-{shard}: {type(exc).__name__}: {exc}"
 
@@ -286,6 +337,7 @@ class ClusterGateway:
         message: Message,
         shard: int,
         parts: list[tuple[PromiseRequest, list]],
+        expires_at: float | None = None,
     ) -> Message:
         """The promise-request message shard ``shard`` receives.
 
@@ -309,6 +361,7 @@ class ClusterGateway:
             sender=message.sender,
             recipient=message.recipient,
             promise_requests=tuple(sub_requests),
+            deadline=self._restamp(expires_at),
         )
 
     def _releases_on_shard(
@@ -476,12 +529,9 @@ class ClusterGateway:
             ),
         )
         try:
-            reply = self._transports[shard].send(sub_message)
+            reply = self._shard_send(shard, sub_message)
         except (TransportFailure, RequestTimeout, ProtocolError):
-            self.stats.pending_compensations += 1
-            self._pending.append(
-                _PendingCompensation(shard, message.recipient, sub_message)
-            )
+            self._queue_pending(shard, message.recipient, sub_message)
             faults.append(
                 f"cluster-compensation-pending: shard-{shard} unreachable"
             )
@@ -500,13 +550,10 @@ class ClusterGateway:
             environment=Environment.of(sub_promise_id, release=[sub_promise_id]),
         )
         try:
-            self._transports[shard].send(release)
+            self._shard_send(shard, release)
             self.stats.compensations += 1
         except (TransportFailure, RequestTimeout, ProtocolError):
-            self.stats.pending_compensations += 1
-            self._pending.append(
-                _PendingCompensation(shard, message.recipient, release)
-            )
+            self._queue_pending(shard, message.recipient, release)
             faults.append(
                 f"cluster-compensation-pending: shard-{shard} unreachable"
             )
@@ -514,7 +561,7 @@ class ClusterGateway:
     # ------------------------------------------------------ actions/releases
 
     def _run_action(
-        self, message: Message, faults: list[str]
+        self, message: Message, faults: list[str], expires_at: float | None = None
     ) -> ActionOutcomePayload | None:
         """Phase two of a combined message: the action, on its shard,
         under a rewritten environment."""
@@ -529,10 +576,11 @@ class ClusterGateway:
             recipient=message.recipient,
             environment=environment,
             action=message.action,
+            deadline=self._restamp(expires_at),
         )
         self.stats.actions_routed += 1
         try:
-            reply = self._transports[shard].send(action_message)
+            reply = self._shard_send(shard, action_message)
         except (TransportFailure, RequestTimeout, ProtocolError) as exc:
             self.stats.shard_errors += 1
             faults.append(
@@ -616,7 +664,9 @@ class ClusterGateway:
         )
         return rewritten
 
-    def _scatter_release(self, message: Message, faults: list[str]) -> None:
+    def _scatter_release(
+        self, message: Message, faults: list[str], expires_at: float | None = None
+    ) -> None:
         """An environment-only (pure release) message, fanned out."""
         assert message.environment is not None
         per_shard: dict[int, tuple[list[str], list[str]]] = {}
@@ -644,6 +694,7 @@ class ClusterGateway:
                 sender=message.sender,
                 recipient=message.recipient,
                 environment=Environment.of(*ids, release=rel),
+                deadline=self._restamp(expires_at),
             )
             for shard, (ids, rel) in per_shard.items()
         }
@@ -653,6 +704,18 @@ class ClusterGateway:
         )
         replies = self._broadcast(message, sub_messages, faults)
         self.stats.releases_routed += 1
+        for shard, sub_message in sub_messages.items():
+            # A sub-release that never reached its shard must not be
+            # forgotten — queue it (deadline stripped: it has to run
+            # even though nobody is waiting) for flush_pending to apply
+            # once the shard is back.
+            __, rel = per_shard[shard]
+            if shard not in replies and rel:
+                self._queue_pending(
+                    shard,
+                    message.recipient,
+                    replace(sub_message, deadline=None),
+                )
         for reply in replies.values():
             for fault in reply.faults:
                 # A broadcast probes shards that never saw the promise;
@@ -677,12 +740,9 @@ class ClusterGateway:
                 environment=Environment.of(promise_id, release=[promise_id]),
             )
             try:
-                self._transports[shard].send(release)
+                self._shard_send(shard, release)
             except (TransportFailure, RequestTimeout, ProtocolError):
-                self.stats.pending_compensations += 1
-                self._pending.append(
-                    _PendingCompensation(shard, message.recipient, release)
-                )
+                self._queue_pending(shard, message.recipient, release)
 
     # ------------------------------------------------------------- pending
 
@@ -697,12 +757,14 @@ class ClusterGateway:
         Each queued entry is either a release (re-sent as-is — the
         shard's reply journal makes the release idempotent) or a grant
         redelivery whose revealed sub-promise then gets released.
+        Entries past ``pending_max_age`` are pruned first.
         """
+        self._prune_pending()
         cleared = 0
         remaining: list[_PendingCompensation] = []
         for entry in self._pending:
             try:
-                reply = self._transports[entry.shard].send(entry.sub_message)
+                reply = self._shard_send(entry.shard, entry.sub_message)
             except (TransportFailure, RequestTimeout, ProtocolError):
                 remaining.append(entry)
                 continue
@@ -724,7 +786,7 @@ class ClusterGateway:
                             ),
                         )
                         try:
-                            self._transports[entry.shard].send(release)
+                            self._shard_send(entry.shard, release)
                             self.stats.compensations += 1
                         except (
                             TransportFailure,
@@ -734,7 +796,10 @@ class ClusterGateway:
                             done = False
                             remaining.append(
                                 _PendingCompensation(
-                                    entry.shard, entry.recipient, release
+                                    entry.shard,
+                                    entry.recipient,
+                                    release,
+                                    queued_at=self._clock(),
                                 )
                             )
                 if done:
@@ -745,7 +810,56 @@ class ClusterGateway:
         self._pending = remaining
         return cleared
 
+    def _queue_pending(
+        self, shard: int, recipient: str, sub_message: Message
+    ) -> None:
+        self.stats.pending_compensations += 1
+        self._pending.append(
+            _PendingCompensation(
+                shard, recipient, sub_message, queued_at=self._clock()
+            )
+        )
+        self._prune_pending()
+
+    def _prune_pending(self) -> None:
+        """Enforce the age and depth bounds on the dead-shard queue."""
+        if self.pending_max_age is not None:
+            cutoff = self._clock() - self.pending_max_age
+            kept = [e for e in self._pending if e.queued_at >= cutoff]
+            self.stats.pending_dropped += len(self._pending) - len(kept)
+            self._pending = kept
+        if (
+            self.pending_limit is not None
+            and len(self._pending) > self.pending_limit
+        ):
+            excess = len(self._pending) - self.pending_limit
+            # Oldest first: they are the closest to their promise-duration
+            # backstop expiring on the shard anyway.
+            self.stats.pending_dropped += excess
+            self._pending = self._pending[excess:]
+
     # ------------------------------------------------------------ internals
+
+    def _shard_send(self, shard: int, message: Message) -> Message:
+        """Send to one shard through its circuit breaker (if any)."""
+        breaker = self.breakers[shard] if self.breakers else None
+        if breaker is None:
+            return self._transports[shard].send(message)
+        if not breaker.allow():
+            self.stats.breaker_fast_failures += 1
+            raise CircuitOpen(breaker.endpoint)
+        try:
+            reply = self._transports[shard].send(message)
+        except TransportFailure:
+            breaker.record_failure()
+            raise
+        breaker.record_success()
+        return reply
+
+    @staticmethod
+    def _restamp(expires_at: float | None) -> float | None:
+        """The remaining wire budget for a sub-message sent right now."""
+        return None if expires_at is None else expires_at - time.monotonic()
 
     def _note_homes(self, message: Message, reply: Message, shard: int) -> None:
         """Track which shard granted each plain promise id (fast path)."""

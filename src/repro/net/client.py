@@ -29,6 +29,8 @@ from dataclasses import dataclass
 
 from ..protocol.errors import RequestTimeout, TransportFailure
 from ..protocol.retry import RetryPolicy
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.deadline import remaining_budget
 from .framing import (
     DEFAULT_MAX_FRAME_SIZE,
     FrameTooLarge,
@@ -63,25 +65,41 @@ class NetworkClient:
         pool_size: int = 4,
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         self.address = address
         self.timeout = timeout
         self.pool_size = pool_size
         self.max_frame_size = max_frame_size
         self.retry = retry or RetryPolicy.none()
+        self.breaker = breaker
         self.stats = ClientStats()
         self._idle: deque[socket.socket] = deque()
         self._closed = False
 
     # ------------------------------------------------------------ requests
 
-    def request(self, payload: bytes, timeout: float | None = None) -> bytes:
+    def request(
+        self,
+        payload: bytes,
+        timeout: float | None = None,
+        deadline: object | None = None,
+    ) -> bytes:
         """Round-trip ``payload`` and return the reply bytes.
 
         Retries per the policy on transport failures and timeouts;
         ``payload`` (and thus the message id inside it) is identical on
         every attempt, which is what makes retrying safe against a
         deduplicating server.
+
+        ``timeout`` bounds one attempt; ``deadline`` (``None``, a
+        :class:`~repro.resilience.Deadline`, or an absolute monotonic
+        timestamp) bounds the whole retry loop — per-attempt socket
+        budgets are clamped to what remains of it, and backoff sleeps
+        never overshoot it.  When a circuit breaker is configured, every
+        attempt consults it first and reports its outcome, so a dead
+        server flips the breaker open and later requests fail fast with
+        :class:`~repro.resilience.CircuitOpen` (not retried).
         """
         if self._closed:
             raise TransportFailure("client is closed")
@@ -89,7 +107,10 @@ class NetworkClient:
         budget = self.timeout if timeout is None else timeout
         before = self.retry.retries
         try:
-            reply = self.retry.run(lambda: self._attempt(payload, budget))
+            reply = self.retry.run(
+                lambda: self._guarded_attempt(payload, budget, deadline),
+                deadline=deadline,
+            )
         except TransportFailure:
             self.stats.failures += 1
             raise
@@ -127,6 +148,26 @@ class NetworkClient:
         self.close()
 
     # ------------------------------------------------------------ internals
+
+    def _guarded_attempt(
+        self, payload: bytes, budget: float, deadline: object | None
+    ) -> bytes:
+        remaining = remaining_budget(deadline)
+        if remaining is not None:
+            if remaining <= 0:
+                self.stats.timeouts += 1
+                raise RequestTimeout("request deadline elapsed before attempt")
+            budget = min(budget, remaining)
+        if self.breaker is None:
+            return self._attempt(payload, budget)
+        self.breaker.guard()
+        try:
+            reply = self._attempt(payload, budget)
+        except TransportFailure:
+            self.breaker.record_failure()
+            raise
+        self.breaker.record_success()
+        return reply
 
     def _attempt(self, payload: bytes, budget: float) -> bytes:
         deadline = time.monotonic() + budget

@@ -18,9 +18,15 @@ semantics exist to survive.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 
-from ..protocol.errors import TransportFailure, UnknownEndpoint
+from ..protocol.errors import (
+    Overloaded,
+    RequestTimeout,
+    TransportFailure,
+    UnknownEndpoint,
+)
 from ..protocol.messages import Message
 from ..protocol.retry import RetryPolicy
 from ..protocol.soap import SoapCodec
@@ -30,6 +36,7 @@ from ..protocol.transport import (
     TransportStats,
     _FaultPlan,
 )
+from ..resilience.breaker import CircuitBreaker
 from .client import NetworkClient
 from .framing import DEFAULT_MAX_FRAME_SIZE
 from .server import TRANSPORT_FAULT_PREFIX, PromiseServer
@@ -55,6 +62,7 @@ class NetworkTransport:
         pool_size: int = 4,
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         log_limit: int | None = DEFAULT_LOG_LIMIT,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         if address is None:
             if server is None:
@@ -68,6 +76,7 @@ class NetworkTransport:
             max_frame_size=max_frame_size,
             pool_size=pool_size,
             retry=retry or RetryPolicy.network(),
+            breaker=breaker,
         )
         self._faults = _FaultPlan()
         self._log: deque[str] = deque(maxlen=log_limit)
@@ -137,7 +146,16 @@ class NetworkTransport:
                 f"reply to {message.message_id} lost in transit"
             )
 
-        reply_bytes = self._client.request(payload)
+        # The message's deadline stamp is the budget remaining *now*;
+        # hand the byte client the matching absolute deadline so its
+        # own retry loop (attempt timeouts and backoff sleeps alike)
+        # stays inside it.
+        deadline = (
+            time.monotonic() + message.deadline
+            if message.deadline is not None
+            else None
+        )
+        reply_bytes = self._client.request(payload, deadline=deadline)
         reply_text = reply_bytes.decode("utf-8")
         self.stats.bytes_on_wire += len(reply_bytes)
         self._log.append(reply_text)
@@ -170,4 +188,8 @@ class NetworkTransport:
             detail = fault[len(TRANSPORT_FAULT_PREFIX):]
             if detail.startswith("unknown-endpoint"):
                 raise UnknownEndpoint(message.recipient)
+            if detail.startswith("overloaded"):
+                raise Overloaded(detail)
+            if detail.startswith("deadline-expired"):
+                raise RequestTimeout(detail)
             raise TransportFailure(detail)

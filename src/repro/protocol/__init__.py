@@ -15,6 +15,7 @@ from .endpoint import ActionResolver, PromiseEndpoint
 from .errors import (
     CorrelationError,
     MalformedMessage,
+    Overloaded,
     ProtocolError,
     RequestTimeout,
     TransportFailure,
@@ -47,6 +48,7 @@ __all__ = [
     "MessageTransport",
     "NetworkClient",
     "NetworkTransport",
+    "Overloaded",
     "PROMISE_NS",
     "PromiseClient",
     "PromiseEndpoint",

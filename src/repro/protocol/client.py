@@ -8,6 +8,8 @@ returns the decoded reply parts, so application code never touches XML.
 
 from __future__ import annotations
 
+import time
+from dataclasses import replace
 from typing import Mapping, Sequence
 
 import itertools
@@ -17,7 +19,7 @@ from ..core.environment import Environment
 from ..core.errors import PromiseRejected
 from ..core.predicates import Predicate
 from ..core.promise import IdGenerator, PromiseRequest, PromiseResponse
-from .errors import ProtocolError
+from .errors import ProtocolError, RequestTimeout
 from .messages import ActionOutcomePayload, ActionPayload, Message
 from .retry import RetryPolicy
 
@@ -43,6 +45,13 @@ class PromiseClient:
     cache guarantees at-most-once execution — a retried request whose
     reply was lost gets the original reply back.  Pass
     ``retry=RetryPolicy.none()`` to surface transport faults directly.
+
+    ``deadline`` is a default end-to-end budget in seconds applied to
+    every request this stub sends (overridable per call): the message
+    is stamped with the remaining budget before each attempt, backoff
+    sleeps are clamped to it, and once it is spent the request fails
+    with :class:`~repro.protocol.errors.RequestTimeout` instead of
+    retrying into the void.  ``None`` (the default) waits forever.
     """
 
     _instances = itertools.count(1)
@@ -52,10 +61,12 @@ class PromiseClient:
         name: str,
         transport: MessageTransport,
         retry: RetryPolicy | None = None,
+        deadline: float | None = None,
     ) -> None:
         self.name = name
         self._transport = transport
         self._retry = retry or RetryPolicy.fast()
+        self._deadline = deadline
         # Message ids seed the transports' §6 duplicate-suppression
         # cache, so they must be unique per *stub instance*, not just
         # per client name — two stubs named "teller" must never emit
@@ -73,6 +84,7 @@ class PromiseClient:
         predicates: Sequence[Predicate],
         duration: int,
         releases: Sequence[str] = (),
+        deadline: float | None = None,
     ) -> PromiseResponse:
         """Send a ``<promise-request>`` and return the response element."""
         request = PromiseRequest(
@@ -88,7 +100,8 @@ class PromiseClient:
                 sender=self.name,
                 recipient=endpoint,
                 promise_requests=(request,),
-            )
+            ),
+            deadline=deadline,
         )
         return self._single_response(reply, request.request_id)
 
@@ -117,6 +130,7 @@ class PromiseClient:
         operation: str,
         params: Mapping[str, object] | None = None,
         environment: Environment | None = None,
+        deadline: float | None = None,
     ) -> ActionOutcomePayload:
         """Send an application request, optionally under an environment."""
         reply = self._send(
@@ -128,7 +142,8 @@ class PromiseClient:
                 action=ActionPayload(
                     service=service, operation=operation, params=dict(params or {})
                 ),
-            )
+            ),
+            deadline=deadline,
         )
         if reply.action_outcome is None:
             raise ProtocolError(
@@ -210,8 +225,24 @@ class PromiseClient:
 
     # ------------------------------------------------------------ internals
 
-    def _send(self, message: Message) -> Message:
-        return self._retry.run(lambda: self._transport.send(message))
+    def _send(self, message: Message, deadline: float | None = None) -> Message:
+        budget = deadline if deadline is not None else self._deadline
+        if budget is None:
+            return self._retry.run(lambda: self._transport.send(message))
+        expires_at = time.monotonic() + budget
+
+        def attempt() -> Message:
+            remaining = expires_at - time.monotonic()
+            if remaining <= 0:
+                raise RequestTimeout(
+                    f"deadline exhausted before sending {message.message_id}"
+                )
+            # Re-stamp the wire budget each attempt: the server must see
+            # how long the caller will *still* wait, not the original
+            # allowance.
+            return self._transport.send(replace(message, deadline=remaining))
+
+        return self._retry.run(attempt, deadline=expires_at)
 
     @staticmethod
     def _single_response(reply: Message, request_id: str) -> PromiseResponse:

@@ -86,16 +86,42 @@ class ReplyCache(Generic[ReplyT]):
 
     The cache is capacity-bounded (least-recently-used eviction) so a
     long-lived server does not grow without limit; a retry storm only
-    needs the last few thousand replies to stay idempotent.
+    needs the last few thousand replies to stay idempotent.  An optional
+    ``max_bytes`` bound additionally caps the total size of sized
+    replies (``bytes``/``str`` envelopes — unsized values count as
+    zero), because a thousand 10 MB replies is a very different cache
+    from a thousand 200-byte ones.  The most recent entry is always
+    kept, even when it alone exceeds ``max_bytes``: evicting the reply
+    just written would guarantee re-execution on the very next retry.
+
+    Evicting an entry is *safe* but not free: a redelivery of an
+    evicted message id re-executes the handler.  The promise manager's
+    own idempotence (a request id already granted is re-granted, not
+    double-granted) is what keeps that harmless — the cache is an
+    optimization over it, not the only line of defence.
     """
 
-    def __init__(self, capacity: int = 1024) -> None:
+    def __init__(
+        self, capacity: int = 1024, max_bytes: int | None = None
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
         self.capacity = capacity
+        self.max_bytes = max_bytes
         self._replies: OrderedDict[str, ReplyT] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self.bytes_used = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _size_of(reply: ReplyT) -> int:
+        if isinstance(reply, (bytes, bytearray, str)):
+            return len(reply)
+        return 0
 
     def get(self, message_id: str) -> ReplyT | None:
         """The cached reply for ``message_id``, or None if unseen."""
@@ -109,10 +135,22 @@ class ReplyCache(Generic[ReplyT]):
 
     def put(self, message_id: str, reply: ReplyT) -> None:
         """Remember the reply sent for ``message_id``."""
+        if message_id in self._replies:
+            self.bytes_used -= self._sizes[message_id]
         self._replies[message_id] = reply
         self._replies.move_to_end(message_id)
+        self._sizes[message_id] = self._size_of(reply)
+        self.bytes_used += self._sizes[message_id]
         while len(self._replies) > self.capacity:
-            self._replies.popitem(last=False)
+            self._evict_oldest()
+        if self.max_bytes is not None:
+            while self.bytes_used > self.max_bytes and len(self._replies) > 1:
+                self._evict_oldest()
+
+    def _evict_oldest(self) -> None:
+        message_id, _ = self._replies.popitem(last=False)
+        self.bytes_used -= self._sizes.pop(message_id)
+        self.evictions += 1
 
     def __len__(self) -> int:
         return len(self._replies)

@@ -32,5 +32,15 @@ class RequestTimeout(TransportFailure):
     processing."""
 
 
+class Overloaded(TransportFailure):
+    """The server shed this request under admission control.
+
+    The 503 of the promise protocol.  Subclasses
+    :class:`TransportFailure` because overload is transient by nature:
+    the correct client reaction is exactly a retry with backoff, and
+    redelivery is safe — the server sheds *before* executing or caching
+    anything, so the retried message id is brand new to it."""
+
+
 class CorrelationError(ProtocolError):
     """A response arrived that matches no outstanding request."""

@@ -90,6 +90,12 @@ class Message:
 
     ``faults`` carries protocol-level errors ('promise-expired',
     'unknown-promise') on the return path, mirroring SOAP faults.
+
+    ``deadline`` is the request's remaining end-to-end budget in
+    seconds at the moment the message was encoded — a *relative* value
+    (like gRPC's ``grpc-timeout``) because absolute clocks do not
+    transfer between machines.  Each forwarding hop re-stamps it;
+    ``None`` means the caller is willing to wait forever.
     """
 
     message_id: str
@@ -102,6 +108,7 @@ class Message:
     action_outcome: ActionOutcomePayload | None = None
     faults: tuple[str, ...] = ()
     correlation: str = ""
+    deadline: float | None = None
 
     @property
     def has_promise_part(self) -> bool:

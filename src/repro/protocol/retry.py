@@ -27,6 +27,23 @@ from .errors import TransportFailure
 T = TypeVar("T")
 
 
+def _remaining(deadline: object | None) -> float | None:
+    """Seconds left on a deadline, duck-typed.
+
+    Accepts ``None``, anything with a callable ``remaining()`` (a
+    :class:`repro.resilience.Deadline`), or a bare float taken as an
+    absolute :func:`time.monotonic` timestamp.  Duck-typed so this
+    module stays import-light; :mod:`repro.resilience.deadline` hosts
+    the canonical twin of this reader.
+    """
+    if deadline is None:
+        return None
+    remaining = getattr(deadline, "remaining", None)
+    if callable(remaining):
+        return remaining()
+    return float(deadline) - time.monotonic()  # type: ignore[arg-type]
+
+
 @dataclass
 class RetryPolicy:
     """Exponential-backoff retry schedule for idempotent requests.
@@ -64,13 +81,19 @@ class RetryPolicy:
 
     # ----------------------------------------------------------- execution
 
-    def run(self, attempt: Callable[[], T]) -> T:
+    def run(self, attempt: Callable[[], T], deadline: object | None = None) -> T:
         """Call ``attempt`` until it succeeds or attempts are exhausted.
 
         Only exceptions matching ``retry_on`` are retried; the last one
         is re-raised when the budget runs out.  ``attempt`` must be safe
         to redeliver — in this protocol it is, because the server side
         suppresses duplicates by message id (§6).
+
+        ``deadline`` (``None``, a :class:`repro.resilience.Deadline`, or
+        an absolute monotonic timestamp) bounds the *whole* loop: a
+        backoff sleep is clamped to the remaining budget, and once the
+        budget is spent the last failure is re-raised instead of
+        sleeping past the point anyone is still waiting.
         """
         failures = 0
         while True:
@@ -80,8 +103,13 @@ class RetryPolicy:
                 failures += 1
                 if failures >= self.max_attempts:
                     raise
+                remaining = _remaining(deadline)
+                if remaining is not None and remaining <= 0:
+                    raise
                 self.retries += 1
                 pause = self.delay(failures)
+                if remaining is not None:
+                    pause = min(pause, remaining)
                 if pause > 0:
                     self.sleep(pause)
 

@@ -55,6 +55,10 @@ class SoapCodec:
             self._encode_environment(header, message.environment)
         for fault in message.faults:
             ET.SubElement(header, "fault").text = fault
+        if message.deadline is not None:
+            ET.SubElement(
+                header, "deadline", {"remaining": repr(float(message.deadline))}
+            )
 
         body = ET.SubElement(envelope, "Body")
         if message.action is not None:
@@ -94,6 +98,14 @@ class SoapCodec:
         faults = tuple(
             element.text or "" for element in header.findall(self._q("fault"))
         )
+        deadline_el = header.find(self._q("deadline"))
+        if deadline_el is not None:
+            try:
+                deadline = float(deadline_el.get("remaining", ""))
+            except ValueError as exc:
+                raise MalformedMessage(f"bad deadline: {exc}") from exc
+        else:
+            deadline = None
 
         action_el = body.find(self._q("action"))
         outcome_el = body.find(self._q("action-outcome"))
@@ -106,6 +118,7 @@ class SoapCodec:
             promise_responses=responses,
             environment=environment,
             faults=faults,
+            deadline=deadline,
             action=self._decode_action(action_el) if action_el is not None else None,
             action_outcome=(
                 self._decode_outcome(outcome_el) if outcome_el is not None else None

@@ -1,0 +1,172 @@
+"""Per-endpoint circuit breakers (closed → open → half-open).
+
+A dead or slow shard is worse than useless: every request routed at it
+consumes a timeout and a retry schedule that healthy shards could have
+used.  The breaker watches the outcomes of requests to one endpoint and,
+once failures dominate, *opens* — subsequent requests fail immediately
+with :class:`CircuitOpen` instead of burning the caller's retry budget.
+After ``reset_timeout`` seconds the breaker admits a bounded number of
+**probe** requests (half-open); one success closes it again, one failure
+re-opens it and restarts the clock.
+
+Two trip conditions, either sufficient:
+
+* ``failure_threshold`` consecutive failures (a hard-down endpoint trips
+  fast, before the window fills);
+* failure *rate* ≥ ``failure_rate`` over the last ``window`` outcomes,
+  once at least ``min_calls`` have been observed (a flapping or slow
+  endpoint trips even when successes are interleaved).
+
+:class:`CircuitOpen` subclasses
+:class:`~repro.protocol.errors.ProtocolError` — deliberately *not*
+:class:`~repro.protocol.errors.TransportFailure` — so retry policies do
+not redeliver through an open breaker, and cluster gateways treat it
+exactly like an unreachable shard.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from collections import deque
+from typing import Callable
+
+from ..protocol.errors import ProtocolError
+
+
+class CircuitOpen(ProtocolError):
+    """Fast failure: the endpoint's breaker is open, nothing was sent."""
+
+    def __init__(self, endpoint: str) -> None:
+        super().__init__(f"circuit open for {endpoint}")
+        self.endpoint = endpoint
+
+
+class BreakerState(enum.Enum):
+    """Where the breaker's state machine currently sits."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Failure-rate breaker for one endpoint (one shard, one address)."""
+
+    def __init__(
+        self,
+        endpoint: str = "endpoint",
+        failure_threshold: int = 5,
+        failure_rate: float = 0.5,
+        window: int = 20,
+        min_calls: int = 5,
+        reset_timeout: float = 5.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if not 0.0 < failure_rate <= 1.0:
+            raise ValueError("failure_rate must be in (0, 1]")
+        if half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+        self.endpoint = endpoint
+        self.failure_threshold = failure_threshold
+        self.failure_rate = failure_rate
+        self.window = window
+        self.min_calls = min_calls
+        self.reset_timeout = reset_timeout
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_in_flight = 0
+        self.trips = 0
+        self.fast_failures = 0
+        self.probes = 0
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def state(self) -> BreakerState:
+        """Current state, after applying any due open→half-open move."""
+        self._maybe_half_open()
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request go out right now?
+
+        In half-open state this *admits a probe* — the caller must
+        report the outcome via :meth:`record_success` /
+        :meth:`record_failure`, which is what moves the machine on.
+        """
+        self._maybe_half_open()
+        if self._state is BreakerState.CLOSED:
+            return True
+        if self._state is BreakerState.HALF_OPEN:
+            if self._probes_in_flight < self.half_open_probes:
+                self._probes_in_flight += 1
+                self.probes += 1
+                return True
+            self.fast_failures += 1
+            return False
+        self.fast_failures += 1
+        return False
+
+    def guard(self) -> None:
+        """Raise :class:`CircuitOpen` unless :meth:`allow` passes."""
+        if not self.allow():
+            raise CircuitOpen(self.endpoint)
+
+    # ------------------------------------------------------------- outcomes
+
+    def record_success(self) -> None:
+        """One request to the endpoint completed."""
+        if self._state is BreakerState.HALF_OPEN:
+            # The probe came back: the endpoint is alive again.
+            self._close()
+            return
+        self._consecutive_failures = 0
+        self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        """One request to the endpoint failed (timeout, reset, refusal)."""
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        self._outcomes.append(False)
+        if self._state is BreakerState.CLOSED and self._should_trip():
+            self._trip()
+
+    # ------------------------------------------------------------ internals
+
+    def _should_trip(self) -> bool:
+        if self._consecutive_failures >= self.failure_threshold:
+            return True
+        if len(self._outcomes) < self.min_calls:
+            return False
+        failures = sum(1 for ok in self._outcomes if not ok)
+        return failures / len(self._outcomes) >= self.failure_rate
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._probes_in_flight = 0
+        self.trips += 1
+
+    def _close(self) -> None:
+        self._state = BreakerState.CLOSED
+        self._outcomes.clear()
+        self._consecutive_failures = 0
+        self._probes_in_flight = 0
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._probes_in_flight = 0

@@ -108,6 +108,85 @@ class TestRetryPolicy:
             RetryPolicy(max_attempts=0)
 
 
+class TestRetryDeadlines:
+    """Satellite regression: backoff never overshoots the caller's budget."""
+
+    def test_sleeps_clamped_to_remaining_budget(self):
+        from repro.resilience import Deadline
+
+        clock = [0.0]
+        slept = []
+
+        def fake_sleep(seconds):
+            slept.append(seconds)
+            clock[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=4, base_delay=0.5, max_delay=10.0, sleep=fake_sleep
+        )
+        deadline = Deadline.after(0.8, clock=lambda: clock[0])
+        with pytest.raises(TransportFailure):
+            policy.run(
+                lambda: (_ for _ in ()).throw(TransportFailure("x")),
+                deadline=deadline,
+            )
+        # Unclamped schedule would be [0.5, 1.0, 2.0]; the second sleep
+        # is cut to the 0.3s remaining and the third never happens —
+        # the budget is spent, so the failure surfaces instead.
+        assert slept == [pytest.approx(0.5), pytest.approx(0.3)]
+
+    def test_no_attempt_after_deadline_expires(self):
+        from repro.resilience import Deadline
+
+        clock = [0.0]
+        attempts = []
+
+        def failing():
+            attempts.append(1)
+            raise TransportFailure("x")
+
+        def fake_sleep(seconds):
+            clock[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, max_delay=1.0, sleep=fake_sleep
+        )
+        deadline = Deadline.after(2.5, clock=lambda: clock[0])
+        with pytest.raises(TransportFailure):
+            policy.run(failing, deadline=deadline)
+        # budget 2.5s, 1s sleeps: attempts at t=0, 1, 2, then a clamped
+        # 0.5s sleep and a last attempt exactly at the deadline — never
+        # one strictly past it.
+        assert len(attempts) <= 4
+        assert clock[0] <= 2.5 + 1e-9
+
+    def test_bare_monotonic_float_accepted(self):
+        import time as _time
+
+        policy = RetryPolicy(max_attempts=3, base_delay=0.0)
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise TransportFailure("x")
+            return "ok"
+
+        assert policy.run(flaky, deadline=_time.monotonic() + 30.0) == "ok"
+
+    def test_no_deadline_means_unbounded_schedule(self):
+        slept = []
+        policy = RetryPolicy(
+            max_attempts=3, base_delay=0.5, max_delay=10.0, sleep=slept.append
+        )
+        with pytest.raises(TransportFailure):
+            policy.run(
+                lambda: (_ for _ in ()).throw(TransportFailure("x")),
+                deadline=None,
+            )
+        assert slept == [pytest.approx(0.5), pytest.approx(1.0)]
+
+
 @pytest.fixture
 def shop():
     deployment = Deployment(name="shop")

@@ -154,6 +154,29 @@ class TestFaults:
         assert decoded.faults == message.faults
 
 
+class TestDeadlineElement:
+    def test_deadline_roundtrip(self, codec):
+        message = Message("m1", "alice", "shop", deadline=1.25)
+        encoded = codec.encode(message)
+        assert "deadline" in encoded
+        assert roundtrip(codec, message).deadline == pytest.approx(1.25)
+
+    def test_absent_deadline_is_none(self, codec):
+        message = Message("m1", "alice", "shop")
+        encoded = codec.encode(message)
+        assert "deadline" not in encoded
+        assert roundtrip(codec, message).deadline is None
+
+    def test_full_float_precision_survives(self, codec):
+        message = Message("m1", "alice", "shop", deadline=0.123456789012345)
+        assert roundtrip(codec, message).deadline == message.deadline
+
+    def test_garbage_deadline_rejected(self, codec):
+        encoded = codec.encode(Message("m1", "a", "b", deadline=1.0))
+        with pytest.raises(MalformedMessage):
+            codec.decode(encoded.replace('remaining="1.0"', 'remaining="soon"'))
+
+
 class TestCombinedMessages:
     def test_promise_plus_action_plus_environment(self, codec):
         """§6: any subset of promise elements may share one envelope."""

@@ -1,0 +1,137 @@
+"""Unit tests for the per-endpoint circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.errors import ProtocolError, TransportFailure
+from repro.resilience.breaker import BreakerState, CircuitBreaker, CircuitOpen
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_breaker(**kwargs) -> tuple[CircuitBreaker, FakeClock]:
+    clock = FakeClock()
+    kwargs.setdefault("endpoint", "shard-0")
+    return CircuitBreaker(clock=clock, **kwargs), clock
+
+
+class TestTripConditions:
+    def test_starts_closed_and_allows(self):
+        breaker, _ = make_breaker()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+
+    def test_consecutive_failures_trip(self):
+        breaker, _ = make_breaker(failure_threshold=3)
+        for _ in range(2):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+    def test_success_resets_consecutive_count(self):
+        breaker, _ = make_breaker(failure_threshold=3, min_calls=100)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failure_rate_trips_with_interleaved_successes(self):
+        breaker, _ = make_breaker(
+            failure_threshold=100, failure_rate=0.5, window=10, min_calls=6
+        )
+        # alternate: never 2 consecutive failures, but 50% failure rate
+        for _ in range(3):
+            breaker.record_success()
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_min_calls_guards_cold_start(self):
+        breaker, _ = make_breaker(
+            failure_threshold=100, failure_rate=0.5, min_calls=5
+        )
+        breaker.record_failure()  # 100% failure rate but only 1 call
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestOpenBehaviour:
+    def test_open_fails_fast(self):
+        breaker, _ = make_breaker(failure_threshold=1)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.fast_failures == 1
+        with pytest.raises(CircuitOpen) as excinfo:
+            breaker.guard()
+        assert excinfo.value.endpoint == "shard-0"
+
+    def test_circuit_open_is_not_retryable(self):
+        # ProtocolError (gateway treats the shard as unreachable) but
+        # NOT TransportFailure (retry policies must not redeliver
+        # through an open breaker).
+        assert issubclass(CircuitOpen, ProtocolError)
+        assert not issubclass(CircuitOpen, TransportFailure)
+
+    def test_half_open_after_reset_timeout(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=5.0)
+        breaker.record_failure()
+        clock.advance(4.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpenProbes:
+    def test_admits_bounded_probes(self):
+        breaker, clock = make_breaker(
+            failure_threshold=1, reset_timeout=1.0, half_open_probes=2
+        )
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        assert breaker.allow()
+        assert not breaker.allow()  # third concurrent probe refused
+        assert breaker.probes == 2
+
+    def test_probe_success_closes(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        # fully reset: old failures don't linger in the window
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN  # threshold=1 trips again
+
+    def test_probe_failure_reopens_and_restarts_clock(self):
+        breaker, clock = make_breaker(failure_threshold=1, reset_timeout=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.5)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.5)
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_rate=1.5)
+        with pytest.raises(ValueError):
+            CircuitBreaker(half_open_probes=0)

@@ -1,0 +1,78 @@
+"""Unit tests for end-to-end deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.deadline import Deadline, remaining_budget
+
+
+class FakeClock:
+    def __init__(self, now: float = 100.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_sets_expiry_relative_to_clock(self):
+        clock = FakeClock(now=50.0)
+        deadline = Deadline.after(2.0, clock=clock)
+        assert deadline.expires_at == pytest.approx(52.0)
+        assert deadline.remaining() == pytest.approx(2.0)
+
+    def test_remaining_shrinks_as_time_passes(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(0.4)
+        assert deadline.remaining() == pytest.approx(0.6)
+        assert not deadline.expired
+
+    def test_expired_once_past(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(1.5)
+        assert deadline.expired
+        assert deadline.remaining() == pytest.approx(-0.5)
+
+    def test_budget_clamps_at_zero(self):
+        clock = FakeClock()
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(3.0)
+        assert deadline.budget() == 0.0
+
+    def test_clamp_shortens_sleeps(self):
+        clock = FakeClock()
+        deadline = Deadline.after(0.5, clock=clock)
+        assert deadline.clamp(2.0) == pytest.approx(0.5)
+        assert deadline.clamp(0.1) == pytest.approx(0.1)
+        clock.advance(1.0)
+        assert deadline.clamp(0.1) == 0.0
+
+
+class TestRemainingBudget:
+    def test_none_means_no_deadline(self):
+        assert remaining_budget(None) is None
+
+    def test_reads_deadline_objects(self):
+        clock = FakeClock()
+        deadline = Deadline.after(3.0, clock=clock)
+        clock.advance(1.0)
+        assert remaining_budget(deadline) == pytest.approx(2.0)
+
+    def test_reads_bare_monotonic_floats(self):
+        import time
+
+        value = remaining_budget(time.monotonic() + 5.0)
+        assert value == pytest.approx(5.0, abs=0.5)
+
+    def test_reads_any_object_with_remaining(self):
+        class Custom:
+            def remaining(self) -> float:
+                return 1.25
+
+        assert remaining_budget(Custom()) == pytest.approx(1.25)

@@ -233,6 +233,44 @@ class TestCallCommand:
         assert "merchant.sell: ok" in output
 
 
+class TestResilienceFlags:
+    def test_serve_self_test_with_flags(self):
+        code, output = run_cli(
+            "serve", "--self-test",
+            "--max-queue", "16", "--rate-limit", "500",
+            "--breaker-threshold", "5",
+        )
+        assert code == 0
+        assert "self-test ok" in output
+
+    def test_serve_banner_reports_admission(self, tmp_path):
+        # A flagged self-test run still prints the admission banner line
+        # describing the controller it built.
+        code, output = run_cli(
+            "serve", "--self-test", "--max-queue", "8", "--rate-limit", "100",
+        )
+        assert code == 0
+
+
+class TestChaosCommand:
+    def test_self_test_flags_planted_leak(self):
+        code, output = run_cli("chaos", "--self-test")
+        assert code == 0
+        assert "planted leak was flagged" in output
+
+    def test_rejects_single_shard(self):
+        code, output = run_cli("chaos", "--shards", "1", "--steps", "2")
+        assert code == 2
+        assert "at least two shards" in output
+
+    @pytest.mark.chaos
+    def test_short_seeded_run_is_clean(self):
+        code, output = run_cli("chaos", "--seed", "7", "--steps", "6")
+        assert code == 0
+        assert "chaos ok" in output
+        assert '"violations": []' in output
+
+
 class TestParser:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
@@ -245,3 +283,18 @@ class TestParser:
         assert sorted(args.regimes) == [
             "locking", "optimistic", "promises", "validation",
         ]
+
+    def test_resilience_flags_default_off(self):
+        for command in ("serve", "serve-cluster"):
+            args = build_parser().parse_args([command])
+            assert args.max_queue is None
+            assert args.rate_limit is None
+            assert args.breaker_threshold is None
+
+    def test_chaos_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.seed == 2007
+        assert args.steps == 30
+        assert args.shards == 3
+        assert args.duration is None
+        assert args.self_test is False

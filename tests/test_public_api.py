@@ -45,6 +45,7 @@ class TestTopLevelSurface:
             "repro.cli",
             "repro.recovery",
             "repro.faults",
+            "repro.resilience",
         ],
     )
     def test_subpackages_import(self, module):
@@ -55,6 +56,7 @@ class TestTopLevelSurface:
         import repro.faults
         import repro.protocol
         import repro.recovery
+        import repro.resilience
         import repro.services
         import repro.sim
         import repro.storage
@@ -62,7 +64,8 @@ class TestTopLevelSurface:
 
         for module in (
             repro.core, repro.faults, repro.protocol, repro.recovery,
-            repro.services, repro.sim, repro.storage, repro.strategies,
+            repro.resilience, repro.services, repro.sim, repro.storage,
+            repro.strategies,
         ):
             missing = [
                 name for name in module.__all__ if not hasattr(module, name)
