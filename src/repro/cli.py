@@ -20,9 +20,14 @@ Four subcommands:
 ``serve-cluster``
     Host a sharded fleet: N promise managers on consecutive ports, each
     owning the product pools a shared consistent-hash ring places on it.
+    ``--replicas N`` turns every shard into a replica group: N hot
+    followers apply the primary's WAL stream, a heartbeat detector
+    promotes the most-caught-up one when the primary dies, and epoch
+    fencing keeps the deposed primary's late writes out.
     ``--self-test`` boots a two-shard fleet on loopback, drives a
     gateway through single-shard, cross-shard and shard-crash paths,
-    and exits.
+    and exits; with ``--replicas`` it instead kills a primary and
+    proves automatic failover end to end.
 
 ``call``
     Talk to a running server: request a promise and/or invoke a service
@@ -55,7 +60,9 @@ Examples::
     python -m repro.cli serve --port 7807 --stock 100
     python -m repro.cli serve --port 7807 --stock 100 --wal /var/lib/shop.wal
     python -m repro.cli serve-cluster --shards 4 --port 7807 --products 16 --wal-dir /var/lib/shop
+    python -m repro.cli serve-cluster --shards 2 --replicas 1 --heartbeat-interval 0.2
     python -m repro.cli serve-cluster --self-test
+    python -m repro.cli serve-cluster --replicas 1 --self-test
     python -m repro.cli call --connect 127.0.0.1:7807 --predicate "quantity('widgets') >= 5" --duration 30
     python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
     python -m repro.cli call --cluster 127.0.0.1:7807,127.0.0.1:7808 --predicate "quantity('product-0') >= 2 and quantity('product-1') >= 1"
@@ -186,10 +193,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "(shard-N.wal); state survives restarts")
     cluster.add_argument("--fsync", action="store_true",
                          help="fsync each shard's WAL after every record")
+    cluster.add_argument("--replicas", type=int, default=0, metavar="N",
+                         help="hot followers per shard (default 0: "
+                              "unreplicated); each shard becomes a "
+                              "replica group with WAL shipping, a "
+                              "heartbeat failure detector and "
+                              "epoch-fenced automatic failover")
+    cluster.add_argument("--heartbeat-interval", type=float, default=0.2,
+                         metavar="SECONDS",
+                         help="failure-detector ping interval; a primary "
+                              "missing 3 consecutive beats is replaced "
+                              "(default 0.2, used when --replicas > 0)")
     cluster.add_argument("--self-test", action="store_true",
                          help="boot a loopback fleet, drive a gateway "
                               "through single-shard, cross-shard and "
-                              "shard-crash paths, then exit")
+                              "shard-crash paths, then exit; with "
+                              "--replicas, also kill a primary and prove "
+                              "automatic failover")
     _add_resilience_flags(cluster)
 
     call = commands.add_parser(
@@ -247,6 +267,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="product pools over the ring (default 9)")
     chaos.add_argument("--stock", type=int, default=20,
                        help="stock per pool (default 20)")
+    chaos.add_argument("--replicas", type=int, default=0, metavar="N",
+                       help="hot followers per shard (default 0); with "
+                            "N > 0 the schedule adds kill-primary and "
+                            "partition-primary fault classes auditing "
+                            "the failover invariants")
+    chaos.add_argument("--heartbeat-interval", type=float, default=0.05,
+                       metavar="SECONDS",
+                       help="failure-detector ping interval during a "
+                            "replicated run (default 0.05)")
     chaos.add_argument("--self-test", action="store_true",
                        help="prove the invariant auditors catch a "
                             "planted leak, then exit")
@@ -687,11 +716,16 @@ def run_serve_cluster(
     max_queue: int | None = None,
     rate_limit: float | None = None,
     breaker_threshold: int | None = None,
+    replicas: int = 0,
+    heartbeat_interval: float = 0.2,
     out=sys.stdout,
 ) -> int:
     """Host a sharded fleet over TCP; returns a process exit code."""
     if shards < 1:
         print(f"need at least one shard, got {shards}", file=out)
+        return 2
+    if replicas < 0:
+        print(f"--replicas must be >= 0, got {replicas}", file=out)
         return 2
     admission = None
     if max_queue is not None or rate_limit is not None:
@@ -700,6 +734,13 @@ def run_serve_cluster(
         def admission(index: int) -> AdmissionController:
             return _admission_from_flags(max_queue, rate_limit)
     if self_test:
+        if replicas > 0:
+            return _serve_cluster_failover_self_test(
+                shards, host, endpoint, products, stock,
+                replicas=replicas, heartbeat_interval=heartbeat_interval,
+                admission=admission, breaker_threshold=breaker_threshold,
+                out=out,
+            )
         return _serve_cluster_self_test(
             shards, host, endpoint, products, stock,
             admission=admission, breaker_threshold=breaker_threshold,
@@ -708,35 +749,68 @@ def run_serve_cluster(
     if port is None:
         port = DEFAULT_PORT
 
-    fleet = ClusterFleet(
-        shards,
-        endpoint=endpoint,
-        provision=provision_products(products, stock),
-        wal_dir=wal_dir,
-        fsync=fsync,
-        host=host,
-        base_port=port,
-        admission=admission,
-    )
+    detector = None
+    if replicas > 0:
+        from .replication import HeartbeatDetector, ReplicatedFleet
+
+        fleet = ReplicatedFleet(
+            shards,
+            replicas=replicas,
+            endpoint=endpoint,
+            provision=provision_products(products, stock),
+            wal_dir=wal_dir,
+            fsync=fsync,
+            host=host,
+            base_port=port,
+            admission=admission,
+        )
+    else:
+        fleet = ClusterFleet(
+            shards,
+            endpoint=endpoint,
+            provision=provision_products(products, stock),
+            wal_dir=wal_dir,
+            fsync=fsync,
+            host=host,
+            base_port=port,
+            admission=admission,
+        )
     try:
         addresses = fleet.start()
     except OSError as error:
         print(f"cannot serve on {host}:{port}+: {error}", file=out)
         return 2
     try:
+        if replicas > 0:
+            from .replication import HeartbeatDetector  # noqa: F811
+
+            detector = HeartbeatDetector(
+                fleet, interval=heartbeat_interval, miss_threshold=3
+            ).start()
         durability = f", wal-dir: {wal_dir}" if wal_dir else ""
+        replication = (
+            f", {replicas} follower(s)/shard, heartbeat "
+            f"{heartbeat_interval}s" if replicas > 0 else ""
+        )
         print(
             f"serving endpoint {endpoint!r} on {shards} shards "
-            f"({products} products x {stock} units{durability})",
+            f"({products} products x {stock} units"
+            f"{durability}{replication})",
             file=out,
         )
         for index, (bound_host, bound_port) in enumerate(addresses):
             owned = fleet.ring.placement(
                 [f"product-{number}" for number in range(products)]
             ).get(index, [])
+            extra = ""
+            if replicas > 0:
+                followers = fleet.group(index).followers
+                extra = ", followers: " + ", ".join(
+                    f"{f.address[0]}:{f.address[1]}" for f in followers
+                )
             print(
                 f"  shard {index}: {bound_host}:{bound_port} "
-                f"({len(owned)} pools)",
+                f"({len(owned)} pools{extra})",
                 file=out,
             )
         joined = ",".join(f"{h}:{p}" for h, p in addresses)
@@ -747,8 +821,136 @@ def run_serve_cluster(
     except KeyboardInterrupt:  # pragma: no cover - interactive only
         print("shutting down fleet", file=out)
     finally:
+        if detector is not None:
+            detector.stop()
         fleet.stop()
     return 0
+
+
+def _serve_cluster_failover_self_test(
+    shards: int,
+    host: str,
+    endpoint: str,
+    products: int,
+    stock: int,
+    replicas: int,
+    heartbeat_interval: float,
+    admission=None,
+    breaker_threshold: int | None = None,
+    out=sys.stdout,
+) -> int:
+    """Replicated-fleet smoke test: grant, kill the primary, recover.
+
+    Boots the replica groups with a heartbeat detector, grants a
+    promise, verifies the WAL stream is caught up, then kills the
+    promise's home primary.  The detector must promote a follower
+    within a few heartbeats, after which the same gateway — remapped
+    and breaker-reset automatically — must grant again without manual
+    intervention; the dead primary rejoins as a follower and the
+    doctor audit must come back clean.
+    """
+    import tempfile
+    import time
+
+    from .protocol.retry import RetryPolicy
+    from .replication import HeartbeatDetector, ReplicatedFleet
+
+    checks: list[tuple[str, bool]] = []
+
+    def check(label: str, ok: bool) -> None:
+        checks.append((label, ok))
+        print(f"{label}: {'ok' if ok else 'FAILED'}", file=out)
+
+    with tempfile.TemporaryDirectory(prefix="repro-replica-") as wal_dir:
+        fleet = ReplicatedFleet(
+            shards,
+            replicas=replicas,
+            endpoint=endpoint,
+            provision=provision_products(products, stock),
+            wal_dir=wal_dir,
+            host=host,
+            admission=admission,
+        )
+        with fleet:
+            print(
+                f"self-test: {shards} replica groups x "
+                f"{1 + replicas} nodes, heartbeat {heartbeat_interval}s",
+                file=out,
+            )
+            detector = HeartbeatDetector(
+                fleet, interval=heartbeat_interval, miss_threshold=3
+            ).start()
+            try:
+                gateway = fleet.gateway(
+                    timeout=2.0,
+                    retry=RetryPolicy(
+                        max_attempts=4, base_delay=0.05, max_delay=0.2
+                    ),
+                    breaker_threshold=breaker_threshold or 4,
+                    breaker_reset=0.2,
+                )
+                with gateway:
+                    client = PromiseClient(
+                        "failover-self-test", gateway, deadline=10.0
+                    )
+                    product = "product-0"
+                    victim = fleet.ring.shard_of(product)
+                    response = client.request_promise(
+                        endpoint, [P(f"quantity('{product}') >= 2")], 60
+                    )
+                    check("grant before failover", response.accepted)
+                    stream = fleet.replication_status(victim)["stream"]
+                    check(
+                        "followers caught up",
+                        stream is not None
+                        and stream["synced_lsn"] == stream["last_lsn"],
+                    )
+                    epoch_before = fleet.epoch(victim)
+                    fleet.kill(victim)
+                    print(
+                        f"killed primary of shard {victim}; waiting for "
+                        "the detector...",
+                        file=out,
+                    )
+                    started = time.monotonic()
+                    promoted = fleet.await_failover(
+                        victim, beyond_epoch=epoch_before, timeout=15.0
+                    )
+                    elapsed = time.monotonic() - started
+                    check(
+                        f"automatic failover (epoch "
+                        f"{fleet.epoch(victim)}, {elapsed:.2f}s)",
+                        promoted,
+                    )
+                    retry = client.request_promise(
+                        endpoint, [P(f"quantity('{product}') >= 1")], 60
+                    )
+                    check("grant after failover", retry.accepted)
+                    released = True
+                    for pid in (response.promise_id, retry.promise_id):
+                        if pid:
+                            released = (
+                                client.release(endpoint, pid) == ()
+                                and released
+                            )
+                    check("releases across the failover", released)
+                    rejoined = fleet.rejoin(victim)
+                    check("dead primary rejoined as follower", rejoined == 1)
+                    counts = fleet.live_promises()
+                    findings = fleet.audit()
+                    check(
+                        "no orphaned promises",
+                        all(count == 0 for count in counts.values()),
+                    )
+                    check(
+                        "doctor audit clean",
+                        all(not found for found in findings.values()),
+                    )
+            finally:
+                detector.stop()
+    healthy = all(ok for __, ok in checks)
+    print("failover self-test " + ("ok" if healthy else "FAILED"), file=out)
+    return 0 if healthy else 1
 
 
 def _serve_cluster_self_test(
@@ -1037,6 +1239,8 @@ def run_chaos(
     products: int,
     stock: int,
     self_test: bool,
+    replicas: int = 0,
+    heartbeat_interval: float = 0.05,
     out=sys.stdout,
 ) -> int:
     """One seeded nemesis schedule (or the auditors' self-test).
@@ -1069,6 +1273,8 @@ def run_chaos(
         stock=stock,
         steps=steps,
         time_budget=duration,
+        replicas=replicas,
+        heartbeat_interval=heartbeat_interval,
     )
     report = nemesis.run()
     print(json.dumps(report.summary(), indent=2), file=out)
@@ -1115,7 +1321,9 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             args.products, args.stock, args.self_test,
             args.wal_dir, args.fsync,
             max_queue=args.max_queue, rate_limit=args.rate_limit,
-            breaker_threshold=args.breaker_threshold, out=out,
+            breaker_threshold=args.breaker_threshold,
+            replicas=args.replicas,
+            heartbeat_interval=args.heartbeat_interval, out=out,
         )
     if args.command == "call":
         return run_call(
@@ -1128,7 +1336,9 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
     if args.command == "chaos":
         return run_chaos(
             args.seed, args.duration, args.steps, args.shards,
-            args.products, args.stock, args.self_test, out=out,
+            args.products, args.stock, args.self_test,
+            replicas=args.replicas,
+            heartbeat_interval=args.heartbeat_interval, out=out,
         )
     raise AssertionError("unreachable")  # pragma: no cover
 

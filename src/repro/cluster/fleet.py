@@ -104,6 +104,9 @@ class ClusterFleet:
         self._admission = admission
         self._shards: list[Shard] = []
         self._started = False
+        #: Gateways built by :meth:`gateway`, notified on restart so a
+        #: recovered shard's breaker is probed immediately.
+        self._gateways: list[ClusterGateway] = []
 
     # ----------------------------------------------------------- lifecycle
 
@@ -125,6 +128,7 @@ class ClusterFleet:
             shard.deployment.close()
         self._shards = []
         self._started = False
+        self._gateways = []
 
     def __enter__(self) -> "ClusterFleet":
         self.start()
@@ -145,12 +149,20 @@ class ClusterFleet:
         shard.deployment.close()
 
     def restart(self, index: int) -> tuple[str, int]:
-        """Bring a killed shard back on its original port, from its WAL."""
+        """Bring a killed shard back on its original port, from its WAL.
+
+        Every gateway built by :meth:`gateway` gets the shard's circuit
+        breaker forced half-open: the shard is healthy again, and
+        leaving the breaker open would fast-fail it for the rest of the
+        open window even though requests would now succeed.
+        """
         old = self._shards[index]
         if old.alive:
             raise RuntimeError(f"shard {index} is still running")
         replacement = self._boot(index, port=old.address[1])
         self._shards[index] = replacement
+        for gateway in self._gateways:
+            gateway.reset_breaker(index)
         return replacement.address
 
     # ------------------------------------------------------------- access
@@ -203,7 +215,7 @@ class ClusterFleet:
                 )
                 for index in range(self._count)
             ]
-        return ClusterGateway(
+        gateway = ClusterGateway(
             transports,
             ring=self.ring,
             name=name,
@@ -211,6 +223,8 @@ class ClusterFleet:
             pending_limit=pending_limit,
             pending_max_age=pending_max_age,
         )
+        self._gateways.append(gateway)
+        return gateway
 
     def audit(self) -> dict[int, list[Finding]]:
         """Run the consistency doctor on every live shard.

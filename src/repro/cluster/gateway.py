@@ -78,6 +78,9 @@ class GatewayStats:
     shard_errors: int = 0
     breaker_fast_failures: int = 0
     pending_dropped: int = 0
+    remaps: int = 0
+    breaker_resets: int = 0
+    stale_acks_discarded: int = 0
 
 
 @dataclass
@@ -151,6 +154,13 @@ class ClusterGateway:
         # plain (single-shard) promise id -> home shard
         self._homes: dict[str, int] = {}
         self._pending: list[_PendingCompensation] = []
+        # Per-shard transport generation, bumped by remap(): a reply
+        # that arrives bearing an older generation is an ack from a
+        # deposed primary and is discarded, never surfaced to callers.
+        self._generations = [0] * len(self._transports)
+        # Per-shard replica-group epoch stamped onto outgoing requests
+        # (None for unreplicated shards: no stamp, no server-side check).
+        self._epochs: list[int | None] = [None] * len(self._transports)
 
     # ------------------------------------------------------------- transport
 
@@ -174,6 +184,67 @@ class ClusterGateway:
             else None
         )
         return self._scatter(message, plan, expires_at)
+
+    def remap(
+        self,
+        shard: int,
+        transport: MessageTransport,
+        epoch: int | None = None,
+    ) -> MessageTransport:
+        """Point ``shard`` at a new primary (replica failover).
+
+        Swaps the transport, bumps the shard's generation so any reply
+        still in flight from the *old* primary is discarded at arrival
+        (a deposed primary's late ack must not be surfaced as success),
+        records the new fencing ``epoch`` for request stamping, and
+        force-half-opens the shard's breaker so the promoted replica is
+        probed immediately instead of waiting out the open window.
+        Returns the displaced transport so the caller can close it.
+        """
+        if not 0 <= shard < len(self._transports):
+            raise PartitionError(f"no shard {shard} to remap")
+        old = self._transports[shard]
+        self._transports[shard] = transport
+        self._generations[shard] += 1
+        if epoch is not None:
+            self._epochs[shard] = epoch
+        self.stats.remaps += 1
+        self.reset_breaker(shard)
+        return old
+
+    def set_epoch(self, shard: int, epoch: int | None) -> None:
+        """Set the fencing epoch stamped on requests to ``shard``."""
+        if not 0 <= shard < len(self._transports):
+            raise PartitionError(f"no shard {shard}")
+        self._epochs[shard] = epoch
+
+    def transport(self, shard: int) -> MessageTransport:
+        """The transport currently routing to ``shard``.
+
+        Callers that wrap or fault-inject transports (the chaos nemesis)
+        must read through this accessor rather than hold the list they
+        passed to the constructor — :meth:`remap` swaps entries in
+        place, and a held reference goes stale at the first failover.
+        """
+        if not 0 <= shard < len(self._transports):
+            raise PartitionError(f"no shard {shard}")
+        return self._transports[shard]
+
+    def reset_breaker(self, shard: int) -> bool:
+        """Force the shard's breaker half-open (shard restarted/promoted).
+
+        ``ClusterFleet.restart`` and replica failover both bring a
+        healthy server back behind an address the breaker has already
+        written off; without this nudge the gateway keeps fast-failing
+        it until the open window lapses.  Half-open (not closed): the
+        next request is a probe, so a wrong hint costs one request.
+        """
+        if self.breakers is None:
+            return False
+        if self.breakers[shard].force_half_open():
+            self.stats.breaker_resets += 1
+            return True
+        return False
 
     def close(self) -> None:
         """Close every shard transport that knows how to close."""
@@ -841,19 +912,46 @@ class ClusterGateway:
     # ------------------------------------------------------------ internals
 
     def _shard_send(self, shard: int, message: Message) -> Message:
-        """Send to one shard through its circuit breaker (if any)."""
+        """Send to one shard through its circuit breaker (if any).
+
+        Captures the shard's transport generation before sending: if a
+        failover remapped the shard while this request was in flight,
+        the reply came from the deposed primary and is discarded (and
+        its outcome is not recorded against the *new* primary's
+        breaker).  Requests to replicated shards are stamped with the
+        group's current epoch so a deposed server rejects them itself.
+        """
+        generation = self._generations[shard]
+        epoch = self._epochs[shard]
+        if epoch is not None and message.epoch is None:
+            message = replace(message, epoch=epoch)
         breaker = self.breakers[shard] if self.breakers else None
         if breaker is None:
-            return self._transports[shard].send(message)
+            return self._fence_reply(
+                shard, generation, self._transports[shard].send(message)
+            )
         if not breaker.allow():
             self.stats.breaker_fast_failures += 1
             raise CircuitOpen(breaker.endpoint)
         try:
             reply = self._transports[shard].send(message)
         except TransportFailure:
-            breaker.record_failure()
+            if self._generations[shard] == generation:
+                breaker.record_failure()
             raise
-        breaker.record_success()
+        if self._generations[shard] == generation:
+            breaker.record_success()
+        return self._fence_reply(shard, generation, reply)
+
+    def _fence_reply(
+        self, shard: int, generation: int, reply: Message
+    ) -> Message:
+        if self._generations[shard] != generation:
+            self.stats.stale_acks_discarded += 1
+            raise TransportFailure(
+                f"shard-{shard}: reply from deposed primary discarded "
+                "(transport generation fence)"
+            )
         return reply
 
     @staticmethod

@@ -42,6 +42,7 @@ CRASH_POINTS: tuple[str, ...] = (
     "store.after-commit",           # COMMIT logged, in-memory finish pending
     "wal.torn-append",              # power loss mid-append: half a record
     "wal.mid-checkpoint",           # snapshot written, os.replace pending
+    "wal.after-checkpoint-replace",  # os.replace done, dir fsync pending
     "manager.after-grant-before-reply",   # grant committed, reply never sent
     "manager.after-action-before-release",  # action ran, releases pending
     "manager.after-execute-commit",  # action+release committed, reply lost

@@ -64,14 +64,26 @@ FAULT_REPLY_DROP = "reply-drop"
 FAULT_CRASH_POINT = "crash-point"
 FAULT_KILL_RESTART = "kill-restart"
 FAULT_OVERLOAD_BURST = "overload-burst"
+FAULT_KILL_PRIMARY = "kill-primary"
+FAULT_PARTITION_PRIMARY = "partition-primary"
 
-#: Every fault class a run injects; the report tracks each separately.
+#: Every fault class an unreplicated run injects; the report tracks
+#: each separately.
 FAULT_CLASSES: tuple[str, ...] = (
     FAULT_REQUEST_DROP,
     FAULT_REPLY_DROP,
     FAULT_CRASH_POINT,
     FAULT_KILL_RESTART,
     FAULT_OVERLOAD_BURST,
+)
+
+#: Additional classes a replicated run (``replicas > 0``) injects.
+#: Both target a group's *primary* mid-traffic and audit the two
+#: failover invariants: journaled replies survive promotion, and a
+#: grant never executes on both sides of an epoch bump.
+REPLICA_FAULT_CLASSES: tuple[str, ...] = (
+    FAULT_KILL_PRIMARY,
+    FAULT_PARTITION_PRIMARY,
 )
 
 #: Crash points a probe can reach with a single-shard grant.  Both sit
@@ -129,9 +141,15 @@ class NemesisReport:
 
     @property
     def ok(self) -> bool:
-        """No invariant violations and every fault class actually fired."""
+        """No invariant violations and every fault class actually fired.
+
+        The run's active classes are exactly the keys the nemesis
+        seeded into :attr:`fired` — an unreplicated run is not failed
+        for never killing a primary it does not have.
+        """
+        classes = self.fired or {name: 0 for name in FAULT_CLASSES}
         return not self.violations and all(
-            self.fired.get(name, 0) > 0 for name in FAULT_CLASSES
+            count > 0 for count in classes.values()
         )
 
     def summary(self) -> dict[str, object]:
@@ -162,6 +180,8 @@ class ChaosNemesis:
         steps: int = 30,
         fault_every: int = 3,
         time_budget: float | None = None,
+        replicas: int = 0,
+        heartbeat_interval: float = 0.1,
     ) -> None:
         if shards < 2:
             raise ValueError("chaos needs at least two shards to partition")
@@ -172,6 +192,14 @@ class ChaosNemesis:
         self.steps = steps
         self.fault_every = max(1, fault_every)
         self.time_budget = time_budget
+        #: Followers per shard.  0 = the PR 3/4 unreplicated fleet;
+        #: > 0 boots a ReplicatedFleet plus heartbeat detector and adds
+        #: the primary-targeting fault classes to the schedule.
+        self.replicas = replicas
+        self.heartbeat_interval = heartbeat_interval
+        self.fault_classes: tuple[str, ...] = FAULT_CLASSES + (
+            REPLICA_FAULT_CLASSES if replicas > 0 else ()
+        )
         self._wal_dir = wal_dir
         self._rng = random.Random(seed)
         self._ring = PartitionMap(shards)
@@ -181,7 +209,7 @@ class ChaosNemesis:
         self._admissions: dict[int, AdmissionController] = {}
         self._message_count = 0
         self.report = NemesisReport(seed=seed)
-        for name in FAULT_CLASSES:
+        for name in self.fault_classes:
             self.report.injected[name] = 0
             self.report.fired[name] = 0
 
@@ -193,14 +221,31 @@ class ChaosNemesis:
         wal_dir = self._wal_dir or tempfile.mkdtemp(prefix="nemesis-")
         clear()
         ring = self._ring
-        fleet = ClusterFleet(
-            self.shards,
-            provision=provision_products(self.products, self.stock),
-            ring=ring,
-            wal_dir=wal_dir,
-            admission=self._admission_factory,
-        )
-        fleet.start()
+        detector = None
+        if self.replicas > 0:
+            from ..replication import HeartbeatDetector, ReplicatedFleet
+
+            fleet = ReplicatedFleet(
+                self.shards,
+                replicas=self.replicas,
+                provision=provision_products(self.products, self.stock),
+                ring=ring,
+                wal_dir=wal_dir,
+                admission=self._admission_factory,
+            )
+            fleet.start()
+            detector = HeartbeatDetector(
+                fleet, interval=self.heartbeat_interval, miss_threshold=3
+            ).start()
+        else:
+            fleet = ClusterFleet(
+                self.shards,
+                provision=provision_products(self.products, self.stock),
+                ring=ring,
+                wal_dir=wal_dir,
+                admission=self._admission_factory,
+            )
+            fleet.start()
         transports = [
             NetworkTransport(address, timeout=2.0, retry=RetryPolicy.none())
             for address in fleet.addresses()
@@ -214,6 +259,8 @@ class ChaosNemesis:
         gateway = ClusterGateway(
             transports, ring=ring, breakers=breakers, pending_limit=64
         )
+        if self.replicas > 0:
+            fleet.attach(gateway)
         self._recorder = _RecordingGateway(gateway)
         client = PromiseClient(
             "nemesis",
@@ -232,10 +279,10 @@ class ChaosNemesis:
                     break
                 self.report.steps += 1
                 if step % self.fault_every == 0 and schedule:
-                    self._inject(schedule.pop(0), fleet, gateway, transports, client)
+                    self._inject(schedule.pop(0), fleet, gateway, client)
                 else:
                     self._operate(fleet, client)
-            self._ensure_fired(fleet, gateway, transports, client)
+            self._ensure_fired(fleet, gateway, client)
             self._drain(fleet, gateway, client)
             self._audit(fleet, gateway)
             self.report.duplicates_served = sum(
@@ -247,6 +294,8 @@ class ChaosNemesis:
             )
         finally:
             clear()
+            if detector is not None:
+                detector.stop()
             for transport in transports:
                 transport.close()
             fleet.stop()
@@ -331,7 +380,7 @@ class ChaosNemesis:
         rounds = max(1, self.steps // self.fault_every)
         schedule: list[str] = []
         while len(schedule) < rounds:
-            batch = list(FAULT_CLASSES)
+            batch = list(self.fault_classes)
             self._rng.shuffle(batch)
             schedule.extend(batch)
         return schedule[:rounds]
@@ -341,31 +390,36 @@ class ChaosNemesis:
         fault: str,
         fleet: ClusterFleet,
         gateway: ClusterGateway,
-        transports: list[NetworkTransport],
         client: PromiseClient,
     ) -> None:
         self.report.injected[fault] += 1
         victim = self._rng.randrange(self.shards)
         if fault == FAULT_REQUEST_DROP:
-            self._inject_drop(fault, victim, transports, client, reply=False)
+            self._inject_drop(fault, victim, gateway, client, reply=False)
         elif fault == FAULT_REPLY_DROP:
-            self._inject_drop(fault, victim, transports, client, reply=True)
+            self._inject_drop(fault, victim, gateway, client, reply=True)
         elif fault == FAULT_CRASH_POINT:
             self._inject_crash(victim, fleet, gateway, client)
         elif fault == FAULT_KILL_RESTART:
             self._inject_kill(victim, fleet, gateway, client)
         elif fault == FAULT_OVERLOAD_BURST:
             self._inject_overload(victim, fleet, client)
+        elif fault == FAULT_KILL_PRIMARY:
+            self._inject_kill_primary(victim, fleet, gateway, client)
+        elif fault == FAULT_PARTITION_PRIMARY:
+            self._inject_partition(victim, fleet, gateway, client)
 
     def _inject_drop(
         self,
         fault: str,
         victim: int,
-        transports: list[NetworkTransport],
+        gateway: ClusterGateway,
         client: PromiseClient,
         reply: bool,
     ) -> None:
-        transport = transports[victim]
+        # Read the victim's transport *through* the gateway: a replica
+        # failover remaps it, and the constructor-time list goes stale.
+        transport = gateway.transport(victim)
         stats = transport.stats
         before = stats.dropped_replies if reply else stats.dropped_requests
         if reply:
@@ -387,7 +441,7 @@ class ChaosNemesis:
         client: PromiseClient,
     ) -> None:
         point = self._rng.choice(CRASH_PROBE_POINTS)
-        schedule = install(point, scope=f"shard-{victim}")
+        schedule = install(point, scope=self._scope(fleet, victim))
         try:
             self._grant(client, [self._pick_product(shard=victim)])
         finally:
@@ -431,11 +485,156 @@ class ChaosNemesis:
         if server_stats.shed > before:
             self.report.fired[FAULT_OVERLOAD_BURST] += 1
 
+    def _inject_kill_primary(
+        self,
+        victim: int,
+        fleet,
+        gateway: ClusterGateway,
+        client: PromiseClient,
+    ) -> None:
+        """Kill a primary mid-grant; audit both failover invariants.
+
+        Stage one acks a grant (G1) and keeps its exact wire message;
+        stage two arms a scoped crash between commit and reply and
+        attempts a second grant (G2), whose commit ships to the
+        followers but whose ack the client never sees.  After the
+        detector promotes a follower, redelivering G1 must return the
+        *original* promise id (journaled replies survive failover) and
+        redelivering G2 twice must return one id both times (no double
+        grant across epochs) — either mismatch is a recorded violation,
+        not just a failed run.
+        """
+        epoch_before = fleet.epoch(victim)
+        g1_message, g1_id = self._acked_grant(victim, client)
+        point = "manager.after-grant-before-reply"
+        schedule = install(point, scope=self._scope(fleet, victim))
+        g2_message = None
+        try:
+            self._count_op("grant")
+            try:
+                client.request_promise(
+                    "shop",
+                    [P(f"quantity('{self._pick_product(shard=victim)}') >= 1")],
+                    60,
+                )
+            except (TransportFailure, RequestTimeout, ProtocolError):
+                self._count_op("grant-failed")
+            last = self._recorder.last if self._recorder else None
+            if last is not None and last.promise_requests:
+                g2_message = replace(last, deadline=None)
+        finally:
+            crashed_mid_grant = schedule.fired
+            clear()
+        fleet.kill(victim)
+        if not fleet.await_failover(victim, beyond_epoch=epoch_before, timeout=15.0):
+            fleet.restart(victim)  # detector missed: force the promotion
+        promoted = fleet.epoch(victim) > epoch_before
+        if crashed_mid_grant and promoted:
+            self.report.fired[FAULT_KILL_PRIMARY] += 1
+        if g1_message is not None and g1_id is not None:
+            revealed = self._redeliver_ids(gateway, g1_message, attempts=2)
+            if revealed and all(r == g1_id for r in revealed):
+                self._release(client, g1_id)
+            else:
+                self.report.violations.append(
+                    f"journaled reply lost in failover: grant "
+                    f"{g1_message.message_id} was {g1_id}, redelivery "
+                    f"returned {revealed}"
+                )
+        if g2_message is not None:
+            revealed = self._redeliver_ids(gateway, g2_message, attempts=2)
+            if len(set(revealed)) > 1:
+                self.report.violations.append(
+                    f"double grant across epochs: redeliveries of "
+                    f"{g2_message.message_id} returned {revealed}"
+                )
+            for promise_id in set(revealed):
+                self._release(client, promise_id)
+        fleet.restart(victim)  # rejoin the corpse as a fresh follower
+        self._flush(gateway)
+
+    def _inject_partition(
+        self,
+        victim: int,
+        fleet,
+        gateway: ClusterGateway,
+        client: PromiseClient,
+    ) -> None:
+        """Partition a primary from its followers mid-traffic.
+
+        The cut primary keeps running and keeps accepting TCP — the
+        replication gate is what stops it acking, so the grant attempt
+        lands in doubt.  The detector treats the partition as missed
+        heartbeats and promotes; healing retires the zombie and rejoins
+        it.  The in-doubt grant resolves during the drain against the
+        *new* primary, and the final stock audit catches any grant that
+        leaked on both sides.
+        """
+        epoch_before = fleet.epoch(victim)
+        fleet.partition(victim)
+        self._grant(client, [self._pick_product(shard=victim)])
+        if not fleet.await_failover(victim, beyond_epoch=epoch_before, timeout=15.0):
+            fleet.failover(victim)
+        if fleet.epoch(victim) > epoch_before:
+            self.report.fired[FAULT_PARTITION_PRIMARY] += 1
+        fleet.heal(victim)
+        self._flush(gateway)
+
+    def _acked_grant(
+        self, victim: int, client: PromiseClient
+    ) -> tuple[Message | None, str | None]:
+        """One successful grant homed on ``victim``: (wire message, id)."""
+        self._count_op("grant")
+        product = self._pick_product(shard=victim)
+        try:
+            response = client.request_promise(
+                "shop", [P(f"quantity('{product}') >= 1")], 60
+            )
+        except (TransportFailure, RequestTimeout, ProtocolError):
+            self._count_op("grant-failed")
+            last = self._recorder.last if self._recorder else None
+            if last is not None and last.promise_requests:
+                self._in_doubt.append(replace(last, deadline=None))
+            return None, None
+        last = self._recorder.last if self._recorder else None
+        if response.accepted and response.promise_id and last is not None:
+            return replace(last, deadline=None), response.promise_id
+        return None, None
+
+    def _redeliver_ids(
+        self, gateway: ClusterGateway, message: Message, attempts: int
+    ) -> list[str]:
+        """Redeliver the same wire message N times; collect granted ids."""
+        revealed: list[str] = []
+        for _ in range(attempts):
+            reply = None
+            for _ in range(4):
+                try:
+                    reply = gateway.send(message)
+                    break
+                except (TransportFailure, RequestTimeout, ProtocolError):
+                    time.sleep(0.1)
+            if reply is None:
+                self.report.violations.append(
+                    f"redelivery of {message.message_id} unresolvable"
+                )
+                continue
+            for response in reply.promise_responses:
+                if response.accepted and response.promise_id:
+                    revealed.append(response.promise_id)
+        return revealed
+
+    def _scope(self, fleet, victim: int) -> str:
+        """The victim's crash-injection scope, replicated or not."""
+        scope_of = getattr(fleet, "primary_scope", None)
+        if scope_of is not None:
+            return scope_of(victim)
+        return f"shard-{victim}"
+
     def _ensure_fired(
         self,
         fleet: ClusterFleet,
         gateway: ClusterGateway,
-        transports: list[NetworkTransport],
         client: PromiseClient,
     ) -> None:
         """Force-fire any class the randomized schedule missed.
@@ -443,22 +642,26 @@ class ChaosNemesis:
         Coverage is part of the contract: a run that never actually
         dropped a reply proves nothing about redelivery.
         """
-        for fault in FAULT_CLASSES:
+        for fault in self.fault_classes:
             attempts = 0
             while self.report.fired[fault] == 0 and attempts < 3:
                 attempts += 1
                 self.report.injected[fault] += 1
                 victim = attempts % self.shards
                 if fault == FAULT_REQUEST_DROP:
-                    self._inject_drop(fault, victim, transports, client, reply=False)
+                    self._inject_drop(fault, victim, gateway, client, reply=False)
                 elif fault == FAULT_REPLY_DROP:
-                    self._inject_drop(fault, victim, transports, client, reply=True)
+                    self._inject_drop(fault, victim, gateway, client, reply=True)
                 elif fault == FAULT_CRASH_POINT:
                     self._inject_crash(victim, fleet, gateway, client)
                 elif fault == FAULT_KILL_RESTART:
                     self._inject_kill(victim, fleet, gateway, client)
                 elif fault == FAULT_OVERLOAD_BURST:
                     self._inject_overload(victim, fleet, client)
+                elif fault == FAULT_KILL_PRIMARY:
+                    self._inject_kill_primary(victim, fleet, gateway, client)
+                elif fault == FAULT_PARTITION_PRIMARY:
+                    self._inject_partition(victim, fleet, gateway, client)
             if self.report.fired[fault] == 0:
                 self.report.violations.append(
                     f"fault class {fault!r} never fired"

@@ -96,6 +96,12 @@ class Message:
     (like gRPC's ``grpc-timeout``) because absolute clocks do not
     transfer between machines.  Each forwarding hop re-stamps it;
     ``None`` means the caller is willing to wait forever.
+
+    ``epoch`` is a replication fencing token: the sender's view of the
+    recipient replica group's configuration generation.  A server that
+    belongs to a newer epoch rejects the request rather than acting on
+    routing decisions made against a deposed primary; ``None`` (the
+    default everywhere outside replicated fleets) disables the check.
     """
 
     message_id: str
@@ -109,6 +115,7 @@ class Message:
     faults: tuple[str, ...] = ()
     correlation: str = ""
     deadline: float | None = None
+    epoch: int | None = None
 
     @property
     def has_promise_part(self) -> bool:

@@ -59,6 +59,8 @@ class SoapCodec:
             ET.SubElement(
                 header, "deadline", {"remaining": repr(float(message.deadline))}
             )
+        if message.epoch is not None:
+            ET.SubElement(header, "epoch", {"value": str(int(message.epoch))})
 
         body = ET.SubElement(envelope, "Body")
         if message.action is not None:
@@ -106,6 +108,14 @@ class SoapCodec:
                 raise MalformedMessage(f"bad deadline: {exc}") from exc
         else:
             deadline = None
+        epoch_el = header.find(self._q("epoch"))
+        if epoch_el is not None:
+            try:
+                epoch = int(epoch_el.get("value", ""))
+            except ValueError as exc:
+                raise MalformedMessage(f"bad epoch: {exc}") from exc
+        else:
+            epoch = None
 
         action_el = body.find(self._q("action"))
         outcome_el = body.find(self._q("action-outcome"))
@@ -119,6 +129,7 @@ class SoapCodec:
             environment=environment,
             faults=faults,
             deadline=deadline,
+            epoch=epoch,
             action=self._decode_action(action_el) if action_el is not None else None,
             action_outcome=(
                 self._decode_outcome(outcome_el) if outcome_el is not None else None

@@ -1,0 +1,73 @@
+"""Routing across replica groups: promotion moves addresses, not keys.
+
+:class:`ReplicaRouting` pairs the consistent-hash
+:class:`~repro.cluster.partition.PartitionMap` with a per-shard
+``(address, epoch)`` table.  The split is the invariant that makes
+failover invisible to placement: a promotion **only** swaps which
+address serves a shard and bumps that shard's epoch — the ring, and
+therefore ``shard_of`` for every key, is untouched.  Pools seeded on
+shard 3 are still on shard 3 after its primary dies; what changed is
+which process answers for shard 3 and which fencing token its replies
+must carry.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..cluster.partition import PartitionMap
+
+
+class ReplicaRouting:
+    """A partition ring plus the mutable primary table it routes to."""
+
+    def __init__(
+        self,
+        ring: PartitionMap,
+        addresses: list[tuple[str, int]],
+    ) -> None:
+        if len(addresses) != ring.shards:
+            raise ValueError(
+                f"{len(addresses)} addresses for a {ring.shards}-shard ring"
+            )
+        self.ring = ring
+        self._lock = threading.Lock()
+        self._addresses = list(addresses)
+        self._epochs = [0] * ring.shards
+
+    def shard_of(self, key: str) -> int:
+        """Which shard owns ``key`` — delegates to the immutable ring."""
+        return self.ring.shard_of(key)
+
+    def primary(self, shard: int) -> tuple[str, int]:
+        """The address currently serving ``shard``."""
+        with self._lock:
+            return self._addresses[shard]
+
+    def epoch(self, shard: int) -> int:
+        """The shard's configuration generation (bumped per promotion)."""
+        with self._lock:
+            return self._epochs[shard]
+
+    def lookup(self, key: str) -> tuple[int, tuple[str, int], int]:
+        """Resolve a key to ``(shard, primary address, epoch)``."""
+        shard = self.ring.shard_of(key)
+        with self._lock:
+            return shard, self._addresses[shard], self._epochs[shard]
+
+    def promote(self, shard: int, address: tuple[str, int]) -> int:
+        """Record a failover: new primary address, epoch + 1.
+
+        Returns the new epoch.  Never touches the ring — key placement
+        is unchanged by promotion (property-tested in
+        ``tests/replication/test_routing_properties.py``).
+        """
+        with self._lock:
+            self._addresses[shard] = address
+            self._epochs[shard] += 1
+            return self._epochs[shard]
+
+    def snapshot(self) -> list[tuple[tuple[str, int], int]]:
+        """Consistent ``(address, epoch)`` view of every shard."""
+        with self._lock:
+            return list(zip(self._addresses, self._epochs))

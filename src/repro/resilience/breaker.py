@@ -120,6 +120,23 @@ class CircuitBreaker:
         if not self.allow():
             raise CircuitOpen(self.endpoint)
 
+    def force_half_open(self) -> bool:
+        """Skip the open window: the operator knows the endpoint is back.
+
+        Called when a shard is restarted or a replica promoted — waiting
+        out ``reset_timeout`` would fast-fail traffic at a healthy
+        endpoint.  Moves ``OPEN → HALF_OPEN`` immediately so the next
+        request is a probe (one success closes the breaker, one failure
+        re-opens it — a wrong hint costs a single request, not a lie
+        that the endpoint is healthy).  No-op in other states; returns
+        True when a transition happened.
+        """
+        if self._state is not BreakerState.OPEN:
+            return False
+        self._state = BreakerState.HALF_OPEN
+        self._probes_in_flight = 0
+        return True
+
     # ------------------------------------------------------------- outcomes
 
     def record_success(self) -> None:

@@ -29,7 +29,7 @@ import logging
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Iterator
+from typing import IO, Callable, Iterator
 
 from ..faults.crashpoints import SimulatedCrash, crash_point, crashed, should_crash
 from .errors import RecoveryError
@@ -117,6 +117,9 @@ class WriteAheadLog:
         self._fault_scope = fault_scope
         self._handle: IO[str] | None = None
         self._since_checkpoint = 0
+        #: Replication taps: called with each record the local process
+        #: successfully logged (appends and checkpoints, never ingests).
+        self._observers: list[Callable[[LogRecord], None]] = []
         #: Human-readable notes recovery surfaces (torn tail drops etc.).
         self.recovery_notes: list[str] = []
         if self._path is not None:
@@ -170,6 +173,32 @@ class WriteAheadLog:
             self._handle.close()
             self._handle = None
 
+    def subscribe(self, observer: Callable[[LogRecord], None]) -> None:
+        """Register a tap notified after every locally-logged record.
+
+        This is the hook WAL shipping hangs off: a replication sender
+        subscribes and forwards each record to the shard's followers.
+        Observers run synchronously after the local write so a record is
+        never shipped before it exists on the primary's own disk; they
+        are *not* called for :meth:`ingest`\\ ed records (a follower does
+        not re-ship what its primary sent it) nor once the owning scope
+        has simulated-crashed (a dead process ships nothing).
+        """
+        self._observers.append(observer)
+
+    def unsubscribe(self, observer: Callable[[LogRecord], None]) -> None:
+        """Remove a previously-subscribed tap (idempotent)."""
+        try:
+            self._observers.remove(observer)
+        except ValueError:
+            pass
+
+    def _notify(self, record: LogRecord) -> None:
+        if not self._observers or crashed(self._fault_scope):
+            return
+        for observer in list(self._observers):
+            observer(record)
+
     def append(
         self,
         record_type: LogRecordType,
@@ -201,7 +230,47 @@ class WriteAheadLog:
             self._handle.flush()
             if self._fsync:
                 os.fsync(self._handle.fileno())
+        self._notify(record)
         return record
+
+    def ingest(self, record: LogRecord) -> bool:
+        """Apply a record shipped from a replication primary.
+
+        Unlike :meth:`append`, the record keeps the LSN the primary
+        assigned it — a follower's log must be byte-compatible with its
+        primary's so promotion can boot a deployment straight off it.
+        Records at or below :attr:`last_lsn` were already applied (the
+        sender re-ships its backlog after a transient failure) and are
+        skipped, making delivery idempotent.  A CHECKPOINT record
+        truncates the follower's file exactly as a local checkpoint
+        would.  Returns True when the record advanced the log.
+        """
+        if record.lsn <= self.last_lsn:
+            return False
+        if record.record_type is LogRecordType.CHECKPOINT:
+            self._next_lsn = record.lsn + 1
+            if self._path is not None and not crashed(self._fault_scope):
+                tmp = self._tmp_path()
+                with tmp.open("w", encoding="utf-8") as handle:
+                    handle.write(record.to_json() + "\n")
+                    handle.flush()
+                    if self._fsync:
+                        os.fsync(handle.fileno())
+                self.close()
+                os.replace(tmp, self._path)
+                self._handle = self._path.open("a", encoding="utf-8")
+            self._records = [record]
+            self._since_checkpoint = 0
+            return True
+        self._records.append(record)
+        self._next_lsn = record.lsn + 1
+        self._since_checkpoint += 1
+        if self._handle is not None and not crashed(self._fault_scope):
+            self._handle.write(record.to_json() + "\n")
+            self._handle.flush()
+            if self._fsync:
+                os.fsync(self._handle.fileno())
+        return True
 
     def checkpoint(self, snapshot: dict[str, dict[str, object]]) -> LogRecord:
         """Write a CHECKPOINT carrying a full store snapshot and truncate.
@@ -227,9 +296,23 @@ class WriteAheadLog:
             crash_point("wal.mid-checkpoint", self._fault_scope)
             self.close()
             os.replace(tmp, self._path)
+            crash_point("wal.after-checkpoint-replace", self._fault_scope)
+            if self._fsync:
+                # os.replace makes the swap atomic but not durable: the
+                # rename lives in the directory, and a power loss before
+                # the directory block reaches disk can resurrect the old
+                # log (or the temp name) after the checkpoint was
+                # acknowledged.  Fsyncing the parent directory pins the
+                # rename, matching the fsync discipline of appends.
+                dir_fd = os.open(self._path.parent, os.O_RDONLY)
+                try:
+                    os.fsync(dir_fd)
+                finally:
+                    os.close(dir_fd)
             self._handle = self._path.open("a", encoding="utf-8")
         self._records = [record]
         self._since_checkpoint = 0
+        self._notify(record)
         return record
 
     def replay(self) -> dict[str, dict[str, object]]:

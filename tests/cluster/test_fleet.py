@@ -24,8 +24,10 @@ from repro.core.parser import P
 from repro.faults.crashpoints import clear, install
 from repro.net.transport import NetworkTransport
 from repro.protocol.client import PromiseClient
+from repro.protocol.errors import TransportFailure
 from repro.protocol.messages import ActionPayload, Message
 from repro.protocol.retry import RetryPolicy
+from repro.resilience import CircuitOpen
 
 pytestmark = pytest.mark.cluster
 
@@ -179,6 +181,39 @@ class TestShardCrashMidScatter:
             fleet.restart(victim)
             assert gateway.flush_pending() == 1
             assert gateway.pending_compensations == 0
+            assert_no_orphans(fleet)
+
+    def test_restart_resets_the_gateway_breaker(self, fleet):
+        """Satellite bugfix: a shard coming back via ``restart`` must
+        get its breaker forced half-open on every fleet-built gateway —
+        otherwise the healthy shard keeps fast-failing until the open
+        window lapses."""
+        product = "product-0"
+        victim = fleet.ring.shard_of(product)
+        with fleet.gateway(
+            timeout=1.0,
+            retry=RetryPolicy.none(),
+            breaker_threshold=2,
+            breaker_reset=3600.0,  # would stay open for an hour
+        ) as gateway:
+            client = PromiseClient("erin", gateway, retry=RetryPolicy.none())
+            fleet.kill(victim)
+            for _ in range(3):
+                with pytest.raises(
+                    (TransportFailure, CircuitOpen)
+                ):
+                    client.request_promise(
+                        "shop", [P(f"quantity('{product}') >= 1")], 30
+                    )
+            assert gateway.stats.breaker_fast_failures > 0
+
+            fleet.restart(victim)
+            # No hour-long wait: the very next request is the probe.
+            response = client.request_promise(
+                "shop", [P(f"quantity('{product}') >= 1")], 30
+            )
+            assert response.accepted
+            client.release("shop", response.promise_id)
             assert_no_orphans(fleet)
 
 

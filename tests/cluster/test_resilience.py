@@ -147,6 +147,44 @@ class TestGatewayBreakers:
         for deployment in deployments:
             deployment.close()
 
+    def test_flush_pending_respects_an_open_breaker(self):
+        # A queued compensation targeting a shard whose breaker is open
+        # must fail fast and *stay queued* — flushing must neither
+        # hammer the dead shard nor drop the entry.
+        ring, deployments = build_shards(2)
+        toggles = [ToggleTransport(d.transport) for d in deployments]
+        breakers = [
+            CircuitBreaker(f"s{i}", failure_threshold=1, reset_timeout=60)
+            for i in range(2)
+        ]
+        gateway = ClusterGateway(toggles, ring=ring, breakers=breakers)
+        a, b = cross_pair(ring)
+        down = ring.shard_of(b)
+        client = PromiseClient("alice", gateway, retry=RetryPolicy.none())
+        response = client.request_promise("shop", cross_predicates(ring), 30)
+        assert response.accepted
+
+        toggles[down].dead = True
+        client.release("shop", response.promise_id)
+        assert gateway.pending_compensations == 1
+        assert breakers[down].trips >= 1
+
+        fast_before = gateway.stats.breaker_fast_failures
+        assert gateway.flush_pending() == 0
+        assert gateway.pending_compensations == 1  # kept, not dropped
+        assert gateway.stats.breaker_fast_failures > fast_before
+
+        # Shard healed and breaker nudged half-open: the flush clears.
+        toggles[down].dead = False
+        assert gateway.reset_breaker(down)
+        assert gateway.flush_pending() == 1
+        assert gateway.pending_compensations == 0
+        assert all(
+            len(d.manager.active_promises()) == 0 for d in deployments
+        )
+        for deployment in deployments:
+            deployment.close()
+
     def test_healthy_traffic_keeps_breakers_closed(self):
         ring, deployments = build_shards(2)
         breakers = [

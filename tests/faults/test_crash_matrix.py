@@ -113,7 +113,11 @@ class TestMatrixCoversEveryPoint:
         exercised = (
             set(GRANT_POINTS)
             | set(EXECUTE_POINTS)
-            | {"wal.mid-checkpoint", "endpoint.before-reply"}
+            | {
+                "wal.mid-checkpoint",
+                "wal.after-checkpoint-replace",
+                "endpoint.before-reply",
+            }
         )
         assert exercised == set(CRASH_POINTS)
 
@@ -217,6 +221,30 @@ class TestCheckpointCrash:
         assert report.healthy, report.findings
         assert revived.is_promise_active(response.promise_id)
         # Retrying the pre-checkpoint grant still replays the original.
+        replay = grant(revived, "req-1", amount=10)
+        assert replay.promise_id == response.promise_id
+        assert len(revived.active_promises()) == 1
+        assert_no_over_grant(revived)
+        revived.store.close()
+
+
+    def test_crash_after_replace_before_dir_fsync_keeps_checkpoint(
+        self, tmp_path
+    ):
+        # The window the directory fsync closes: os.replace has run, the
+        # durability barrier has not.  On a real filesystem the rename
+        # is visible, so recovery must come up on the checkpointed log
+        # with nothing lost and the journal still answering retries.
+        wal = tmp_path / "shop.wal"
+        manager = build_manager(wal)
+        response = grant(manager, "req-1", amount=10)
+        crash_at("wal.after-checkpoint-replace", manager.store.checkpoint)
+        manager.store.close()
+
+        revived = build_manager(wal)
+        report = recover(revived)
+        assert report.healthy, report.findings
+        assert revived.is_promise_active(response.promise_id)
         replay = grant(revived, "req-1", amount=10)
         assert replay.promise_id == response.promise_id
         assert len(revived.active_promises()) == 1

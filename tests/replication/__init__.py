@@ -1,0 +1,1 @@
+"""Replica-group tests: WAL shipping, promotion, fencing, routing."""

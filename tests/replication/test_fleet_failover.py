@@ -1,0 +1,235 @@
+"""Replica-group failover over real sockets: promote, fence, rejoin.
+
+The acceptance bar for the replication subsystem: whatever kills a
+primary — a process kill, a partition — the group must promote a
+follower carrying every acked write, reject the deposed primary's late
+writes and acks, keep redelivery answering from the journaled replies,
+and end every scenario audit-clean.  Marked ``failover``; CI runs these
+as the failover-suite job.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.cluster import provision_products
+from repro.core.parser import P
+from repro.protocol.client import PromiseClient
+from repro.protocol.errors import (
+    ProtocolError,
+    RequestTimeout,
+    TransportFailure,
+)
+from repro.protocol.retry import RetryPolicy
+from repro.replication import HeartbeatDetector, ReplicatedFleet
+
+pytestmark = pytest.mark.failover
+
+PRODUCTS = 4
+STOCK = 10
+CLIENT_ERRORS = (TransportFailure, RequestTimeout, ProtocolError)
+
+
+class Tap:
+    """Remember the last wire message, for redelivery-based probes."""
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.last = None
+
+    def send(self, message):
+        self.last = message
+        return self.inner.send(message)
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    fleet = ReplicatedFleet(
+        2,
+        replicas=1,
+        provision=provision_products(PRODUCTS, STOCK),
+        wal_dir=str(tmp_path),
+    )
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+def make_client(fleet):
+    gateway = fleet.gateway(
+        timeout=2.0,
+        retry=RetryPolicy(max_attempts=3, base_delay=0.05, max_delay=0.2),
+    )
+    tap = Tap(gateway)
+    client = PromiseClient("failover-test", tap, retry=RetryPolicy.none())
+    return gateway, tap, client
+
+
+def victim_product(fleet) -> tuple[int, str]:
+    products = [f"product-{n}" for n in range(PRODUCTS)]
+    placement = fleet.ring.placement(products)
+    victim = max(placement, key=lambda shard: len(placement[shard]))
+    return victim, sorted(placement[victim])[0]
+
+
+def grant(client, product: str):
+    return client.request_promise(
+        "shop", [P(f"quantity('{product}') >= 1")], 60
+    )
+
+
+def test_kill_then_failover_serves_from_the_follower(fleet):
+    gateway, _, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+
+    before = grant(client, product)
+    assert before.accepted
+    client.release("shop", before.promise_id)
+
+    fleet.kill(victim)
+    assert fleet.failover(victim) == 1
+    after = grant(client, product)
+    assert after.accepted
+    client.release("shop", after.promise_id)
+
+    assert fleet.epoch(victim) == 1
+    assert all(not findings for findings in fleet.audit().values())
+    assert all(count == 0 for count in fleet.live_promises().values())
+    gateway.close()
+
+
+def test_journaled_replies_survive_failover(fleet):
+    """Redelivering a pre-failover acked grant must return the original
+    promise id: the promoted follower warmed its dedup cache from the
+    old primary's journaled replies (shipped in the WAL)."""
+    gateway, tap, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+
+    response = grant(client, product)
+    assert response.accepted
+    original = response.promise_id
+    wire_message = replace(tap.last, deadline=None)
+
+    fleet.kill(victim)
+    fleet.failover(victim)
+
+    for _ in range(2):
+        reply = gateway.send(wire_message)
+        revealed = [
+            r.promise_id for r in reply.promise_responses if r.accepted
+        ]
+        assert revealed == [original]
+    client.release("shop", original)
+    gateway.close()
+
+
+def test_failover_promotes_the_most_caught_up_follower(tmp_path):
+    fleet = ReplicatedFleet(
+        1,
+        replicas=2,
+        provision=provision_products(PRODUCTS, STOCK),
+        wal_dir=str(tmp_path),
+    )
+    with fleet:
+        gateway, _, client = make_client(fleet)
+        group = fleet.group(0)
+        primary = group.primary
+        # Cut one follower out of the stream: it stops catching up.
+        laggard = group.followers[0]
+        primary.sender.remove_follower(laggard.name)
+
+        response = grant(client, "product-0")
+        assert response.accepted
+        client.release("shop", response.promise_id)
+
+        caught_up = group.followers[1]
+        assert caught_up.applied_lsn() > laggard.applied_lsn()
+
+        fleet.kill(0)
+        fleet.failover(0)
+        assert fleet.group(0).primary is caught_up
+        # The laggard was healed by the new primary's full re-sync.
+        assert (
+            fleet.replication_status(0)["stream"]["followers"][laggard.name]
+            == fleet.shard(0).deployment.store.wal.last_lsn
+        )
+        gateway.close()
+
+
+def test_epochs_are_monotonic_across_repeated_failovers(fleet):
+    _, _, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+    seen = [fleet.epoch(victim)]
+    for _ in range(2):
+        fleet.kill(victim)
+        fleet.restart(victim)  # promote + rejoin the corpse
+        seen.append(fleet.epoch(victim))
+        response = grant(client, product)
+        assert response.accepted
+        client.release("shop", response.promise_id)
+    assert seen == sorted(seen) and len(set(seen)) == len(seen)
+
+
+def test_rejoin_restores_redundancy_after_failover(fleet):
+    _, _, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+    fleet.kill(victim)
+    fleet.failover(victim)
+    assert fleet.rejoin(victim) == 1
+
+    status = fleet.replication_status(victim)
+    assert len(status["followers"]) == 1
+    response = grant(client, product)
+    assert response.accepted
+    client.release("shop", response.promise_id)
+    # The rejoined follower acks the new primary's stream.
+    stream = fleet.replication_status(victim)["stream"]
+    assert stream["synced_lsn"] == stream["last_lsn"]
+
+
+def test_partitioned_primary_withholds_acks_and_is_fenced(fleet):
+    gateway, _, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+
+    fleet.partition(victim)
+    zombie = fleet.group(victim).primary
+    # The cut primary's gate refuses: no follower can ack its writes.
+    with pytest.raises(CLIENT_ERRORS):
+        grant(client, product)
+
+    fleet.failover(victim)
+    after = grant(client, product)
+    assert after.accepted
+    client.release("shop", after.promise_id)
+
+    fleet.heal(victim)  # retires the zombie, rejoins it as a follower
+    assert zombie is not fleet.group(victim).primary
+    assert not fleet.group(victim).deposed
+    assert all(not findings for findings in fleet.audit().values())
+    gateway.close()
+
+
+def test_heartbeat_detector_promotes_without_an_operator(fleet):
+    _, _, client = make_client(fleet)
+    victim, product = victim_product(fleet)
+    detector = HeartbeatDetector(fleet, interval=0.05, miss_threshold=3)
+    with detector:
+        fleet.kill(victim)
+        assert fleet.await_failover(victim, beyond_epoch=0, timeout=10.0)
+    assert fleet.failovers == 1
+    assert detector.failovers == 1
+    response = grant(client, product)
+    assert response.accepted
+    client.release("shop", response.promise_id)
+
+
+def test_detector_leaves_a_healthy_fleet_alone(fleet):
+    detector = HeartbeatDetector(fleet, interval=0.05, miss_threshold=2)
+    with detector:
+        time.sleep(0.5)
+    assert fleet.failovers == 0
+    assert detector.pings > 0
+    assert detector.failovers == 0

@@ -1,0 +1,78 @@
+"""Property: replica promotion never moves keys, and epochs only climb.
+
+The whole point of splitting :class:`ReplicaRouting` into an immutable
+:class:`PartitionMap` plus a mutable ``(address, epoch)`` table is that
+failover is invisible to placement — pools seeded on shard 3 are still
+on shard 3 after any sequence of promotions.  Hypothesis drives
+arbitrary promotion sequences against arbitrary key sets to pin that
+invariant down.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.partition import PartitionMap
+from repro.replication import ReplicaRouting
+
+pytestmark = pytest.mark.failover
+
+SHARDS = 5
+
+keys = st.lists(
+    st.text(min_size=1, max_size=24), min_size=1, max_size=32, unique=True
+)
+promotions = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=SHARDS - 1),
+        st.integers(min_value=1024, max_value=65535),
+    ),
+    max_size=24,
+)
+
+
+def make_routing() -> ReplicaRouting:
+    ring = PartitionMap(SHARDS)
+    return ReplicaRouting(
+        ring, [("replica", 9000 + shard) for shard in range(SHARDS)]
+    )
+
+
+@settings(max_examples=200, deadline=None)
+@given(keys=keys, promotions=promotions)
+def test_promotions_never_move_keys(keys, promotions):
+    routing = make_routing()
+    placement_before = {key: routing.shard_of(key) for key in keys}
+    for shard, port in promotions:
+        routing.promote(shard, ("replica", port))
+    assert {key: routing.shard_of(key) for key in keys} == placement_before
+
+
+@settings(max_examples=200, deadline=None)
+@given(promotions=promotions)
+def test_epoch_counts_promotions_per_shard(promotions):
+    routing = make_routing()
+    observed: list[list[int]] = [[0] for _ in range(SHARDS)]
+    for shard, port in promotions:
+        new_epoch = routing.promote(shard, ("replica", port))
+        observed[shard].append(new_epoch)
+    for shard in range(SHARDS):
+        expected = sum(1 for s, _ in promotions if s == shard)
+        assert routing.epoch(shard) == expected
+        # Monotonic, gapless: each promotion bumped by exactly one.
+        assert observed[shard] == list(range(len(observed[shard])))
+
+
+@settings(max_examples=100, deadline=None)
+@given(keys=keys, promotions=promotions)
+def test_lookup_is_consistent_with_snapshot(keys, promotions):
+    routing = make_routing()
+    for shard, port in promotions:
+        routing.promote(shard, ("replica", port))
+    snapshot = routing.snapshot()
+    for key in keys:
+        shard, address, epoch = routing.lookup(key)
+        assert routing.ring.shard_of(key) == shard
+        assert snapshot[shard] == (address, epoch)

@@ -1,0 +1,211 @@
+"""WAL shipping unit tests: suffix shipping, idempotence, fencing, gate.
+
+Run the sender against an in-process transport that hands each ship
+message straight to a :class:`ReplicationReceiver` — no sockets, so
+every scenario (a lagging link, a fenced stream, a diverged rejoin) is
+deterministic.  The socket path is covered by the fleet failover tests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.protocol.errors import TransportFailure
+from repro.replication.shipping import (
+    FENCED_FAULT_PREFIX,
+    SHIP_CHUNK_RECORDS,
+    ReplicationReceiver,
+    ReplicationSender,
+)
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+pytestmark = pytest.mark.failover
+
+GROUP = "shop-g0"
+
+
+class DirectTransport:
+    """Delivers ship messages straight to a receiver's handler."""
+
+    def __init__(self, receiver: ReplicationReceiver) -> None:
+        self.receiver = receiver
+        self.down = False
+        self.sent = 0
+
+    def send(self, message):
+        if self.down:
+            raise TransportFailure("link down")
+        self.sent += 1
+        return self.receiver.handle(message)
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture()
+def wal(tmp_path):
+    log = WriteAheadLog(tmp_path / "primary.wal")
+    yield log
+    log.close()
+
+
+def make_receiver(tmp_path, epoch: int = 0) -> ReplicationReceiver:
+    return ReplicationReceiver(
+        GROUP, str(tmp_path / "follower.wal"), epoch=epoch
+    )
+
+
+def make_pair(tmp_path, wal, epoch: int = 0):
+    receiver = make_receiver(tmp_path)
+    transport = DirectTransport(receiver)
+    sender = ReplicationSender(
+        GROUP, epoch, wal, transport_factory=lambda address: transport
+    )
+    link = sender.add_follower(("in-process", 0), "f0")
+    return sender, receiver, transport, link
+
+
+def commit_txn(wal: WriteAheadLog, txn_id: int) -> None:
+    wal.append(LogRecordType.BEGIN, txn_id=txn_id)
+    wal.append(
+        LogRecordType.PUT, txn_id=txn_id, table="t", key=f"k{txn_id}", value=1
+    )
+    wal.append(LogRecordType.COMMIT, txn_id=txn_id)
+
+
+def test_observe_ships_only_at_txn_boundaries(tmp_path, wal):
+    sender, receiver, transport, _ = make_pair(tmp_path, wal)
+    wal.subscribe(sender.observe)
+
+    wal.append(LogRecordType.BEGIN, txn_id=1)
+    wal.append(LogRecordType.PUT, txn_id=1, table="t", key="k", value=1)
+    assert transport.sent == 0  # intermediate records ride along
+
+    wal.append(LogRecordType.COMMIT, txn_id=1)
+    assert transport.sent == 1  # one ship per commit, not per record
+    assert receiver.applied_lsn == wal.last_lsn
+
+
+def test_ship_carries_only_the_unacked_suffix(tmp_path, wal):
+    sender, receiver, _, link = make_pair(tmp_path, wal)
+    wal.subscribe(sender.observe)
+    commit_txn(wal, 1)
+    shipped_first = sender.records_shipped
+    commit_txn(wal, 2)
+    # The second flush must not re-send transaction 1's records.
+    assert sender.records_shipped == shipped_first + 3
+    assert link.acked_lsn == wal.last_lsn
+    assert receiver.applied_lsn == wal.last_lsn
+
+
+def test_redelivery_is_idempotent_by_lsn(tmp_path, wal):
+    sender, receiver, _, link = make_pair(tmp_path, wal)
+    commit_txn(wal, 1)
+    assert sender.flush()
+    applied = receiver.ships_applied
+    # Simulate a lost ack: the sender forgets the follower's progress
+    # and re-ships everything.  The receiver must skip it all.
+    link.acked_lsn = 0
+    assert sender.flush()
+    assert receiver.ships_applied == applied
+    assert len(receiver.wal) == len(wal)
+
+
+def test_promoted_receiver_fences_the_stream(tmp_path, wal):
+    sender, receiver, _, _ = make_pair(tmp_path, wal)
+    commit_txn(wal, 1)
+    assert sender.flush()
+
+    receiver.promote(1)
+    commit_txn(wal, 2)
+    assert not sender.flush()
+    assert sender.fenced is not None
+    # The latch is permanent: the gate refuses forever after.
+    reason = sender.gate()
+    assert reason is not None and "deposed" in reason
+
+
+def test_stale_epoch_stream_bounces(tmp_path, wal):
+    receiver = make_receiver(tmp_path)
+    receiver.epoch = 5
+    transport = DirectTransport(receiver)
+    sender = ReplicationSender(
+        GROUP, 2, wal, transport_factory=lambda address: transport
+    )
+    sender.add_follower(("in-process", 0), "f0")
+    commit_txn(wal, 1)
+    assert not sender.flush()
+    assert sender.fenced is not None
+    assert receiver.ships_fenced == 1
+    assert receiver.applied_lsn == 0  # nothing from the stale stream stuck
+
+
+def test_newer_epoch_is_adopted_by_receiver(tmp_path, wal):
+    sender, receiver, _, _ = make_pair(tmp_path, wal)
+    sender.epoch = 3
+    commit_txn(wal, 1)
+    assert sender.flush()
+    assert receiver.epoch == 3
+
+
+def test_full_sync_rewrites_a_diverged_follower(tmp_path, wal):
+    sender, receiver, _, link = make_pair(tmp_path, wal)
+    # The follower diverged: it holds records the primary never wrote
+    # (it was briefly a primary itself behind a partition).
+    receiver.wal.append(LogRecordType.BEGIN, txn_id=99)
+    receiver.wal.append(LogRecordType.COMMIT, txn_id=99)
+    commit_txn(wal, 1)
+    assert sender.full_sync(link)
+    assert receiver.applied_lsn == wal.last_lsn
+    assert [r.txn_id for r in receiver.wal] == [r.txn_id for r in wal]
+
+
+def test_catch_up_larger_than_one_frame_ships_in_chunks(tmp_path, wal):
+    """Regression: a rejoining follower missing more records than fit
+    one wire frame must still catch up (chunked shipping), otherwise
+    the link can never ack and the primary's gate closes forever."""
+    sender, receiver, transport, link = make_pair(tmp_path, wal)
+    txns = SHIP_CHUNK_RECORDS  # 3 records each: several chunks' worth
+    for txn_id in range(1, txns + 1):
+        commit_txn(wal, txn_id)
+    assert sender.full_sync(link)
+    assert transport.sent >= 3  # genuinely chunked, not one giant frame
+    assert receiver.applied_lsn == wal.last_lsn
+    assert link.acked_lsn == wal.last_lsn
+    assert sender.gate() is None
+
+
+def test_gate_open_with_no_followers_degraded_single_copy(tmp_path, wal):
+    sender = ReplicationSender(GROUP, 0, wal)
+    commit_txn(wal, 1)
+    assert sender.gate() is None  # documented: weaker, but not refused
+
+
+def test_gate_refuses_while_blocked_then_recovers(tmp_path, wal):
+    sender, receiver, _, _ = make_pair(tmp_path, wal)
+    commit_txn(wal, 1)
+    sender.blocked = True  # simulated partition: flushes are no-ops
+    reason = sender.gate()
+    assert reason is not None and "lagging" in reason
+    sender.blocked = False
+    assert sender.gate() is None  # the gate's retry-flush catches up
+    assert receiver.applied_lsn == wal.last_lsn
+
+
+def test_gate_retries_flush_after_transient_link_failure(tmp_path, wal):
+    sender, receiver, transport, _ = make_pair(tmp_path, wal)
+    wal.subscribe(sender.observe)
+    transport.down = True
+    commit_txn(wal, 1)  # the observe-flush fails silently
+    assert receiver.applied_lsn == 0
+    transport.down = False
+    # One dropped ship must not bounce a healthy client: the gate
+    # re-flushes before refusing.
+    assert sender.gate() is None
+    assert receiver.applied_lsn == wal.last_lsn
+
+
+def test_fenced_fault_prefix_is_stable_wire_contract():
+    # The sender latches on this exact prefix; renaming it breaks
+    # mixed-version replica groups.
+    assert FENCED_FAULT_PREFIX == "repl-fenced:"
