@@ -1,0 +1,183 @@
+"""F7 — observability overhead: metrics and tracing on the hot path.
+
+Measures what the ``repro.obs`` subsystem costs where it hurts — the
+networked Figure-2 pipeline (client → XML codec → TCP → server dispatch
+→ promise manager → application → release) — under three configurations
+of the same workload:
+
+* **null** — the server's counters go to a :class:`NullRegistry` (every
+  increment a no-op) and the client sends untraced envelopes: the
+  zero-instrumentation baseline;
+* **metrics** — a real :class:`MetricsRegistry` behind every counter,
+  gauge and dispatch-latency histogram, still untraced;
+* **metrics+tracing** — the client roots a trace per request, the
+  envelope carries the ``<trace>`` header, and every hop (client
+  attempt, server dispatch, transaction) records spans into bounded
+  ring buffers.
+
+Each configuration runs the same grant+release round-trip loop three
+times; the best run's throughput counts (the others absorb warm-up and
+scheduler noise).  The acceptance bar — enforced by ``--smoke`` in CI —
+is that **metrics+tracing costs at most 15% of the null-registry
+throughput**: observability you cannot afford to leave on is
+observability that will be off during the outage.
+
+``python -m benchmarks.bench_f7_observability`` emits the JSON
+document; under pytest-benchmark the same sweep prints a table.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+
+from repro.core.parser import P
+from repro.net import NetworkTransport, PromiseServer, ThreadedServer
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace import SpanRecorder
+from repro.protocol.client import PromiseClient
+from repro.services.deployment import Deployment
+from repro.services.merchant import MerchantService
+
+from .common import print_table, run_once
+
+STOCK = 1_000_000
+REQUESTS = 300
+SMOKE_REQUESTS = 120
+REPEATS = 3
+MAX_OVERHEAD = 0.15  # the --smoke acceptance bar, tracing on
+
+CONFIGS = ("null", "metrics", "metrics+tracing")
+
+
+def _measure_config(config: str, requests: int) -> dict[str, object]:
+    """Best-of-N throughput of the networked pipeline under ``config``."""
+    deployment = Deployment(name="bench")
+    deployment.add_service(MerchantService())
+    deployment.use_pool_strategy("stock")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "stock", STOCK)
+
+    metrics = NULL_REGISTRY if config == "null" else MetricsRegistry()
+    tracer = SpanRecorder() if config == "metrics+tracing" else None
+    server = PromiseServer(port=0, metrics=metrics)
+    server.register("bench", deployment.endpoint.handle)
+
+    best_rps = 0.0
+    spans = 0
+    try:
+        with ThreadedServer(server) as address:
+            with NetworkTransport(address) as transport:
+                client = PromiseClient("bench", transport, tracer=tracer)
+                for __ in range(REPEATS):
+                    start = time.perf_counter()
+                    for __ in range(requests):
+                        response = client.request_promise(
+                            "bench", [P("quantity('stock') >= 1")], 10
+                        )
+                        client.release("bench", response.promise_id)
+                        deployment.manager.vacuum()
+                    elapsed = time.perf_counter() - start
+                    best_rps = max(best_rps, requests / elapsed)
+        if tracer is not None:
+            spans = len(tracer.spans()) + len(server.tracer.spans())
+    finally:
+        deployment.close()
+    return {
+        "config": config,
+        "requests": requests,
+        "round_trips_per_s": best_rps,
+        "spans_recorded": spans,
+    }
+
+
+def observability_sweep(requests: int = REQUESTS) -> list[dict[str, object]]:
+    """All three configurations, overheads relative to the null run."""
+    rows = [_measure_config(config, requests) for config in CONFIGS]
+    baseline = float(rows[0]["round_trips_per_s"])  # type: ignore[arg-type]
+    for row in rows:
+        rps = float(row["round_trips_per_s"])  # type: ignore[arg-type]
+        row["overhead"] = (baseline - rps) / baseline if baseline else 0.0
+    return rows
+
+
+def test_report_f7(benchmark):
+    """The F7 table: throughput and relative overhead per configuration."""
+
+    def sweep():
+        rows = observability_sweep()
+        print_table(
+            "F7: observability overhead on the networked pipeline "
+            f"(grant+release x {REQUESTS}, best of {REPEATS})",
+            ["config", "round_trips_per_s", "overhead", "spans_recorded"],
+            rows,
+        )
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    tracing = next(r for r in rows if r["config"] == "metrics+tracing")
+    # The pytest run uses a soft bar (2x the smoke budget): shared CI
+    # boxes jitter, and the hard 15% gate belongs to the calibrated
+    # --smoke arm below, not to every unit-test invocation.
+    assert float(tracing["overhead"]) < 2 * MAX_OVERHEAD + 0.25
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the sweep once and emit the F7 JSON document."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="bench_f7_observability",
+        description="F7: observability overhead benchmark (JSON output)",
+    )
+    parser.add_argument("--requests", type=int, default=None,
+                        help=f"round trips per timed run (default "
+                             f"{REQUESTS}, or {SMOKE_REQUESTS} with "
+                             f"--smoke)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller run that FAILS (exit 1) when "
+                             "metrics+tracing overhead exceeds "
+                             f"{MAX_OVERHEAD:.0%} of the null-registry "
+                             "throughput")
+    parser.add_argument("--output", default=None, metavar="PATH",
+                        help="write JSON here instead of stdout")
+    args = parser.parse_args(argv)
+
+    requests = args.requests
+    if requests is None:
+        requests = SMOKE_REQUESTS if args.smoke else REQUESTS
+    rows = observability_sweep(requests)
+    tracing = next(r for r in rows if r["config"] == "metrics+tracing")
+    document = {
+        "experiment": "F7",
+        "requests": requests,
+        "repeats": REPEATS,
+        "configs": rows,
+        "acceptance": {
+            "max_overhead": MAX_OVERHEAD,
+            "tracing_overhead": tracing["overhead"],
+            "tracing_within_budget": (
+                float(tracing["overhead"]) <= MAX_OVERHEAD  # type: ignore[arg-type]
+            ),
+        },
+    }
+    text = json.dumps(document, indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    else:
+        print(text)
+    if args.smoke and not document["acceptance"]["tracing_within_budget"]:
+        print(
+            f"FAILED: tracing overhead {float(tracing['overhead']):.1%} "
+            f"exceeds the {MAX_OVERHEAD:.0%} budget",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

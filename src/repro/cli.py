@@ -35,6 +35,18 @@ Four subcommands:
     the call goes through a routing gateway over a whole fleet instead
     of a single server, so predicates may span shards.
 
+``top``
+    Scrape the ``_metrics`` endpoint of a running server (or every
+    shard of a fleet) and render the counters, gauges and latency
+    histograms; ``--watch N`` refreshes every N seconds and prints
+    per-interval rates instead of lifetime totals.
+
+``trace``
+    Assemble one distributed trace — client attempts, gateway legs,
+    shard transactions, replication ack gates — and render it as an
+    indented span tree.  Spans come from live ``_spans`` scrapes
+    (``--cluster``/``--connect``) or from a ``--spans`` JSONL export.
+
 ``doctor``
     Open a deployment's write-ahead log, run crash recovery and the
     invariant audit, and report what it found — the post-mortem half of
@@ -66,6 +78,11 @@ Examples::
     python -m repro.cli call --connect 127.0.0.1:7807 --predicate "quantity('widgets') >= 5" --duration 30
     python -m repro.cli call --connect 127.0.0.1:7807 --service merchant --operation sell --param product=widgets --param quantity=1
     python -m repro.cli call --cluster 127.0.0.1:7807,127.0.0.1:7808 --predicate "quantity('product-0') >= 2 and quantity('product-1') >= 1"
+    python -m repro.cli call --cluster 127.0.0.1:7807,127.0.0.1:7808 --predicate "quantity('product-0') >= 2" --trace
+    python -m repro.cli top --cluster 127.0.0.1:7807,127.0.0.1:7808
+    python -m repro.cli top --connect 127.0.0.1:7807 --watch 2
+    python -m repro.cli trace 1f3a2b... --cluster 127.0.0.1:7807,127.0.0.1:7808
+    python -m repro.cli trace 1f3a2b... --spans run.spans.jsonl
     python -m repro.cli doctor --wal /var/lib/shop.wal --repair
     python -m repro.cli serve --port 7807 --max-queue 64 --rate-limit 200
     python -m repro.cli chaos --seed 2007 --duration 30
@@ -91,7 +108,13 @@ from .core.environment import Environment
 from .core.errors import PredicateSyntaxError
 from .core.parser import P
 from .net import NetworkTransport, PromiseServer, ThreadedServer
-from .net.server import NET_REPLY_JOURNAL_TABLE
+from .net.server import (
+    METRICS_ENDPOINT,
+    NET_REPLY_JOURNAL_TABLE,
+    SPANS_ENDPOINT,
+)
+from .obs.metrics import snapshot_delta, wal_observer
+from .obs.trace import Span, SpanRecorder, render_trace, spans_from_jsonl
 from .protocol.client import PromiseClient
 from .recovery import ReplyJournal
 from .storage.errors import RecoveryError
@@ -236,6 +259,52 @@ def build_parser() -> argparse.ArgumentParser:
     call.add_argument("--param", action="append", default=[],
                       help="action parameter as key=value (repeatable)")
     call.add_argument("--timeout", type=float, default=5.0)
+    call.add_argument("--trace", action="store_true",
+                      help="propagate a trace through the request, then "
+                           "print the trace id and the assembled span "
+                           "tree (client attempt, gateway legs, shard "
+                           "transaction, replication ack)")
+    call.add_argument("--trace-export", default=None, metavar="FILE",
+                      help="also write the collected spans to FILE as "
+                           "JSON lines (implies --trace); render later "
+                           "with: repro trace <id> --spans FILE")
+
+    top = commands.add_parser(
+        "top", help="scrape and render a running fleet's metrics"
+    )
+    top.add_argument("--connect", default=None, metavar="ADDR",
+                     help=f"single server as host:port "
+                          f"(default 127.0.0.1:{DEFAULT_PORT})")
+    top.add_argument("--cluster", default=None, metavar="ADDRS",
+                     help="comma-separated shard addresses "
+                          "(host:port,host:port,...); scrapes every "
+                          "shard of a fleet")
+    top.add_argument("--watch", type=float, default=None, metavar="SECONDS",
+                     help="refresh every N seconds, printing "
+                          "per-interval counter deltas (one-shot "
+                          "lifetime totals otherwise); stop with ctrl-C")
+    top.add_argument("--iterations", type=int, default=None, metavar="N",
+                     help="with --watch: stop after N refreshes "
+                          "(default: run until interrupted)")
+    top.add_argument("--json", action="store_true",
+                     help="print the raw snapshots as JSON instead of "
+                          "the rendered table")
+    top.add_argument("--timeout", type=float, default=5.0)
+
+    trace = commands.add_parser(
+        "trace", help="assemble and render one distributed trace"
+    )
+    trace.add_argument("trace_id",
+                       help="trace id, as printed by call --trace")
+    trace.add_argument("--connect", default=None, metavar="ADDR",
+                       help="scrape one server's span ring (host:port)")
+    trace.add_argument("--cluster", default=None, metavar="ADDRS",
+                       help="scrape every shard's span ring "
+                            "(host:port,host:port,...)")
+    trace.add_argument("--spans", default=None, metavar="FILE",
+                       help="read spans from a JSONL export instead of "
+                            "scraping live servers")
+    trace.add_argument("--timeout", type=float, default=5.0)
 
     doctor = commands.add_parser(
         "doctor", help="recover a WAL-backed deployment and audit it"
@@ -455,6 +524,10 @@ def _build_server(
     server = PromiseServer(
         host=host, port=port, reply_journal=journal, admission=admission
     )
+    # The server owns the deployment's registry too: WAL appends land
+    # beside the request counters, so one ``_metrics`` scrape (``repro
+    # top``) covers the whole process.
+    deployment.store.wal.subscribe(wal_observer(server.metrics))
     server.register(endpoint, deployment.endpoint.handle)
     return server
 
@@ -1111,6 +1184,203 @@ def _parse_addresses(text: str) -> list[tuple[str, int]] | None:
     return addresses or None
 
 
+def _obs_scrape(transport, recipient: str, params=None):
+    """One ``_metrics``/``_spans`` probe; None when the peer is down
+    (or predates the observability endpoints)."""
+    probe = Message(
+        message_id=f"cli-obs:{os.getpid()}:{os.urandom(4).hex()}",
+        sender="cli-obs",
+        recipient=recipient,
+        action=ActionPayload(
+            service="_obs", operation="scrape", params=dict(params or {})
+        ),
+    )
+    try:
+        reply = transport.send(probe)
+    except ProtocolError:
+        return None
+    outcome = reply.action_outcome
+    if outcome is None or not outcome.success:
+        return None
+    return outcome.value
+
+
+def _obs_addresses(
+    connect: str | None, cluster: str | None, out
+) -> list[tuple[str, int]] | None:
+    """Resolve the top/trace address flags; None (and a message) on bad
+    input.  ``--cluster`` wins; the default is one local server."""
+    if cluster is not None:
+        addresses = _parse_addresses(cluster)
+        if addresses is None:
+            print(
+                f"bad --cluster address list {cluster!r} "
+                "(want host:port,host:port,...)",
+                file=out,
+            )
+            return None
+        return addresses
+    text = connect if connect is not None else f"127.0.0.1:{DEFAULT_PORT}"
+    addresses = _parse_addresses(text)
+    if addresses is None or len(addresses) != 1:
+        print(f"bad --connect address {text!r} (want host:port)", file=out)
+        return None
+    return addresses
+
+
+def _render_metrics(snapshot, indent: str = "  ") -> list[str]:
+    """One scrape as ``name = value`` lines (counters, gauges, then
+    histogram count/mean pairs), sorted for stable output."""
+    lines: list[str] = []
+    counters = snapshot.get("counters", {})
+    for name in sorted(counters):
+        lines.append(f"{indent}{name} = {counters[name]}")
+    gauges = snapshot.get("gauges", {})
+    for name in sorted(gauges):
+        lines.append(f"{indent}{name} = {gauges[name]:g}")
+    histograms = snapshot.get("histograms", {})
+    for name in sorted(histograms):
+        hist = histograms[name]
+        count = int(hist.get("count", 0))
+        total = float(hist.get("sum", 0.0))
+        mean = total / count if count else 0.0
+        lines.append(
+            f"{indent}{name} = count {count}, mean {mean * 1000:.2f} ms"
+        )
+    return lines
+
+
+def run_top(
+    connect: str | None,
+    cluster: str | None,
+    watch: float | None,
+    as_json: bool,
+    timeout: float,
+    iterations: int | None = None,
+    out=sys.stdout,
+) -> int:
+    """Scrape and render fleet metrics; 0 when every shard answered."""
+    import json
+    import time
+
+    addresses = _obs_addresses(connect, cluster, out)
+    if addresses is None:
+        return 2
+    transports = [
+        NetworkTransport(address, timeout=timeout) for address in addresses
+    ]
+
+    def scrape_all():
+        return [
+            _obs_scrape(transport, METRICS_ENDPOINT)
+            for transport in transports
+        ]
+
+    def emit(snapshots, label: str) -> bool:
+        all_up = True
+        if as_json:
+            print(
+                json.dumps(
+                    {
+                        "at": label,
+                        "shards": [
+                            {"address": f"{h}:{p}", "metrics": snap}
+                            for (h, p), snap in zip(addresses, snapshots)
+                        ],
+                    },
+                    sort_keys=True,
+                ),
+                file=out,
+            )
+            return all(snap is not None for snap in snapshots)
+        for index, ((host, port), snap) in enumerate(
+            zip(addresses, snapshots)
+        ):
+            if snap is None:
+                print(f"shard {index} @ {host}:{port}: DOWN", file=out)
+                all_up = False
+                continue
+            print(f"shard {index} @ {host}:{port} ({label})", file=out)
+            for line in _render_metrics(snap):
+                print(line, file=out)
+        return all_up
+
+    try:
+        snapshots = scrape_all()
+        ok = emit(snapshots, "totals")
+        if watch is None:
+            return 0 if ok else 1
+        ticks = 0
+        while iterations is None or ticks < iterations:
+            time.sleep(watch)
+            ticks += 1
+            fresh = scrape_all()
+            deltas = [
+                snapshot_delta(previous, current)
+                if previous is not None and current is not None
+                else current
+                for previous, current in zip(snapshots, fresh)
+            ]
+            print(f"--- +{watch * ticks:g}s ---", file=out)
+            ok = emit(deltas, f"last {watch:g}s") and ok
+            snapshots = fresh
+        return 0 if ok else 1
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        return 0
+    finally:
+        for transport in transports:
+            transport.close()
+
+
+def _scrape_spans(transports, trace_id: str | None) -> list[Span]:
+    """Every shard's exported spans (optionally one trace's)."""
+    params = {"trace_id": trace_id} if trace_id is not None else {}
+    spans: list[Span] = []
+    for transport in transports:
+        value = _obs_scrape(transport, SPANS_ENDPOINT, params)
+        if isinstance(value, list):
+            for item in value:
+                if isinstance(item, dict):
+                    spans.append(Span.from_dict(item))
+    return spans
+
+
+def run_trace(
+    trace_id: str,
+    connect: str | None,
+    cluster: str | None,
+    spans_file: str | None,
+    timeout: float,
+    out=sys.stdout,
+) -> int:
+    """Render one trace's span tree; 1 when no spans were found."""
+    if spans_file is not None:
+        if not os.path.exists(spans_file):
+            print(f"no such span export: {spans_file}", file=out)
+            return 2
+        with open(spans_file, "r", encoding="utf-8") as handle:
+            spans = spans_from_jsonl(handle.read())
+    else:
+        addresses = _obs_addresses(connect, cluster, out)
+        if addresses is None:
+            return 2
+        transports = [
+            NetworkTransport(address, timeout=timeout)
+            for address in addresses
+        ]
+        try:
+            spans = _scrape_spans(transports, trace_id)
+        finally:
+            for transport in transports:
+                transport.close()
+    matching = [span for span in spans if span.trace_id == trace_id]
+    if not matching:
+        print(f"no spans for trace {trace_id}", file=out)
+        return 1
+    print(render_trace(matching, trace_id), file=out)
+    return 0
+
+
 def run_call(
     connect: str,
     endpoint: str,
@@ -1122,6 +1392,8 @@ def run_call(
     params: Sequence[str],
     timeout: float,
     cluster: str | None = None,
+    trace: bool = False,
+    trace_export: str | None = None,
     out=sys.stdout,
 ) -> int:
     """One promise request and/or action against a running server."""
@@ -1131,6 +1403,8 @@ def run_call(
             file=out,
         )
         return 2
+    if trace_export is not None:
+        trace = True
     if cluster is not None:
         addresses = _parse_addresses(cluster)
         if addresses is None:
@@ -1152,6 +1426,7 @@ def run_call(
         # restarts at 1; the server deduplicates on message id (§6), so
         # the identity itself must make the namespace process-unique.
         client_name = f"cli-{os.getpid()}-{os.urandom(3).hex()}"
+    recorder = SpanRecorder() if trace else None
 
     def open_transport():
         if cluster is not None:
@@ -1159,19 +1434,27 @@ def run_call(
                 [
                     NetworkTransport(address, timeout=timeout)
                     for address in addresses
-                ]
+                ],
+                tracer=recorder,
             )
         return NetworkTransport(addresses[0], timeout=timeout)
 
+    trace_ids: list[str] = []
+
+    def note_trace(client: PromiseClient) -> None:
+        if recorder is not None and client.last_trace_id is not None:
+            trace_ids.append(client.last_trace_id)
+
     try:
         with open_transport() as transport:
-            client = PromiseClient(client_name, transport)
+            client = PromiseClient(client_name, transport, tracer=recorder)
             environment = None
             code = 0
             if predicates:
                 response = client.request_promise(
                     endpoint, [P(text) for text in predicates], duration
                 )
+                note_trace(client)
                 if response.accepted:
                     print(f"promise GRANTED as {response.promise_id} "
                           f"for {response.duration} ticks", file=out)
@@ -1187,6 +1470,7 @@ def run_call(
                     endpoint, service, operation,
                     _parse_params(params), environment=environment,
                 )
+                note_trace(client)
                 status = (
                     "ok" if outcome.success else f"failed: {outcome.reason}"
                 )
@@ -1194,6 +1478,11 @@ def run_call(
                 if outcome.value is not None:
                     print(f"result: {outcome.value}", file=out)
                 code = 0 if outcome.success else 1
+            if recorder is not None:
+                _report_call_traces(
+                    transport, recorder, trace_ids, cluster is not None,
+                    trace_export, out,
+                )
     except PredicateSyntaxError as error:
         print(f"bad predicate: {error}", file=out)
         return 2
@@ -1201,6 +1490,54 @@ def run_call(
         print(f"error: {error}", file=out)
         return 2
     return code
+
+
+def _report_call_traces(
+    transport,
+    recorder: SpanRecorder,
+    trace_ids: Sequence[str],
+    via_gateway: bool,
+    trace_export: str | None,
+    out,
+) -> None:
+    """Assemble and print the traces one ``call --trace`` produced.
+
+    Local spans come from the client's (and gateway's) shared recorder;
+    the server-side halves are scraped over the same connection the call
+    just used — ``spans_snapshot`` when the transport is a gateway, a
+    direct ``_spans`` probe otherwise.
+    """
+    import json
+
+    spans = list(recorder.spans())
+    if via_gateway:
+        # The gateway shares ``recorder``; its snapshot adds the
+        # per-shard scrapes (render_trace dedups the overlap).
+        for trace_id in trace_ids:
+            spans.extend(
+                Span.from_dict(item)
+                for item in transport.spans_snapshot(trace_id)
+                if isinstance(item, dict)
+            )
+    else:
+        spans.extend(_scrape_spans([transport], None))
+    for trace_id in trace_ids:
+        print(f"trace: {trace_id}", file=out)
+        print(render_trace(spans, trace_id), file=out)
+    if trace_export is not None:
+        wanted = set(trace_ids)
+        exported: dict[str, Span] = {}
+        for span in spans:
+            if span.trace_id in wanted:
+                exported.setdefault(span.span_id, span)
+        with open(trace_export, "w", encoding="utf-8") as handle:
+            for span in exported.values():
+                handle.write(
+                    json.dumps(span.to_dict(), sort_keys=True) + "\n"
+                )
+        print(
+            f"exported {len(exported)} spans to {trace_export}", file=out
+        )
 
 
 def run_doctor(
@@ -1329,7 +1666,18 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
         return run_call(
             args.connect, args.endpoint, args.client_name,
             args.predicate, args.duration, args.service, args.operation,
-            args.param, args.timeout, cluster=args.cluster, out=out,
+            args.param, args.timeout, cluster=args.cluster,
+            trace=args.trace, trace_export=args.trace_export, out=out,
+        )
+    if args.command == "top":
+        return run_top(
+            args.connect, args.cluster, args.watch, args.json,
+            args.timeout, iterations=args.iterations, out=out,
+        )
+    if args.command == "trace":
+        return run_trace(
+            args.trace_id, args.connect, args.cluster, args.spans,
+            args.timeout, out=out,
         )
     if args.command == "doctor":
         return run_doctor(args.wal, args.endpoint, args.repair, out=out)

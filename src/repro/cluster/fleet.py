@@ -34,6 +34,8 @@ from typing import Callable, Sequence
 
 from ..net.server import NET_REPLY_JOURNAL_TABLE, PromiseServer, ThreadedServer
 from ..net.transport import NetworkTransport
+from ..obs.metrics import wal_observer
+from ..obs.trace import SpanRecorder
 from ..protocol.retry import RetryPolicy
 from ..recovery import ReplyJournal
 from ..resilience.admission import AdmissionController
@@ -187,6 +189,7 @@ class ClusterFleet:
         breaker_reset: float = 5.0,
         pending_limit: int | None = 256,
         pending_max_age: float | None = None,
+        tracer: SpanRecorder | None = None,
     ) -> ClusterGateway:
         """A routing gateway over this fleet's (current) addresses.
 
@@ -222,6 +225,7 @@ class ClusterFleet:
             breakers=breakers,
             pending_limit=pending_limit,
             pending_max_age=pending_max_age,
+            tracer=tracer,
         )
         self._gateways.append(gateway)
         return gateway
@@ -277,7 +281,12 @@ class ClusterFleet:
         server = PromiseServer(
             host=self._host, port=port, reply_journal=journal,
             admission=admission,
+            metrics=admission.metrics if admission is not None else None,
         )
+        # Each shard's server owns the shard's registry and span ring;
+        # WAL appends land there too, so one ``_metrics`` scrape covers
+        # the shard's whole stack (server, admission, storage).
+        deployment.store.wal.subscribe(wal_observer(server.metrics))
         server.register(self.endpoint, deployment.endpoint.handle)
         runner = ThreadedServer(server)
         address = runner.start()

@@ -41,9 +41,12 @@ from typing import Callable, Mapping, Sequence
 
 from ..core.environment import Environment
 from ..core.promise import PromiseRequest, PromiseResponse, PromiseResult
+from ..net.server import METRICS_ENDPOINT, SPANS_ENDPOINT
+from ..obs.metrics import MetricsRegistry, StatsView
+from ..obs.trace import ActiveSpan, SpanRecorder
 from ..protocol.client import MessageTransport
 from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
-from ..protocol.messages import ActionOutcomePayload, Message
+from ..protocol.messages import ActionOutcomePayload, ActionPayload, Message
 from ..resilience.breaker import CircuitBreaker, CircuitOpen
 from .partition import PartitionError, PartitionMap
 
@@ -62,25 +65,32 @@ ACTION_RESOURCE_PARAMS = (
 )
 
 
-@dataclass
-class GatewayStats:
-    """Counters describing how requests moved through the gateway."""
+class GatewayStats(StatsView):
+    """Counters describing how requests moved through the gateway.
 
-    requests: int = 0
-    forwarded: int = 0
-    scattered: int = 0
-    composite_grants: int = 0
-    composite_rejections: int = 0
-    compensations: int = 0
-    pending_compensations: int = 0
-    releases_routed: int = 0
-    actions_routed: int = 0
-    shard_errors: int = 0
-    breaker_fast_failures: int = 0
-    pending_dropped: int = 0
-    remaps: int = 0
-    breaker_resets: int = 0
-    stale_acks_discarded: int = 0
+    A view over ``gateway.*`` registry metrics; the scatter pool means
+    several threads bump these concurrently, so every increment goes
+    through the registry's lock rather than a bare ``+=``.
+    """
+
+    _prefix = "gateway"
+    _fields = (
+        "requests",
+        "forwarded",
+        "scattered",
+        "composite_grants",
+        "composite_rejections",
+        "compensations",
+        "pending_compensations",
+        "releases_routed",
+        "actions_routed",
+        "shard_errors",
+        "breaker_fast_failures",
+        "pending_dropped",
+        "remaps",
+        "breaker_resets",
+        "stale_acks_discarded",
+    )
 
 
 @dataclass
@@ -126,6 +136,8 @@ class ClusterGateway:
         pending_limit: int | None = 256,
         pending_max_age: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
+        tracer: SpanRecorder | None = None,
     ) -> None:
         if not transports:
             raise PartitionError("a gateway needs at least one shard transport")
@@ -148,7 +160,10 @@ class ClusterGateway:
         self.pending_limit = pending_limit
         self.pending_max_age = pending_max_age
         self._clock = clock
-        self.stats = GatewayStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self.stats = GatewayStats(self.metrics)
+        self._scrape_counter = 0
         # composite promise id -> {shard: sub promise id}
         self._composites: dict[str, dict[int, str]] = {}
         # plain (single-shard) promise id -> home shard
@@ -166,18 +181,44 @@ class ClusterGateway:
 
     def send(self, message: Message) -> Message:
         """Deliver ``message`` to the fleet and synthesise the one reply."""
-        self.stats.requests += 1
+        self.metrics.inc("gateway.requests")
+        if self.tracer is None or message.trace is None:
+            return self._send_routed(message, None)
+        # The routing decision gets its own span; the message is
+        # re-stamped with that span's context so every shard leg below
+        # (and the shard servers' dispatch spans beyond them) hangs off
+        # this hop in the trace tree.
+        with self.tracer.span(
+            "gateway.route",
+            parent=message.trace,
+            endpoint=message.recipient,
+            message_id=message.message_id,
+        ) as span:
+            return self._send_routed(replace(message, trace=span.context), span)
+
+    def _send_routed(
+        self, message: Message, span: ActiveSpan | None
+    ) -> Message:
         try:
             plan = self._route(message)
         except PartitionError as exc:
+            if span is not None:
+                span.set_outcome("partition-fault")
             return self._partition_fault(message, exc)
         if len(plan) == 1 and not self._needs_rewrite(message, plan):
             shard = next(iter(plan))
-            self.stats.forwarded += 1
+            self.metrics.inc("gateway.forwarded")
+            if span is not None:
+                span.annotate(mode="forward", shard=shard)
             reply = self._shard_send(shard, message)
             self._note_homes(message, reply, shard)
             return reply
-        self.stats.scattered += 1
+        self.metrics.inc("gateway.scattered")
+        if span is not None:
+            span.annotate(
+                mode="scatter",
+                shards=",".join(str(shard) for shard in sorted(plan)),
+            )
         expires_at = (
             time.monotonic() + message.deadline
             if message.deadline is not None
@@ -208,7 +249,7 @@ class ClusterGateway:
         self._generations[shard] += 1
         if epoch is not None:
             self._epochs[shard] = epoch
-        self.stats.remaps += 1
+        self.metrics.inc("gateway.remaps")
         self.reset_breaker(shard)
         return old
 
@@ -242,7 +283,7 @@ class ClusterGateway:
         if self.breakers is None:
             return False
         if self.breakers[shard].force_half_open():
-            self.stats.breaker_resets += 1
+            self.metrics.inc("gateway.breaker_resets")
             return True
         return False
 
@@ -399,7 +440,7 @@ class ClusterGateway:
             if reply is not None:
                 replies[shard] = reply
             else:
-                self.stats.shard_errors += 1
+                self.metrics.inc("gateway.shard_errors")
                 faults.append(f"cluster-shard-unreachable: {error}")
         return replies
 
@@ -433,6 +474,7 @@ class ClusterGateway:
             recipient=message.recipient,
             promise_requests=tuple(sub_requests),
             deadline=self._restamp(expires_at),
+            trace=message.trace,
         )
 
     def _releases_on_shard(
@@ -494,7 +536,7 @@ class ClusterGateway:
                 )
                 continue
             all_granted = False
-            self.stats.composite_rejections += 1
+            self.metrics.inc("gateway.composite_rejections")
             self._compensate(message, request, subs, shards, faults)
             reason = (
                 rejection.reason
@@ -526,7 +568,7 @@ class ClusterGateway:
             if sub.promise_id is not None
         }
         self._composites[composite_id] = members
-        self.stats.composite_grants += 1
+        self.metrics.inc("gateway.composite_grants")
         # Swap releases living on the granting shards went out atomically
         # inside the sub-requests; the rest happen only now that the new
         # promise holds, honouring §6: "if these new promises cannot be
@@ -598,6 +640,7 @@ class ClusterGateway:
                     duration=request.duration,
                 ),
             ),
+            trace=message.trace,
         )
         try:
             reply = self._shard_send(shard, sub_message)
@@ -619,10 +662,11 @@ class ClusterGateway:
             sender=message.sender,
             recipient=message.recipient,
             environment=Environment.of(sub_promise_id, release=[sub_promise_id]),
+            trace=message.trace,
         )
         try:
             self._shard_send(shard, release)
-            self.stats.compensations += 1
+            self.metrics.inc("gateway.compensations")
         except (TransportFailure, RequestTimeout, ProtocolError):
             self._queue_pending(shard, message.recipient, release)
             faults.append(
@@ -648,12 +692,13 @@ class ClusterGateway:
             environment=environment,
             action=message.action,
             deadline=self._restamp(expires_at),
+            trace=message.trace,
         )
-        self.stats.actions_routed += 1
+        self.metrics.inc("gateway.actions_routed")
         try:
             reply = self._shard_send(shard, action_message)
         except (TransportFailure, RequestTimeout, ProtocolError) as exc:
-            self.stats.shard_errors += 1
+            self.metrics.inc("gateway.shard_errors")
             faults.append(
                 f"cluster-shard-unreachable: shard-{shard}: "
                 f"{type(exc).__name__}: {exc}"
@@ -766,6 +811,7 @@ class ClusterGateway:
                 recipient=message.recipient,
                 environment=Environment.of(*ids, release=rel),
                 deadline=self._restamp(expires_at),
+                trace=message.trace,
             )
             for shard, (ids, rel) in per_shard.items()
         }
@@ -774,7 +820,7 @@ class ClusterGateway:
             for pid in message.environment.promise_ids
         )
         replies = self._broadcast(message, sub_messages, faults)
-        self.stats.releases_routed += 1
+        self.metrics.inc("gateway.releases_routed")
         for shard, sub_message in sub_messages.items():
             # A sub-release that never reached its shard must not be
             # forgotten — queue it (deadline stripped: it has to run
@@ -809,6 +855,7 @@ class ClusterGateway:
                 sender=message.sender,
                 recipient=message.recipient,
                 environment=Environment.of(promise_id, release=[promise_id]),
+                trace=message.trace,
             )
             try:
                 self._shard_send(shard, release)
@@ -858,7 +905,7 @@ class ClusterGateway:
                         )
                         try:
                             self._shard_send(entry.shard, release)
-                            self.stats.compensations += 1
+                            self.metrics.inc("gateway.compensations")
                         except (
                             TransportFailure,
                             RequestTimeout,
@@ -876,7 +923,7 @@ class ClusterGateway:
                 if done:
                     cleared += 1
             else:
-                self.stats.compensations += 1
+                self.metrics.inc("gateway.compensations")
                 cleared += 1
         self._pending = remaining
         return cleared
@@ -884,7 +931,7 @@ class ClusterGateway:
     def _queue_pending(
         self, shard: int, recipient: str, sub_message: Message
     ) -> None:
-        self.stats.pending_compensations += 1
+        self.metrics.inc("gateway.pending_compensations")
         self._pending.append(
             _PendingCompensation(
                 shard, recipient, sub_message, queued_at=self._clock()
@@ -897,7 +944,9 @@ class ClusterGateway:
         if self.pending_max_age is not None:
             cutoff = self._clock() - self.pending_max_age
             kept = [e for e in self._pending if e.queued_at >= cutoff]
-            self.stats.pending_dropped += len(self._pending) - len(kept)
+            self.metrics.inc(
+                "gateway.pending_dropped", len(self._pending) - len(kept)
+            )
             self._pending = kept
         if (
             self.pending_limit is not None
@@ -906,8 +955,76 @@ class ClusterGateway:
             excess = len(self._pending) - self.pending_limit
             # Oldest first: they are the closest to their promise-duration
             # backstop expiring on the shard anyway.
-            self.stats.pending_dropped += excess
+            self.metrics.inc("gateway.pending_dropped", excess)
             self._pending = self._pending[excess:]
+
+    # ------------------------------------------------------- introspection
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """Live fleet introspection: own registry plus per-shard scrapes.
+
+        Sends a ``_metrics`` probe straight down each shard transport —
+        deliberately bypassing the circuit breakers, because the whole
+        point of a scrape is to see into a shard the breaker has written
+        off.  A shard that is unreachable (or predates the endpoint)
+        appears as ``None`` rather than failing the snapshot.
+        """
+        return {
+            "gateway": self.metrics.snapshot(),
+            "shards": [
+                self._scrape(shard, METRICS_ENDPOINT)
+                for shard in range(len(self._transports))
+            ],
+        }
+
+    def spans_snapshot(self, trace_id: str | None = None) -> list[dict]:
+        """Collect span dicts fleet-wide: local recorder + shard scrapes.
+
+        The union of the gateway's own spans (client attempts route
+        through here too when the recorder is shared) and each shard's
+        ``_spans`` ring.  Duplicate span ids across sources are expected
+        and left to the renderer to fold.
+        """
+        collected: list[dict] = []
+        if self.tracer is not None:
+            collected.extend(
+                span.to_dict() for span in self.tracer.spans(trace_id)
+            )
+        params: dict[str, object] = (
+            {"trace_id": trace_id} if trace_id is not None else {}
+        )
+        for shard in range(len(self._transports)):
+            value = self._scrape(shard, SPANS_ENDPOINT, params)
+            if isinstance(value, list):
+                collected.extend(
+                    span for span in value if isinstance(span, dict)
+                )
+        return collected
+
+    def _scrape(
+        self,
+        shard: int,
+        endpoint: str,
+        params: Mapping[str, object] | None = None,
+    ) -> object | None:
+        """One observability probe to one shard; ``None`` on any failure."""
+        self._scrape_counter += 1
+        probe = Message(
+            message_id=f"{self.name}:scrape:{self._scrape_counter}",
+            sender=self.name,
+            recipient=endpoint,
+            action=ActionPayload(
+                service="_obs", operation="scrape", params=dict(params or {})
+            ),
+        )
+        try:
+            reply = self._transports[shard].send(probe)
+        except Exception:  # noqa: BLE001 - a scrape must never raise
+            return None
+        outcome = reply.action_outcome
+        if outcome is None or not outcome.success:
+            return None
+        return outcome.value
 
     # ------------------------------------------------------------ internals
 
@@ -920,18 +1037,42 @@ class ClusterGateway:
         its outcome is not recorded against the *new* primary's
         breaker).  Requests to replicated shards are stamped with the
         group's current epoch so a deposed server rejects them itself.
+
+        Traced messages get one ``gateway.shard_send`` span per leg —
+        the unit the trace tree shows a scatter-gather fanning out into
+        — and the wire message carries the leg span's context, so the
+        shard server's dispatch span becomes its child.
         """
         generation = self._generations[shard]
         epoch = self._epochs[shard]
         if epoch is not None and message.epoch is None:
             message = replace(message, epoch=epoch)
+        if self.tracer is None or message.trace is None:
+            return self._guarded_send(shard, generation, message)
+        with self.tracer.span(
+            "gateway.shard_send",
+            parent=message.trace,
+            shard=shard,
+            epoch=epoch,
+            deadline_remaining=message.deadline,
+        ) as span:
+            reply = self._guarded_send(
+                shard, generation, replace(message, trace=span.context)
+            )
+            if reply.faults:
+                span.set_outcome("fault")
+            return reply
+
+    def _guarded_send(
+        self, shard: int, generation: int, message: Message
+    ) -> Message:
         breaker = self.breakers[shard] if self.breakers else None
         if breaker is None:
             return self._fence_reply(
                 shard, generation, self._transports[shard].send(message)
             )
         if not breaker.allow():
-            self.stats.breaker_fast_failures += 1
+            self.metrics.inc("gateway.breaker_fast_failures")
             raise CircuitOpen(breaker.endpoint)
         try:
             reply = self._transports[shard].send(message)
@@ -947,7 +1088,7 @@ class ClusterGateway:
         self, shard: int, generation: int, reply: Message
     ) -> Message:
         if self._generations[shard] != generation:
-            self.stats.stale_acks_discarded += 1
+            self.metrics.inc("gateway.stale_acks_discarded")
             raise TransportFailure(
                 f"shard-{shard}: reply from deposed primary discarded "
                 "(transport generation fence)"

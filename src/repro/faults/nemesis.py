@@ -51,6 +51,7 @@ from ..cluster.gateway import ClusterGateway
 from ..cluster.partition import PartitionMap
 from ..core.parser import P
 from ..net.transport import NetworkTransport
+from ..obs.trace import SpanRecorder
 from ..protocol.client import PromiseClient
 from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
 from ..protocol.messages import Message
@@ -138,6 +139,8 @@ class NemesisReport:
     violations: list[str] = field(default_factory=list)
     duplicates_served: int = 0
     shed: int = 0
+    #: Spans the trace-history audit re-verified (0 = audit vacuous).
+    spans_audited: int = 0
 
     @property
     def ok(self) -> bool:
@@ -164,6 +167,7 @@ class NemesisReport:
             "violations": list(self.violations),
             "duplicates_served": self.duplicates_served,
             "shed": self.shed,
+            "spans_audited": self.spans_audited,
         }
 
 
@@ -206,6 +210,9 @@ class ChaosNemesis:
         self._held: list[str] = []
         self._in_doubt: list[Message] = []
         self._recorder: _RecordingGateway | None = None
+        #: Records the client/gateway halves of every trace; shard
+        #: servers keep their own rings.  The span audit reads both.
+        self.tracer = SpanRecorder(capacity=16384)
         self._admissions: dict[int, AdmissionController] = {}
         self._message_count = 0
         self.report = NemesisReport(seed=seed)
@@ -257,7 +264,11 @@ class ChaosNemesis:
             for index in range(self.shards)
         ]
         gateway = ClusterGateway(
-            transports, ring=ring, breakers=breakers, pending_limit=64
+            transports,
+            ring=ring,
+            breakers=breakers,
+            pending_limit=64,
+            tracer=self.tracer,
         )
         if self.replicas > 0:
             fleet.attach(gateway)
@@ -267,6 +278,7 @@ class ChaosNemesis:
             self._recorder,
             retry=RetryPolicy(max_attempts=5, base_delay=0.05, max_delay=0.3),
             deadline=10.0,
+            tracer=self.tracer,
         )
         started = time.monotonic()
         try:
@@ -739,6 +751,37 @@ class ChaosNemesis:
             self.report.violations.append(
                 f"{gateway.pending_compensations} compensations still pending"
             )
+        spans = self._collect_spans(fleet)
+        self.report.spans_audited = len(spans)
+        self.report.violations.extend(audit_spans(spans))
+
+    def _collect_spans(self, fleet: ClusterFleet) -> list[dict]:
+        """Every span the run produced, from every recorder that has one.
+
+        The nemesis recorder holds the client/gateway halves; each shard
+        server holds its own dispatch spans.  In a replicated run a
+        deposed primary's ring matters most — the whole point of the
+        trace audit is to see executions on *both* sides of an epoch
+        bump, and the pre-failover side lives only in the deposed
+        process's recorder.
+        """
+        spans = [span.to_dict() for span in self.tracer.spans()]
+        group_of = getattr(fleet, "group", None)
+        if group_of is not None:
+            for index in range(self.shards):
+                group = group_of(index)
+                replicas = [group.primary] + group.followers + group.deposed
+                for replica in replicas:
+                    spans.extend(
+                        span.to_dict() for span in replica.server.tracer.spans()
+                    )
+        else:
+            for index in range(self.shards):
+                shard = fleet.shard(index)
+                spans.extend(
+                    span.to_dict() for span in shard.server.tracer.spans()
+                )
+        return spans
 
     # ---------------------------------------------------------- internals
 
@@ -751,6 +794,60 @@ class ChaosNemesis:
 
     def _count_op(self, name: str) -> None:
         self.report.operations[name] = self.report.operations.get(name, 0) + 1
+
+
+def audit_spans(spans: list[dict]) -> list[str]:
+    """Re-verify at-most-once execution from exported trace history alone.
+
+    Every executed, acknowledged ``server.dispatch`` span carries the
+    message id, the admission kind and the serving epoch.  At-most-once
+    therefore has a purely observational restatement: no message id may
+    own two such spans — *ever*, including across a failover.  A check
+    executed and acknowledged at epoch 0 and again at epoch 1 is exactly
+    the double grant the epoch fence exists to prevent, and it is
+    visible here with no server state needed.
+
+    Spans whose acknowledgement was withheld (``fenced`` outcome on a
+    deposed primary) or lost to a crash are excluded: their execution
+    was never promised to the client, so the journalled replay on the
+    survivor is the protocol working, not a violation.
+    """
+    seen: set[str] = set()
+    acknowledged: dict[str, list[dict]] = {}
+    for span in spans:
+        span_id = str(span.get("span_id", ""))
+        if span_id in seen:
+            continue  # the same span scraped via two paths
+        seen.add(span_id)
+        if span.get("name") != "server.dispatch":
+            continue
+        attributes = span.get("attributes") or {}
+        if not attributes.get("executed"):
+            continue
+        if span.get("outcome") != "ok":
+            continue
+        message_id = attributes.get("message_id")
+        if not message_id:
+            continue
+        acknowledged.setdefault(str(message_id), []).append(span)
+    violations: list[str] = []
+    for message_id, hits in sorted(acknowledged.items()):
+        if len(hits) < 2:
+            continue
+        epochs = sorted(
+            {str((hit.get("attributes") or {}).get("epoch")) for hit in hits}
+        )
+        kind = (hits[0].get("attributes") or {}).get("kind", "?")
+        where = (
+            f"across epochs {'/'.join(epochs)}"
+            if len(epochs) > 1
+            else f"at epoch {epochs[0]}"
+        )
+        violations.append(
+            f"span audit: {kind} message {message_id} executed and "
+            f"acknowledged {len(hits)} times {where}"
+        )
+    return violations
 
 
 def audit_fleet(fleet: ClusterFleet, stock: int) -> list[str]:
@@ -784,14 +881,61 @@ def audit_fleet(fleet: ClusterFleet, stock: int) -> list[str]:
     return violations
 
 
+def _span_audit_self_test() -> bool:
+    """Feed :func:`audit_spans` a fabricated double grant; it must object.
+
+    The forged history shows one check-kind message executed and
+    acknowledged at epoch 0 and again at epoch 1 — plus decoys (a fenced
+    execution and a duplicate replay) that must *not* trip it.
+    """
+
+    def dispatch(span_id, message_id, epoch, outcome="ok", executed=True):
+        return {
+            "name": "server.dispatch",
+            "trace_id": "t-forged",
+            "span_id": span_id,
+            "outcome": outcome,
+            "attributes": {
+                "message_id": message_id,
+                "kind": "check",
+                "epoch": epoch,
+                "executed": executed or None,
+            },
+        }
+
+    clean = [
+        dispatch("s1", "m-clean", 0),
+        dispatch("s2", "m-fenced", 0, outcome="fenced"),
+        dispatch("s3", "m-fenced", 1),
+        dispatch("s4", "m-replayed", 0),
+        dispatch("s5", "m-replayed", 1, outcome="duplicate", executed=False),
+        dispatch("s4", "m-replayed", 0),  # same span scraped twice
+    ]
+    if audit_spans(clean):
+        return False
+    forged = clean + [
+        dispatch("s6", "m-double", 0),
+        dispatch("s7", "m-double", 1),
+    ]
+    caught = audit_spans(forged)
+    return any(
+        "m-double" in violation and "across epochs 0/1" in violation
+        for violation in caught
+    )
+
+
 def self_test(wal_dir: str | None = None) -> bool:
     """Prove the auditors can actually catch a violation.
 
     Boots a small fleet, grants a promise and deliberately never
     releases it; :func:`audit_fleet` must flag both the live promise and
-    the pool's missing stock.  A nemesis whose auditors pass this check
-    cannot be green merely because the checks are vacuous.
+    the pool's missing stock.  :func:`audit_spans` must likewise flag a
+    fabricated trace showing one message executed on both sides of an
+    epoch bump.  A nemesis whose auditors pass this check cannot be
+    green merely because the checks are vacuous.
     """
+    if not _span_audit_self_test():
+        return False
     owned_dir = wal_dir is None
     directory = wal_dir or tempfile.mkdtemp(prefix="nemesis-selftest-")
     fleet = ClusterFleet(

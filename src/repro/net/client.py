@@ -25,8 +25,8 @@ import select
 import socket
 import time
 from collections import deque
-from dataclasses import dataclass
 
+from ..obs.metrics import MetricsRegistry, StatsView
 from ..protocol.errors import RequestTimeout, TransportFailure
 from ..protocol.retry import RetryPolicy
 from ..resilience.breaker import CircuitBreaker
@@ -40,19 +40,28 @@ from .framing import (
 )
 
 
-@dataclass
-class ClientStats:
-    """Counters for pooling and failure behaviour."""
+class ClientStats(StatsView):
+    """Counters for pooling and failure behaviour (``client.*`` metrics).
 
-    requests: int = 0
-    connections_opened: int = 0
-    connections_reused: int = 0
-    stale_discarded: int = 0
-    retries: int = 0
-    timeouts: int = 0
-    failures: int = 0
-    bytes_sent: int = 0
-    bytes_received: int = 0
+    Historically a dataclass of plain ints bumped with ``+=`` — a racy
+    read-modify-write once several threads shared one client (the
+    gateway's scatter pool does exactly that).  Reads stay
+    attribute-shaped; every increment now goes through the registry's
+    lock.
+    """
+
+    _prefix = "client"
+    _fields = (
+        "requests",
+        "connections_opened",
+        "connections_reused",
+        "stale_discarded",
+        "retries",
+        "timeouts",
+        "failures",
+        "bytes_sent",
+        "bytes_received",
+    )
 
 
 class NetworkClient:
@@ -66,6 +75,7 @@ class NetworkClient:
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         retry: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.address = address
         self.timeout = timeout
@@ -73,7 +83,8 @@ class NetworkClient:
         self.max_frame_size = max_frame_size
         self.retry = retry or RetryPolicy.none()
         self.breaker = breaker
-        self.stats = ClientStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = ClientStats(self.metrics)
         self._idle: deque[socket.socket] = deque()
         self._closed = False
 
@@ -103,7 +114,7 @@ class NetworkClient:
         """
         if self._closed:
             raise TransportFailure("client is closed")
-        self.stats.requests += 1
+        self.metrics.inc("client.requests")
         budget = self.timeout if timeout is None else timeout
         before = self.retry.retries
         try:
@@ -112,10 +123,10 @@ class NetworkClient:
                 deadline=deadline,
             )
         except TransportFailure:
-            self.stats.failures += 1
+            self.metrics.inc("client.failures")
             raise
         finally:
-            self.stats.retries += self.retry.retries - before
+            self.metrics.inc("client.retries", self.retry.retries - before)
         return reply
 
     def send_and_abandon(self, payload: bytes) -> None:
@@ -131,7 +142,7 @@ class NetworkClient:
         try:
             frame = encode_frame(payload, self.max_frame_size)
             sock.sendall(frame)
-            self.stats.bytes_sent += len(payload)
+            self.metrics.inc("client.bytes_sent", len(payload))
         finally:
             self._discard(sock)
 
@@ -155,7 +166,7 @@ class NetworkClient:
         remaining = remaining_budget(deadline)
         if remaining is not None:
             if remaining <= 0:
-                self.stats.timeouts += 1
+                self.metrics.inc("client.timeouts")
                 raise RequestTimeout("request deadline elapsed before attempt")
             budget = min(budget, remaining)
         if self.breaker is None:
@@ -176,7 +187,7 @@ class NetworkClient:
             frame = encode_frame(payload, self.max_frame_size)
             sock.settimeout(self._remaining(deadline))
             sock.sendall(frame)
-            self.stats.bytes_sent += len(payload)
+            self.metrics.inc("client.bytes_sent", len(payload))
 
             def recv(count: int) -> bytes:
                 sock.settimeout(self._remaining(deadline))
@@ -184,14 +195,14 @@ class NetworkClient:
 
             reply = read_frame(recv, self.max_frame_size)
         except socket.timeout as exc:
-            self.stats.timeouts += 1
+            self.metrics.inc("client.timeouts")
             self._discard(sock)
             raise RequestTimeout(
                 f"no reply from {self.address[0]}:{self.address[1]} "
                 f"within {budget:.3f}s"
             ) from exc
         except RequestTimeout:
-            self.stats.timeouts += 1
+            self.metrics.inc("client.timeouts")
             self._discard(sock)
             raise
         except FrameTooLarge:
@@ -203,7 +214,7 @@ class NetworkClient:
         if reply is None:
             self._discard(sock)
             raise TransportFailure("server closed the connection mid-request")
-        self.stats.bytes_received += len(reply)
+        self.metrics.inc("client.bytes_received", len(reply))
         self._checkin(sock)
         return reply
 
@@ -211,13 +222,13 @@ class NetworkClient:
         while self._idle:
             sock = self._idle.popleft()
             if self._usable(sock):
-                self.stats.connections_reused += 1
+                self.metrics.inc("client.connections_reused")
                 return sock
             # The peer died (or wrote stray bytes) while this connection
             # idled in the pool; sending a fresh request down it would
             # either fail or desynchronise the framing.  Discard and try
             # the next one rather than burning a retry attempt on it.
-            self.stats.stale_discarded += 1
+            self.metrics.inc("client.stale_discarded")
             self._discard(sock)
         return self._connect(self._remaining(deadline))
 
@@ -231,14 +242,14 @@ class NetworkClient:
         try:
             sock = socket.create_connection(self.address, timeout=timeout)
         except socket.timeout as exc:
-            self.stats.timeouts += 1
+            self.metrics.inc("client.timeouts")
             raise RequestTimeout(
                 f"connect to {self.address[0]}:{self.address[1]} timed out"
             ) from exc
         except OSError as exc:
             raise TransportFailure(f"cannot connect: {exc}") from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self.stats.connections_opened += 1
+        self.metrics.inc("client.connections_opened")
         return sock
 
     @staticmethod

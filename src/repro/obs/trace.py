@@ -1,0 +1,327 @@
+"""Envelope-propagated distributed tracing for the promise pipeline.
+
+One client request touches many components before its reply comes back:
+the client's retry loop, the gateway's scatter-gather legs, each shard
+server's transaction, the replication ack gate.  This module stitches
+those into one causally ordered history:
+
+* :class:`TraceContext` — the ``(trace-id, span-id, parent-span-id)``
+  triple carried on every :class:`~repro.protocol.messages.Message` as
+  a ``<trace>`` element in the SOAP header.  Each hop derives a *child*
+  context for its own span and stamps outgoing messages with it, so a
+  receiver's spans parent to the sender's.
+* :class:`SpanRecorder` — a bounded in-memory ring of finished
+  :class:`Span` records with JSONL export.  Recording is cheap (one
+  deque append under a lock) and bounded, so servers can leave a
+  recorder attached permanently and expose it via the ``_spans``
+  endpoint.
+* :func:`render_trace` — the assembled span tree ``repro trace
+  <trace-id>`` prints.
+
+Spans record start/end, outcome, the request's remaining deadline, the
+server's replication epoch, and crash-point annotations — enough to
+re-verify protocol invariants (no double grant across epochs) from the
+trace history alone, which is exactly what the nemesis span auditor
+does.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from collections import deque
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Mapping
+
+from ..faults.crashpoints import SimulatedCrash
+
+__all__ = [
+    "TraceContext",
+    "Span",
+    "SpanRecorder",
+    "new_trace_id",
+    "new_span_id",
+    "render_trace",
+    "spans_from_jsonl",
+]
+
+
+def new_trace_id() -> str:
+    """A fresh 128-bit trace id (hex)."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh 64-bit span id (hex)."""
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation triple carried in the ``<trace>`` header element."""
+
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+
+    @classmethod
+    def root(cls) -> "TraceContext":
+        """A fresh context starting a new trace."""
+        return cls(trace_id=new_trace_id(), span_id=new_span_id())
+
+    def child(self) -> "TraceContext":
+        """A context for a span caused by this one (same trace)."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            span_id=new_span_id(),
+            parent_span_id=self.span_id,
+        )
+
+
+@dataclass
+class Span:
+    """One finished (or failed) unit of work inside a trace."""
+
+    name: str
+    trace_id: str
+    span_id: str
+    parent_span_id: str | None = None
+    start: float = 0.0          # wall clock, seconds since epoch
+    duration: float = 0.0       # seconds
+    outcome: str = "ok"
+    attributes: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_span_id,
+            "start": self.start,
+            "duration": self.duration,
+            "outcome": self.outcome,
+            "attributes": dict(self.attributes),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Span":
+        attributes = payload.get("attributes", {})
+        return cls(
+            name=str(payload.get("name", "")),
+            trace_id=str(payload.get("trace_id", "")),
+            span_id=str(payload.get("span_id", "")),
+            parent_span_id=(
+                str(payload["parent_span_id"])
+                if payload.get("parent_span_id") is not None
+                else None
+            ),
+            start=float(payload.get("start", 0.0)),  # type: ignore[arg-type]
+            duration=float(payload.get("duration", 0.0)),  # type: ignore[arg-type]
+            outcome=str(payload.get("outcome", "ok")),
+            attributes=dict(attributes) if isinstance(attributes, Mapping) else {},
+        )
+
+
+class ActiveSpan:
+    """A span being recorded; annotate it and set its outcome as you go."""
+
+    __slots__ = ("context", "span", "_recorder", "_started")
+
+    def __init__(
+        self, recorder: "SpanRecorder", context: TraceContext, span: Span
+    ) -> None:
+        self.context = context
+        self.span = span
+        self._recorder = recorder
+        self._started = time.perf_counter()
+
+    def annotate(self, **attributes: object) -> None:
+        """Attach attributes (epoch, shard, crash point, …) to the span."""
+        self.span.attributes.update(
+            {k: v for k, v in attributes.items() if v is not None}
+        )
+
+    def set_outcome(self, outcome: str) -> None:
+        self.span.outcome = outcome
+
+    def finish(self) -> None:
+        self.span.duration = time.perf_counter() - self._started
+        self._recorder.record(self.span)
+
+
+class SpanRecorder:
+    """Bounded in-memory span sink: ring buffer plus JSONL export.
+
+    ``capacity`` bounds memory the way the wire log and reply cache are
+    bounded — a server under heavy traced traffic simply forgets its
+    oldest spans.  Thread-safe: the asyncio loop, the gateway's
+    scatter pool and blocking clients can all record concurrently.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        self.capacity = capacity
+        self._spans: deque[Span] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------ recording
+
+    def record(self, span: Span) -> None:
+        """Append one finished span."""
+        with self._lock:
+            self._spans.append(span)
+
+    @contextmanager
+    def span(
+        self,
+        name: str,
+        parent: TraceContext | None = None,
+        context: TraceContext | None = None,
+        **attributes: object,
+    ) -> Iterator[ActiveSpan]:
+        """Record one span around a block.
+
+        ``parent`` is the *carried* context (from the message) — the new
+        span becomes its child.  Pass ``context`` instead to record the
+        span at that exact context (the caller already derived it).
+        With neither, the span roots a brand-new trace.
+
+        A :class:`SimulatedCrash` escaping the block marks the span
+        ``crash`` and annotates the crash point — the span is recorded
+        *before* the exception unwinds, exactly like a crashing process
+        whose trace buffer survives in a core dump.
+        """
+        if context is None:
+            context = parent.child() if parent is not None else TraceContext.root()
+        span = Span(
+            name=name,
+            trace_id=context.trace_id,
+            span_id=context.span_id,
+            parent_span_id=context.parent_span_id,
+            start=time.time(),
+            attributes={k: v for k, v in attributes.items() if v is not None},
+        )
+        active = ActiveSpan(self, context, span)
+        try:
+            yield active
+        except SimulatedCrash as exc:
+            active.set_outcome("crash")
+            active.annotate(crash_point=exc.point)
+            raise
+        except Exception as exc:
+            if span.outcome == "ok":
+                active.set_outcome(f"error:{type(exc).__name__}")
+            raise
+        finally:
+            active.finish()
+
+    # -------------------------------------------------------------- reading
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        """Recorded spans, oldest first, optionally filtered by trace."""
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is None:
+            return spans
+        return [span for span in spans if span.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        """Distinct trace ids currently held, oldest first."""
+        return list(dict.fromkeys(span.trace_id for span in self.spans()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    # -------------------------------------------------------------- export
+
+    def export_jsonl(self, path: str | Path, trace_id: str | None = None) -> int:
+        """Write spans to ``path`` as JSON lines; returns how many."""
+        spans = self.spans(trace_id)
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                handle.write(json.dumps(span.to_dict(), sort_keys=True) + "\n")
+        return len(spans)
+
+    def dump_jsonl(self, trace_id: str | None = None) -> str:
+        """The JSONL export as a string."""
+        return "".join(
+            json.dumps(span.to_dict(), sort_keys=True) + "\n"
+            for span in self.spans(trace_id)
+        )
+
+
+def spans_from_jsonl(text: str) -> list[Span]:
+    """Parse a JSONL export back into spans (blank lines ignored)."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def render_trace(spans: Iterable[Span], trace_id: str | None = None) -> str:
+    """The assembled span tree, one line per span.
+
+    Spans whose parent is missing from the set (dropped by a ring
+    buffer, or a component that was never scraped) are promoted to
+    roots, so a partial scrape still renders.
+    """
+    pool = [
+        span
+        for span in spans
+        if trace_id is None or span.trace_id == trace_id
+    ]
+    if not pool:
+        return "(no spans)"
+    # Deduplicate by span id (the same span can arrive from both a local
+    # export and a server scrape), keeping the first occurrence.
+    seen: dict[str, Span] = {}
+    for span in pool:
+        seen.setdefault(span.span_id, span)
+    pool = sorted(seen.values(), key=lambda span: span.start)
+    by_parent: dict[str | None, list[Span]] = {}
+    ids = {span.span_id for span in pool}
+    for span in pool:
+        parent = span.parent_span_id if span.parent_span_id in ids else None
+        by_parent.setdefault(parent, []).append(span)
+
+    lines: list[str] = []
+    trace_ids = list(dict.fromkeys(span.trace_id for span in pool))
+    for tid in trace_ids:
+        lines.append(f"trace {tid}")
+        roots = [s for s in by_parent.get(None, []) if s.trace_id == tid]
+        for root in roots:
+            _render_subtree(root, by_parent, lines, depth=1)
+    return "\n".join(lines)
+
+
+def _render_subtree(
+    span: Span,
+    by_parent: Mapping[str | None, list[Span]],
+    lines: list[str],
+    depth: int,
+) -> None:
+    extras = []
+    for key in ("shard", "epoch", "deadline_remaining", "crash_point"):
+        value = span.attributes.get(key)
+        if value is not None:
+            if isinstance(value, float):
+                extras.append(f"{key}={value:.3f}")
+            else:
+                extras.append(f"{key}={value}")
+    detail = f"  [{', '.join(extras)}]" if extras else ""
+    lines.append(
+        f"{'  ' * depth}{span.name}  {span.duration * 1000:.2f} ms  "
+        f"{span.outcome}{detail}"
+    )
+    for child in by_parent.get(span.span_id, []):
+        _render_subtree(child, by_parent, lines, depth + 1)

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import replace
-from typing import Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import itertools
 from typing import Protocol
@@ -19,6 +19,7 @@ from ..core.environment import Environment
 from ..core.errors import PromiseRejected
 from ..core.predicates import Predicate
 from ..core.promise import IdGenerator, PromiseRequest, PromiseResponse
+from ..obs.trace import SpanRecorder, TraceContext
 from .errors import ProtocolError, RequestTimeout
 from .messages import ActionOutcomePayload, ActionPayload, Message
 from .retry import RetryPolicy
@@ -52,6 +53,13 @@ class PromiseClient:
     sleeps are clamped to it, and once it is spent the request fails
     with :class:`~repro.protocol.errors.RequestTimeout` instead of
     retrying into the void.  ``None`` (the default) waits forever.
+
+    ``tracer`` (a :class:`~repro.obs.trace.SpanRecorder`) switches
+    distributed tracing on: every request roots a fresh trace, each
+    attempt records a child span and stamps the wire message with its
+    context, so downstream hops (gateway legs, shard servers) attach
+    their spans to the attempt that caused them.  ``None`` (the
+    default) sends untraced messages at zero extra cost.
     """
 
     _instances = itertools.count(1)
@@ -62,11 +70,17 @@ class PromiseClient:
         transport: MessageTransport,
         retry: RetryPolicy | None = None,
         deadline: float | None = None,
+        tracer: SpanRecorder | None = None,
     ) -> None:
         self.name = name
         self._transport = transport
         self._retry = retry or RetryPolicy.fast()
         self._deadline = deadline
+        self.tracer = tracer
+        #: Trace id of the most recent request this stub sent (``None``
+        #: until a traced request goes out) — what ``repro call
+        #: --trace`` prints for ``repro trace <id>`` to consume.
+        self.last_trace_id: str | None = None
         # Message ids seed the transports' §6 duplicate-suppression
         # cache, so they must be unique per *stub instance*, not just
         # per client name — two stubs named "teller" must never emit
@@ -227,8 +241,50 @@ class PromiseClient:
 
     def _send(self, message: Message, deadline: float | None = None) -> Message:
         budget = deadline if deadline is not None else self._deadline
+        if self.tracer is None:
+            return self._send_with_budget(message, budget, self._transport.send)
+
+        # One trace per logical request; every retry attempt records a
+        # child span and stamps the wire message with *its* context, so
+        # the spans a given attempt causes downstream (gateway legs,
+        # shard dispatches) hang off that attempt in the tree.
+        root = TraceContext.root()
+        self.last_trace_id = root.trace_id
+        attempts = itertools.count(1)
+
+        def traced(wire: Message) -> Message:
+            assert self.tracer is not None
+            with self.tracer.span(
+                "client.attempt",
+                parent=root,
+                attempt=next(attempts),
+                deadline_remaining=wire.deadline,
+            ) as span:
+                reply = self._transport.send(replace(wire, trace=span.context))
+                # The reply's epoch stamp names the replica-group
+                # incarnation that answered — across a failover the
+                # trace then carries both the old and the new epoch.
+                span.annotate(epoch=reply.epoch)
+                if reply.faults:
+                    span.set_outcome("fault")
+                return reply
+
+        with self.tracer.span(
+            "client.request",
+            context=root,
+            endpoint=message.recipient,
+            message_id=message.message_id,
+        ):
+            return self._send_with_budget(message, budget, traced)
+
+    def _send_with_budget(
+        self,
+        message: Message,
+        budget: float | None,
+        deliver: "Callable[[Message], Message]",
+    ) -> Message:
         if budget is None:
-            return self._retry.run(lambda: self._transport.send(message))
+            return self._retry.run(lambda: deliver(message))
         expires_at = time.monotonic() + budget
 
         def attempt() -> Message:
@@ -240,7 +296,7 @@ class PromiseClient:
             # Re-stamp the wire budget each attempt: the server must see
             # how long the caller will *still* wait, not the original
             # allowance.
-            return self._transport.send(replace(message, deadline=remaining))
+            return deliver(replace(message, deadline=remaining))
 
         return self._retry.run(attempt, deadline=expires_at)
 

@@ -20,6 +20,7 @@ from typing import Mapping
 
 from ..core.environment import Environment
 from ..core.promise import PromiseRequest, PromiseResponse
+from ..obs.trace import TraceContext
 from .errors import MalformedMessage
 
 
@@ -102,6 +103,14 @@ class Message:
     belongs to a newer epoch rejects the request rather than acting on
     routing decisions made against a deposed primary; ``None`` (the
     default everywhere outside replicated fleets) disables the check.
+
+    ``trace`` is the distributed-tracing context (trace-id, span-id,
+    parent-span-id) carried as a ``<trace>`` header element.  Each hop
+    records its own span as a child of the carried context and stamps
+    forwarded messages with its span's context, stitching one client
+    request across retries, scatter-gather legs and replica groups.
+    ``None`` (the default) means the request is untraced and every
+    tracing call site is skipped.
     """
 
     message_id: str
@@ -116,6 +125,7 @@ class Message:
     correlation: str = ""
     deadline: float | None = None
     epoch: int | None = None
+    trace: TraceContext | None = None
 
     @property
     def has_promise_part(self) -> bool:
@@ -138,7 +148,12 @@ class Message:
         action_outcome: ActionOutcomePayload | None = None,
         faults: tuple[str, ...] = (),
     ) -> "Message":
-        """Build the response message for this request."""
+        """Build the response message for this request.
+
+        The request's trace context rides back on the reply, so a wire
+        capture of the response alone still names the trace it belongs
+        to.
+        """
         return Message(
             message_id=message_id,
             sender=self.recipient,
@@ -147,4 +162,5 @@ class Message:
             action_outcome=action_outcome,
             faults=faults,
             correlation=self.message_id,
+            trace=self.trace,
         )

@@ -23,6 +23,7 @@ from typing import Mapping
 from ..core.environment import Environment
 from ..core.parser import parse_predicate, render_predicate
 from ..core.promise import PromiseRequest, PromiseResponse, PromiseResult
+from ..obs.trace import TraceContext
 from .errors import MalformedMessage
 from .messages import ActionOutcomePayload, ActionPayload, Message
 
@@ -61,6 +62,14 @@ class SoapCodec:
             )
         if message.epoch is not None:
             ET.SubElement(header, "epoch", {"value": str(int(message.epoch))})
+        if message.trace is not None:
+            attributes = {
+                "trace-id": message.trace.trace_id,
+                "span-id": message.trace.span_id,
+            }
+            if message.trace.parent_span_id is not None:
+                attributes["parent-span-id"] = message.trace.parent_span_id
+            ET.SubElement(header, "trace", attributes)
 
         body = ET.SubElement(envelope, "Body")
         if message.action is not None:
@@ -116,6 +125,19 @@ class SoapCodec:
                 raise MalformedMessage(f"bad epoch: {exc}") from exc
         else:
             epoch = None
+        trace_el = header.find(self._q("trace"))
+        if trace_el is not None:
+            trace_id = trace_el.get("trace-id", "")
+            span_id = trace_el.get("span-id", "")
+            if not trace_id or not span_id:
+                raise MalformedMessage("trace element needs trace-id and span-id")
+            trace = TraceContext(
+                trace_id=trace_id,
+                span_id=span_id,
+                parent_span_id=trace_el.get("parent-span-id"),
+            )
+        else:
+            trace = None
 
         action_el = body.find(self._q("action"))
         outcome_el = body.find(self._q("action-outcome"))
@@ -130,6 +152,7 @@ class SoapCodec:
             faults=faults,
             deadline=deadline,
             epoch=epoch,
+            trace=trace,
             action=self._decode_action(action_el) if action_el is not None else None,
             action_outcome=(
                 self._decode_outcome(outcome_el) if outcome_el is not None else None

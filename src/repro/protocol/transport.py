@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs.metrics import MetricsRegistry, StatsView
 from .correlation import ReplyCache
 from .errors import TransportFailure, UnknownEndpoint
 from .messages import Message
@@ -36,16 +37,18 @@ DEFAULT_LOG_LIMIT = 1024
 DEFAULT_DEDUP_CAPACITY = 1024
 
 
-@dataclass
-class TransportStats:
-    """Counters the benchmarks read."""
+class TransportStats(StatsView):
+    """Counters the benchmarks read (view over ``transport.*`` metrics)."""
 
-    sent: int = 0
-    delivered: int = 0
-    dropped_requests: int = 0
-    dropped_replies: int = 0
-    duplicates_served: int = 0
-    bytes_on_wire: int = 0
+    _prefix = "transport"
+    _fields = (
+        "sent",
+        "delivered",
+        "dropped_requests",
+        "dropped_replies",
+        "duplicates_served",
+        "bytes_on_wire",
+    )
 
 
 @dataclass
@@ -71,12 +74,14 @@ class InProcessTransport:
         wire_format: bool = True,
         log_limit: int | None = DEFAULT_LOG_LIMIT,
         dedup_capacity: int | None = DEFAULT_DEDUP_CAPACITY,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self._handlers: dict[str, Handler] = {}
         self._codec = codec or SoapCodec()
         self._wire_format = wire_format
         self._faults = _FaultPlan()
-        self.stats = TransportStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = TransportStats(self.metrics)
         self._log: deque[str] = deque(maxlen=log_limit)
         self._replies: ReplyCache[object] | None = (
             ReplyCache(dedup_capacity) if dedup_capacity else None
@@ -107,14 +112,14 @@ class InProcessTransport:
         cache without re-invoking the handler (§6 atomic processing) —
         that is what makes redelivery after a lost reply safe.
         """
-        self.stats.sent += 1
+        self.metrics.inc("transport.sent")
         delivery = self.stats.sent
         handler = self._handlers.get(message.recipient)
         if handler is None:
             raise UnknownEndpoint(message.recipient)
 
         if delivery in self._faults.drop_requests:
-            self.stats.dropped_requests += 1
+            self.metrics.inc("transport.dropped_requests")
             raise TransportFailure(
                 f"request {message.message_id} lost in transit"
             )
@@ -127,8 +132,8 @@ class InProcessTransport:
             else None
         )
         if cached is not None:
-            self.stats.duplicates_served += 1
-            self.stats.delivered += 1
+            self.metrics.inc("transport.duplicates_served")
+            self.metrics.inc("transport.delivered")
             return self._replay(cached)
 
         reply = handler(inbound)
@@ -139,7 +144,7 @@ class InProcessTransport:
         # return the identical envelope without re-executing.
         if self._wire_format:
             encoded = self._codec.encode(reply)
-            self.stats.bytes_on_wire += len(encoded)
+            self.metrics.inc("transport.bytes_on_wire", len(encoded))
             self._log.append(encoded)
             stored: object = encoded
         else:
@@ -148,13 +153,13 @@ class InProcessTransport:
             self._replies.put(inbound.message_id, stored)
 
         if delivery in self._faults.drop_replies:
-            self.stats.dropped_replies += 1
+            self.metrics.inc("transport.dropped_replies")
             raise TransportFailure(
                 f"reply to {message.message_id} lost in transit"
             )
 
         outbound = self._codec.decode(encoded) if self._wire_format else reply
-        self.stats.delivered += 1
+        self.metrics.inc("transport.delivered")
         return outbound
 
     @property
@@ -166,7 +171,7 @@ class InProcessTransport:
         if not self._wire_format:
             return message
         encoded = self._codec.encode(message)
-        self.stats.bytes_on_wire += len(encoded)
+        self.metrics.inc("transport.bytes_on_wire", len(encoded))
         self._log.append(encoded)
         return self._codec.decode(encoded)
 
@@ -174,7 +179,7 @@ class InProcessTransport:
         """Re-deliver a cached reply (it crosses the wire again)."""
         if self._wire_format:
             assert isinstance(cached, str)
-            self.stats.bytes_on_wire += len(cached)
+            self.metrics.inc("transport.bytes_on_wire", len(cached))
             self._log.append(cached)
             return self._codec.decode(cached)
         assert isinstance(cached, Message)

@@ -22,6 +22,7 @@ from typing import Mapping
 from ..core.manager import CLOCK_KEY, MANAGER_META_TABLE, PromiseManager
 from ..core.promise import Promise
 from ..core.table import PROMISES_TABLE
+from ..obs.metrics import MetricsRegistry
 from ..tools.doctor import Doctor, Finding
 
 
@@ -40,6 +41,9 @@ class RecoveryReport:
     findings: tuple[Finding, ...]
     notes: tuple[str, ...] = ()
     elapsed_s: float = field(default=0.0, compare=False)
+    #: Metrics-registry snapshot taken right after recovery, when the
+    #: caller attached one — the observability section of the report.
+    metrics: Mapping[str, object] | None = field(default=None, compare=False)
 
     @property
     def healthy(self) -> bool:
@@ -49,16 +53,41 @@ class RecoveryReport:
     def summary(self) -> str:
         """One log line describing the recovery."""
         status = "healthy" if self.healthy else f"{len(self.findings)} findings"
-        return (
+        line = (
             f"recovered {self.promises_active}/{self.promises_total} live "
             f"promises from {self.wal_records} WAL records "
             f"(clock={self.clock_now}, expired-while-down="
             f"{len(self.expired_on_recovery)}, journal={self.journal_entries} "
             f"replies, {status}, {self.elapsed_s * 1000:.1f} ms)"
         )
+        if self.metrics is not None:
+            counters = self.metrics.get("counters", {})
+            if isinstance(counters, Mapping):
+                line += f" [metrics: {len(counters)} counters]"
+        return line
+
+    def metrics_section(self) -> str:
+        """Multi-line observability appendix (empty without a registry)."""
+        if self.metrics is None:
+            return ""
+        lines = ["metrics at recovery:"]
+        counters = self.metrics.get("counters", {})
+        if isinstance(counters, Mapping):
+            for name in sorted(counters):
+                lines.append(f"  {name} = {counters[name]}")
+        gauges = self.metrics.get("gauges", {})
+        if isinstance(gauges, Mapping):
+            for name in sorted(gauges):
+                lines.append(f"  {name} = {gauges[name]}")
+        return "\n".join(lines)
 
 
-def recover(manager: PromiseManager, *, repair: bool = True) -> RecoveryReport:
+def recover(
+    manager: PromiseManager,
+    *,
+    repair: bool = True,
+    registry: MetricsRegistry | None = None,
+) -> RecoveryReport:
     """Restore ``manager``'s runtime state after a restart.
 
     Steps, in order:
@@ -100,10 +129,13 @@ def recover(manager: PromiseManager, *, repair: bool = True) -> RecoveryReport:
     manager.clock.advance_to(max(stored_tick, newest_grant))
     expired = manager.expire_due()
 
-    doctor = Doctor(manager)
+    doctor = Doctor(manager, registry=registry)
     repaired = tuple(doctor.repair()) if repair else ()
     findings = tuple(doctor.check())
     active = len(manager.active_promises())
+    if registry is not None:
+        registry.inc("recovery.runs")
+        registry.inc("recovery.expired_on_recovery", len(expired))
 
     return RecoveryReport(
         wal_path=str(wal.path) if wal.path is not None else None,
@@ -117,4 +149,5 @@ def recover(manager: PromiseManager, *, repair: bool = True) -> RecoveryReport:
         findings=findings,
         notes=tuple(wal.recovery_notes),
         elapsed_s=time.perf_counter() - start,
+        metrics=registry.snapshot() if registry is not None else None,
     )

@@ -43,6 +43,8 @@ from ..net.server import (
     ThreadedServer,
 )
 from ..net.transport import NetworkTransport
+from ..obs.metrics import MetricsRegistry, wal_observer
+from ..obs.trace import SpanRecorder
 from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
 from ..protocol.messages import Message
 from ..protocol.retry import RetryPolicy
@@ -319,12 +321,14 @@ class ReplicatedFleet:
                 epoch=new_epoch,
                 wal=deployment.store.wal,
                 sender_name=f"{self.endpoint}-s{index}",
+                metrics=best.server.metrics,
             )
             for follower in group.followers:
                 if follower is best:
                     continue
                 sender.add_follower(follower.address, follower.name)
             sender.full_sync_all()
+            deployment.store.wal.subscribe(wal_observer(best.server.metrics))
             deployment.store.wal.subscribe(sender.observe)
 
             best.deployment = deployment
@@ -426,6 +430,7 @@ class ReplicatedFleet:
         breaker_reset: float = 5.0,
         pending_limit: int | None = 256,
         pending_max_age: float | None = None,
+        tracer: SpanRecorder | None = None,
     ) -> ClusterGateway:
         """A routing gateway over the current primaries.
 
@@ -460,6 +465,7 @@ class ReplicatedFleet:
                 breakers=breakers,
                 pending_limit=pending_limit,
                 pending_max_age=pending_max_age,
+                tracer=tracer,
             )
             for index, group in enumerate(self._groups):
                 gateway.set_epoch(index, group.epoch)
@@ -573,6 +579,7 @@ class ReplicatedFleet:
         server = PromiseServer(
             host=self._host, port=port, reply_journal=journal,
             admission=admission,
+            metrics=admission.metrics if admission is not None else None,
         )
         server.register(self.endpoint, deployment.endpoint.handle)
         sender = ReplicationSender(
@@ -580,7 +587,9 @@ class ReplicatedFleet:
             epoch=epoch,
             wal=deployment.store.wal,
             sender_name=f"{self.endpoint}-s{index}",
+            metrics=server.metrics,
         )
+        deployment.store.wal.subscribe(wal_observer(server.metrics))
         deployment.store.wal.subscribe(sender.observe)
         server.epoch = epoch
         server.gate = sender.gate
@@ -634,14 +643,15 @@ class ReplicatedFleet:
             # between boot and first sync.
             if os.path.exists(wal_path):
                 os.unlink(wal_path)
+        server = PromiseServer(host=self._host, port=0)
         receiver = ReplicationReceiver(
             group=self._group_name(index),
             wal_path=wal_path,
             epoch=epoch,
             fsync=self._fsync,
             fault_scope=scope,
+            metrics=server.metrics,
         )
-        server = PromiseServer(host=self._host, port=0)
         server.register(REPL_ENDPOINT, receiver.handle)
         server.epoch = epoch
         runner = ThreadedServer(server)
@@ -732,6 +742,7 @@ class HeartbeatDetector:
         fleet: ReplicatedFleet,
         interval: float = 0.1,
         miss_threshold: int = 3,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if miss_threshold < 1:
             raise ValueError("miss_threshold must be >= 1")
@@ -742,9 +753,22 @@ class HeartbeatDetector:
         self._stop = threading.Event()
         self._misses = [0] * len(fleet)
         self._counter = 0
-        self.pings = 0
-        self.missed = 0
-        self.failovers = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def pings(self) -> int:
+        """Probes sent (view over ``heartbeat.pings``)."""
+        return int(self.metrics.value("heartbeat.pings"))
+
+    @property
+    def missed(self) -> int:
+        """Probes that got no answer (view over ``heartbeat.missed``)."""
+        return int(self.metrics.value("heartbeat.missed"))
+
+    @property
+    def failovers(self) -> int:
+        """Promotions this detector triggered (``heartbeat.failovers``)."""
+        return int(self.metrics.value("heartbeat.failovers"))
 
     def start(self) -> "HeartbeatDetector":
         if self._thread is not None:
@@ -776,7 +800,7 @@ class HeartbeatDetector:
                 self._probe(index)
 
     def _probe(self, index: int) -> None:
-        self.pings += 1
+        self.metrics.inc("heartbeat.pings")
         if self.fleet.is_partitioned(index):
             alive = False
         else:
@@ -784,14 +808,14 @@ class HeartbeatDetector:
         if alive:
             self._misses[index] = 0
             return
-        self.missed += 1
+        self.metrics.inc("heartbeat.missed")
         self._misses[index] += 1
         if self._misses[index] < self.miss_threshold:
             return
         self._misses[index] = 0
         try:
             self.fleet.failover(index)
-            self.failovers += 1
+            self.metrics.inc("heartbeat.failovers")
         except Exception:
             # No follower yet (all deposed, rejoin pending) or a race
             # with a manual failover; keep probing, never die.

@@ -31,6 +31,7 @@ import json
 import threading
 from typing import Callable
 
+from ..obs.metrics import MetricsRegistry
 from ..protocol.errors import ProtocolError, RequestTimeout, TransportFailure
 from ..protocol.messages import ActionOutcomePayload, ActionPayload, Message
 from ..protocol.retry import RetryPolicy
@@ -112,6 +113,7 @@ class ReplicationSender:
         sender_name: str = "primary",
         transport_factory: Callable[[tuple[str, int]], object] | None = None,
         timeout: float = 1.0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.group = group
         self.epoch = epoch
@@ -128,8 +130,24 @@ class ReplicationSender:
         #: Latched reason once a follower rejected our epoch: this
         #: sender belongs to a deposed primary and must never ack again.
         self.fenced: str | None = None
-        self.ships = 0
-        self.records_shipped = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+
+    @property
+    def ships(self) -> int:
+        """Ship messages sent (view over ``repl.ships``)."""
+        return int(self.metrics.value("repl.ships"))
+
+    @property
+    def records_shipped(self) -> int:
+        """WAL records acknowledged applied (``repl.records_shipped``)."""
+        return int(self.metrics.value("repl.records_shipped"))
+
+    def _update_lag(self) -> None:
+        """Refresh the ``repl.ship_lag_lsn`` gauge (primary vs followers)."""
+        self.metrics.set_gauge(
+            "repl.ship_lag_lsn",
+            float(self._wal.last_lsn - self.synced_lsn()),
+        )
 
     # -------------------------------------------------------------- wiring
 
@@ -205,6 +223,7 @@ class ReplicationSender:
                 if not todo:
                     continue
                 self._ship_chunked(link, "ship", todo)
+            self._update_lag()
             return any(link.acked_lsn >= target for link in self._links)
 
     def full_sync(self, link: _FollowerLink) -> bool:
@@ -248,7 +267,7 @@ class ReplicationSender:
         self, link: _FollowerLink, op: str, records: list[LogRecord]
     ) -> bool:
         self._counter += 1
-        self.ships += 1
+        self.metrics.inc("repl.ships")
         message = Message(
             message_id=f"repl:{self.group}:{self.epoch}:{self._counter}",
             sender=self._name,
@@ -271,6 +290,7 @@ class ReplicationSender:
         for fault in reply.faults:
             if fault.startswith(FENCED_FAULT_PREFIX):
                 self.fenced = fault[len(FENCED_FAULT_PREFIX):].strip()
+                self.metrics.inc("repl.fenced")
                 return False
         outcome = reply.action_outcome
         if outcome is None or not outcome.success:
@@ -279,7 +299,7 @@ class ReplicationSender:
         applied = outcome.value
         if isinstance(applied, dict) and "applied_lsn" in applied:
             link.acked_lsn = int(applied["applied_lsn"])  # type: ignore[arg-type]
-            self.records_shipped += len(records)
+            self.metrics.inc("repl.records_shipped", len(records))
             return True
         link.ship_failures += 1
         return False
@@ -351,6 +371,7 @@ class ReplicationReceiver:
         epoch: int = 0,
         fsync: bool = False,
         fault_scope: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.group = group
         self.epoch = epoch
@@ -363,9 +384,18 @@ class ReplicationReceiver:
         #: Set by :meth:`promote`: this node is (or is becoming) the
         #: primary and its log is no longer writable by any stream.
         self.promoted = False
-        self.ships_applied = 0
-        self.ships_fenced = 0
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._reply_counter = 0
+
+    @property
+    def ships_applied(self) -> int:
+        """Shipped records ingested (view over ``repl.ships_applied``)."""
+        return int(self.metrics.value("repl.ships_applied"))
+
+    @property
+    def ships_fenced(self) -> int:
+        """Stale-epoch ships bounced (view over ``repl.ships_fenced``)."""
+        return int(self.metrics.value("repl.ships_fenced"))
 
     @property
     def applied_lsn(self) -> int:
@@ -405,7 +435,7 @@ class ReplicationReceiver:
         except (TypeError, ValueError):
             return self._fault(message, "repl-malformed: bad epoch")
         if self.promoted or epoch < self.epoch:
-            self.ships_fenced += 1
+            self.metrics.inc("repl.ships_fenced")
             return self._fault(
                 message,
                 f"{FENCED_FAULT_PREFIX} receiver of {self.group} at epoch "
@@ -425,7 +455,7 @@ class ReplicationReceiver:
             )
         for payload in records:
             if self.wal.ingest(_record_from_wire(payload)):
-                self.ships_applied += 1
+                self.metrics.inc("repl.ships_applied")
         return self._ack(message)
 
     def close(self) -> None:

@@ -30,8 +30,9 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass
 from typing import Callable, Iterator
+
+from ..obs.metrics import MetricsRegistry, StatsView
 
 #: Request kinds, in shed order (first shed first).
 KIND_CHECK = "check"
@@ -56,14 +57,16 @@ def classify(message: object) -> str:
     return KIND_RELEASE
 
 
-@dataclass
-class AdmissionStats:
-    """What the controller admitted and what it turned away."""
+class AdmissionStats(StatsView):
+    """What the controller admitted and what it turned away.
 
-    admitted: int = 0
-    shed_checks: int = 0
-    shed_actions: int = 0
-    shed_releases: int = 0
+    A registry view over ``admission.*`` metrics; the shed decision runs
+    on the server's event loop while scrapes read from other threads, so
+    counting goes through the registry's lock.
+    """
+
+    _prefix = "admission"
+    _fields = ("admitted", "shed_checks", "shed_actions", "shed_releases")
 
     @property
     def shed(self) -> int:
@@ -89,6 +92,7 @@ class AdmissionController:
         burst: float | None = None,
         reserve: float | None = None,
         clock: Callable[[], float] = time.monotonic,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
@@ -104,7 +108,8 @@ class AdmissionController:
         self._tokens = self.burst
         self._refilled_at = clock()
         self._in_flight = 0
-        self.stats = AdmissionStats()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.stats = AdmissionStats(self.metrics)
 
     # ------------------------------------------------------------ decisions
 
@@ -120,9 +125,9 @@ class AdmissionController:
             # bound (a server drowning outright) refuses them, and they
             # never pay tokens.
             if self._in_flight >= 2 * self.max_queue:
-                self.stats.shed_releases += 1
+                self.metrics.inc("admission.shed_releases")
                 return False
-            self.stats.admitted += 1
+            self.metrics.inc("admission.admitted")
             return True
         if self._in_flight >= self.max_queue:
             self._shed(kind)
@@ -131,7 +136,7 @@ class AdmissionController:
         if not self._take_token(floor):
             self._shed(kind)
             return False
-        self.stats.admitted += 1
+        self.metrics.inc("admission.admitted")
         return True
 
     @contextmanager
@@ -157,9 +162,9 @@ class AdmissionController:
 
     def _shed(self, kind: str) -> None:
         if kind == KIND_CHECK:
-            self.stats.shed_checks += 1
+            self.metrics.inc("admission.shed_checks")
         else:
-            self.stats.shed_actions += 1
+            self.metrics.inc("admission.shed_actions")
 
     def _take_token(self, floor: float) -> bool:
         if self.rate is None:

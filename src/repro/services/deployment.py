@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from ..core.clock import LogicalClock
 from ..core.manager import PromiseManager
+from ..obs.metrics import MetricsRegistry, wal_observer
 from ..protocol.client import PromiseClient
 from ..recovery import RecoveryReport, recover
 from ..protocol.endpoint import PromiseEndpoint
@@ -51,6 +52,7 @@ class Deployment:
         auto_checkpoint_every: int | None = None,
         manager_name: str | None = None,
         fault_scope: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         # ``manager_name`` separates the endpoint name clients address
         # (shared by every shard of a cluster) from the name seeding the
@@ -59,8 +61,12 @@ class Deployment:
         # likewise tags this deployment's store and WAL for scoped crash
         # injection, so a fleet test can kill one shard and leave its
         # siblings' disks live.
+        # ``metrics`` (optional) hooks this deployment's WAL into a
+        # shared registry (``wal.appends`` / ``wal.commits`` /
+        # ``wal.checkpoints``) and routes recovery audits through it.
         self.name = name
         self.clock = clock or LogicalClock()
+        self.metrics = metrics
         self.store = Store(
             wal_path=wal_path,
             fsync=fsync,
@@ -78,6 +84,8 @@ class Deployment:
             max_duration=max_duration,
             counter_offers=counter_offers,
         )
+        if metrics is not None:
+            self.store.wal.subscribe(wal_observer(metrics))
         self.services = ServiceRegistry()
         self.transport = transport or InProcessTransport(wire_format=wire_format)
         self.endpoint = PromiseEndpoint(
@@ -124,7 +132,7 @@ class Deployment:
         back if the owning strategy is registered again.  The report is
         also kept on :attr:`recovery_report` for later inspection.
         """
-        report = recover(self.manager, repair=repair)
+        report = recover(self.manager, repair=repair, registry=self.metrics)
         self.recovery_report = report
         return report
 

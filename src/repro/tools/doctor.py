@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 from ..core.manager import PromiseManager
 from ..core.promise import Promise
+from ..obs.metrics import MetricsRegistry
 from ..core.table import PROMISE_INDEX_TABLE, PROMISES_TABLE, _ACTIVE_KEY
 from ..resources.records import (
     INSTANCE_INDEX_TABLE,
@@ -64,10 +65,21 @@ class Finding:
 
 
 class Doctor:
-    """Audits (and optionally repairs) one promise manager's state."""
+    """Audits (and optionally repairs) one promise manager's state.
 
-    def __init__(self, manager: PromiseManager) -> None:
+    ``registry`` (optional) makes audits self-reporting: every
+    :meth:`check` bumps ``doctor.audits`` / ``doctor.findings`` and
+    every :meth:`repair` bumps ``doctor.repairs``, so a fleet scrape
+    shows how often each shard is audited and what the audits found.
+    """
+
+    def __init__(
+        self,
+        manager: PromiseManager,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
         self._manager = manager
+        self._registry = registry
 
     # ------------------------------------------------------------- checks
 
@@ -80,6 +92,9 @@ class Doctor:
         findings.extend(self._check_active_index())
         findings.extend(self._check_instance_index())
         findings.extend(self._check_satisfiability())
+        if self._registry is not None:
+            self._registry.inc("doctor.audits")
+            self._registry.inc("doctor.findings", len(findings))
         return findings
 
     def repair(self) -> list[Finding]:
@@ -150,6 +165,8 @@ class Doctor:
                             "rebuilt from instance scan",
                         )
                     )
+        if self._registry is not None:
+            self._registry.inc("doctor.repairs", len(repaired))
         return repaired
 
     # ------------------------------------------------------------ internals

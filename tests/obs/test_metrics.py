@@ -1,0 +1,161 @@
+"""Metrics registry: instruments, export, views — and the race fix.
+
+The registry replaced every ad-hoc ``stats`` dataclass whose plain
+``+=`` increments could lose updates across threads; the hammer test
+here is the regression test for that fix (it fails reliably against an
+unsynchronized counter on free-threaded interpreters, and under the GIL
+the moment the increment spans more than one bytecode).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.net.client import ClientStats
+from repro.net.server import ServerStats
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    StatsView,
+    merge_counters,
+    snapshot_delta,
+    wal_observer,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def test_counters_gauges_histograms_roundtrip():
+    registry = MetricsRegistry()
+    registry.inc("server.requests")
+    registry.inc("server.requests", 4)
+    registry.set_gauge("repl.ship_lag_lsn", 7)
+    registry.observe("server.dispatch_seconds", 0.003)
+    registry.observe("server.dispatch_seconds", 99.0)  # overflow bucket
+
+    assert registry.value("server.requests") == 5
+    assert registry.value("repl.ship_lag_lsn") == 7
+    assert registry.value("never.touched") == 0
+
+    snapshot = registry.snapshot()
+    assert snapshot["counters"] == {"server.requests": 5}
+    assert snapshot["gauges"] == {"repl.ship_lag_lsn": 7.0}
+    hist = snapshot["histograms"]["server.dispatch_seconds"]
+    assert hist["count"] == 2
+    assert hist["overflow"] == 1
+    assert hist["sum"] == pytest.approx(99.003)
+    # The export is exactly what the SOAP value codec can carry.
+    assert json.loads(registry.to_json()) == json.loads(
+        json.dumps(snapshot)
+    )
+
+
+def test_instruments_are_get_or_create():
+    registry = MetricsRegistry()
+    assert registry.counter("a.b") is registry.counter("a.b")
+    assert registry.gauge("a.c") is registry.gauge("a.c")
+    assert registry.histogram("a.d") is registry.histogram("a.d")
+    assert registry.histogram("a.d").buckets == tuple(
+        sorted(DEFAULT_LATENCY_BUCKETS)
+    )
+
+
+def test_delta_reports_increments_not_totals():
+    registry = MetricsRegistry()
+    registry.inc("hits", 10)
+    registry.set_gauge("depth", 3)
+    before = registry.snapshot()
+    registry.inc("hits", 2)
+    registry.inc("fresh")
+    registry.set_gauge("depth", 9)
+    delta = registry.delta(before)
+    assert delta["counters"]["hits"] == 2
+    assert delta["counters"]["fresh"] == 1
+    # Gauges are levels: the delta carries the current value.
+    assert delta["gauges"]["depth"] == 9.0
+    assert snapshot_delta(before, before)["counters"]["hits"] == 0
+
+
+def test_merge_counters_sums_fleet_scrapes():
+    a = MetricsRegistry()
+    b = MetricsRegistry()
+    a.inc("server.requests", 3)
+    b.inc("server.requests", 4)
+    b.inc("server.shed")
+    totals = merge_counters([a.snapshot(), b.snapshot()])
+    assert totals == {"server.requests": 7, "server.shed": 1}
+
+
+def test_null_registry_is_inert():
+    assert NULL_REGISTRY.enabled is False
+    NULL_REGISTRY.inc("anything", 100)
+    NULL_REGISTRY.set_gauge("anything", 1.0)
+    NULL_REGISTRY.observe("anything", 1.0)
+    assert NULL_REGISTRY.value("anything") == 0
+    snapshot = NullRegistry().snapshot()
+    assert snapshot["counters"] == {}
+    assert snapshot["gauges"] == {}
+
+
+def test_concurrent_increments_never_lose_updates():
+    """The satellite regression test: 16 threads x 2000 increments must
+    land exactly — the old ``stats.field += 1`` pattern dropped some."""
+    registry = MetricsRegistry()
+    threads_n, per_thread = 16, 2000
+
+    def hammer():
+        for __ in range(per_thread):
+            registry.inc("hammer.count")
+            registry.gauge("hammer.level").add(1)
+
+    threads = [threading.Thread(target=hammer) for __ in range(threads_n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert registry.value("hammer.count") == threads_n * per_thread
+    assert registry.value("hammer.level") == threads_n * per_thread
+
+
+def test_stats_view_reads_through_registry():
+    class DemoStats(StatsView):
+        _prefix = "demo"
+        _fields = ("sent", "lost")
+
+    registry = MetricsRegistry()
+    view = DemoStats(registry)
+    assert (view.sent, view.lost) == (0, 0)
+    registry.inc("demo.sent", 3)
+    assert view.sent == 3
+    assert view.as_dict() == {"sent": 3, "lost": 0}
+    with pytest.raises(AttributeError):
+        view.nonexistent
+    # No-arg construction still reads all-zeros, like the old dataclass.
+    assert DemoStats().sent == 0
+
+
+def test_legacy_stats_classes_are_views():
+    """The pre-obs ``stats`` types still construct bare and read zeros."""
+    for stats_type in (ClientStats, ServerStats):
+        view = stats_type()
+        assert all(value == 0 for value in view.as_dict().values())
+
+
+def test_wal_observer_counts_appends(tmp_path):
+    from repro.services.deployment import Deployment
+
+    registry = MetricsRegistry()
+    deployment = Deployment(
+        name="obs", wal_path=str(tmp_path / "obs.wal"), metrics=registry
+    )
+    deployment.use_pool_strategy("stock")
+    with deployment.seed() as txn:
+        deployment.resources.create_pool(txn, "stock", 5)
+    deployment.close()
+    assert registry.value("wal.appends") > 0
+    assert registry.value("wal.commits") >= 1
