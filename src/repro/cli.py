@@ -108,6 +108,7 @@ from .core.environment import Environment
 from .core.errors import PredicateSyntaxError
 from .core.parser import P
 from .net import NetworkTransport, PromiseServer, ThreadedServer
+from .storage.group_commit import GroupCommitConfig
 from .net.server import (
     METRICS_ENDPOINT,
     NET_REPLY_JOURNAL_TABLE,
@@ -192,6 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "(grant, action, redelivery), then kill the "
                             "server and restart it from the WAL")
     _add_resilience_flags(serve)
+    _add_pipeline_flags(serve)
 
     cluster = commands.add_parser(
         "serve-cluster", help="host a sharded promise-manager fleet over TCP"
@@ -234,6 +236,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "--replicas, also kill a primary and prove "
                               "automatic failover")
     _add_resilience_flags(cluster)
+    _add_pipeline_flags(cluster)
 
     call = commands.add_parser(
         "call", help="send one promise/action request to a running server"
@@ -371,6 +374,41 @@ def _add_resilience_flags(subparser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_pipeline_flags(subparser: argparse.ArgumentParser) -> None:
+    """Hot-path concurrency flags shared by ``serve`` and ``serve-cluster``."""
+    subparser.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help="parallel-dispatch worker threads per server (default 0: "
+             "serial on the event loop); requests on disjoint resources "
+             "execute concurrently, same-resource requests stay FIFO",
+    )
+    subparser.add_argument(
+        "--group-commit", action="store_true",
+        help="batch WAL fsyncs (group commit): concurrent transactions "
+             "share one fsync and every ack waits for durability",
+    )
+    subparser.add_argument(
+        "--batch-max", type=int, default=64, metavar="N",
+        help="group commit: max records hardened per fsync batch "
+             "(default 64)",
+    )
+    subparser.add_argument(
+        "--batch-hold-ms", type=float, default=2.0, metavar="MS",
+        help="group commit: max time the flusher holds an open batch "
+             "waiting for more records (default 2.0)",
+    )
+
+
+def _group_commit_from_flags(
+    enabled: bool, batch_max: int, batch_hold_ms: float
+) -> "GroupCommitConfig | None":
+    if not enabled:
+        return None
+    return GroupCommitConfig(
+        max_batch=batch_max, max_hold=batch_hold_ms / 1000.0
+    )
+
+
 def _admission_from_flags(
     max_queue: int | None, rate_limit: float | None
 ) -> AdmissionController | None:
@@ -481,6 +519,7 @@ def _build_served_deployment(
     wal_path: str | None = None,
     fsync: bool = False,
     checkpoint_every: int | None = None,
+    group_commit: "GroupCommitConfig | None" = None,
     out=sys.stdout,
 ) -> Deployment:
     """The deployment `serve` hosts: a merchant over a widgets pool.
@@ -495,6 +534,7 @@ def _build_served_deployment(
         wal_path=wal_path,
         fsync=fsync,
         auto_checkpoint_every=checkpoint_every,
+        group_commit=group_commit,
     )
     deployment.add_service(MerchantService())
     deployment.use_pool_strategy("widgets")
@@ -513,6 +553,7 @@ def _build_server(
     host: str,
     port: int,
     admission: AdmissionController | None = None,
+    workers: int = 0,
 ) -> PromiseServer:
     """A :class:`PromiseServer` for ``deployment``, with a durable
     reply journal when the deployment has one to give."""
@@ -522,13 +563,20 @@ def _build_server(
             deployment.store, table=NET_REPLY_JOURNAL_TABLE
         )
     server = PromiseServer(
-        host=host, port=port, reply_journal=journal, admission=admission
+        host=host, port=port, reply_journal=journal, admission=admission,
+        workers=workers,
     )
     # The server owns the deployment's registry too: WAL appends land
     # beside the request counters, so one ``_metrics`` scrape (``repro
     # top``) covers the whole process.
     deployment.store.wal.subscribe(wal_observer(server.metrics))
-    server.register(endpoint, deployment.endpoint.handle)
+    deployment.store.wal.set_metrics(server.metrics)
+    server.attach_store(deployment.store)
+    server.register(
+        endpoint,
+        deployment.endpoint.handle,
+        keys=deployment.endpoint.dispatch_keys,
+    )
     return server
 
 
@@ -544,6 +592,8 @@ def run_serve(
     max_queue: int | None = None,
     rate_limit: float | None = None,
     breaker_threshold: int | None = None,
+    workers: int = 0,
+    group_commit: "GroupCommitConfig | None" = None,
     out=sys.stdout,
 ) -> int:
     """Host the deployment over TCP; returns a process exit code."""
@@ -555,14 +605,18 @@ def run_serve(
             host, port, endpoint, stock, wal,
             fsync=fsync, checkpoint_every=checkpoint_every,
             max_queue=max_queue, rate_limit=rate_limit,
-            breaker_threshold=breaker_threshold, out=out,
+            breaker_threshold=breaker_threshold,
+            workers=workers, group_commit=group_commit, out=out,
         )
 
     deployment = _build_served_deployment(
-        endpoint, stock, wal, fsync, checkpoint_every, out=out
+        endpoint, stock, wal, fsync, checkpoint_every,
+        group_commit=group_commit, out=out,
     )
     admission = _admission_from_flags(max_queue, rate_limit)
-    server = _build_server(deployment, endpoint, host, port, admission)
+    server = _build_server(
+        deployment, endpoint, host, port, admission, workers=workers
+    )
 
     async def serve() -> None:
         bound_host, bound_port = await server.start()
@@ -598,6 +652,8 @@ def _serve_self_test(
     wal: str | None,
     fsync: bool = False,
     checkpoint_every: int | None = None,
+    workers: int = 0,
+    group_commit: "GroupCommitConfig | None" = None,
     max_queue: int | None = None,
     rate_limit: float | None = None,
     breaker_threshold: int | None = None,
@@ -624,7 +680,8 @@ def _serve_self_test(
             host, port, endpoint, stock, wal,
             fsync=fsync, checkpoint_every=checkpoint_every,
             max_queue=max_queue, rate_limit=rate_limit,
-            breaker_threshold=breaker_threshold, out=out,
+            breaker_threshold=breaker_threshold,
+            workers=workers, group_commit=group_commit, out=out,
         )
     finally:
         if cleanup is not None:
@@ -644,6 +701,8 @@ def _self_test_two_lives(
     max_queue: int | None = None,
     rate_limit: float | None = None,
     breaker_threshold: int | None = None,
+    workers: int = 0,
+    group_commit: "GroupCommitConfig | None" = None,
     out=sys.stdout,
 ) -> int:
     def breaker() -> CircuitBreaker | None:
@@ -654,11 +713,13 @@ def _self_test_two_lives(
         )
 
     deployment = _build_served_deployment(
-        endpoint, stock, wal, fsync, checkpoint_every, out=out
+        endpoint, stock, wal, fsync, checkpoint_every,
+        group_commit=group_commit, out=out,
     )
     server = _build_server(
         deployment, endpoint, host, port,
         _admission_from_flags(max_queue, rate_limit),
+        workers=workers,
     )
     with ThreadedServer(server) as (host, bound_port):
         print(f"self-test: serving on {host}:{bound_port}", file=out)
@@ -726,13 +787,15 @@ def _self_test_two_lives(
     deployment.close()
     print(f"killed server; restarting from {wal}", file=out)
     deployment = _build_served_deployment(
-        endpoint, stock, wal, fsync, checkpoint_every, out=out
+        endpoint, stock, wal, fsync, checkpoint_every,
+        group_commit=group_commit, out=out,
     )
     report = deployment.recovery_report
     recovered_ok = report is not None and report.healthy
     server = _build_server(
         deployment, endpoint, host, port,
         _admission_from_flags(max_queue, rate_limit),
+        workers=workers,
     )
     with ThreadedServer(server) as (host, bound_port):
         with NetworkTransport((host, bound_port), breaker=breaker()) as transport:
@@ -791,6 +854,8 @@ def run_serve_cluster(
     breaker_threshold: int | None = None,
     replicas: int = 0,
     heartbeat_interval: float = 0.2,
+    workers: int = 0,
+    group_commit: "GroupCommitConfig | None" = None,
     out=sys.stdout,
 ) -> int:
     """Host a sharded fleet over TCP; returns a process exit code."""
@@ -847,6 +912,8 @@ def run_serve_cluster(
             host=host,
             base_port=port,
             admission=admission,
+            workers=workers,
+            group_commit=group_commit,
         )
     try:
         addresses = fleet.start()
@@ -1650,7 +1717,12 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             args.host, args.port, args.endpoint, args.stock,
             args.self_test, args.wal, args.fsync, args.checkpoint_every,
             max_queue=args.max_queue, rate_limit=args.rate_limit,
-            breaker_threshold=args.breaker_threshold, out=out,
+            breaker_threshold=args.breaker_threshold,
+            workers=args.workers,
+            group_commit=_group_commit_from_flags(
+                args.group_commit, args.batch_max, args.batch_hold_ms
+            ),
+            out=out,
         )
     if args.command == "serve-cluster":
         return run_serve_cluster(
@@ -1660,7 +1732,12 @@ def main(argv: Sequence[str] | None = None, out=sys.stdout) -> int:
             max_queue=args.max_queue, rate_limit=args.rate_limit,
             breaker_threshold=args.breaker_threshold,
             replicas=args.replicas,
-            heartbeat_interval=args.heartbeat_interval, out=out,
+            heartbeat_interval=args.heartbeat_interval,
+            workers=args.workers,
+            group_commit=_group_commit_from_flags(
+                args.group_commit, args.batch_max, args.batch_hold_ms
+            ),
+            out=out,
         )
     if args.command == "call":
         return run_call(

@@ -38,10 +38,12 @@ from ..obs.metrics import wal_observer
 from ..obs.trace import SpanRecorder
 from ..protocol.retry import RetryPolicy
 from ..recovery import ReplyJournal
+from ..faults.history import HistoryRecorder
 from ..resilience.admission import AdmissionController
 from ..resilience.breaker import CircuitBreaker
 from ..services.base import ApplicationService
 from ..services.deployment import Deployment
+from ..storage.group_commit import GroupCommitConfig
 from ..tools.doctor import Doctor, Finding
 from .gateway import ClusterGateway
 from .partition import PartitionMap
@@ -89,6 +91,9 @@ class ClusterFleet:
         ring: PartitionMap | None = None,
         base_port: int | None = None,
         admission: AdmissionFactory | None = None,
+        workers: int = 0,
+        group_commit: "GroupCommitConfig | None" = None,
+        history: "HistoryRecorder | None" = None,
     ) -> None:
         self.endpoint = endpoint
         self.ring = ring or PartitionMap(shards)
@@ -104,6 +109,13 @@ class ClusterFleet:
         self._host = host
         self._base_port = base_port
         self._admission = admission
+        #: Parallel-dispatch worker count per shard server (0 = serial)
+        #: and the shared group-commit tuning for every shard's WAL.
+        self._workers = workers
+        self._group_commit = group_commit
+        #: Optional isolation auditor: every shard's WAL is attached at
+        #: boot and re-attached on restart (which prunes the lost tail).
+        self._history = history
         self._shards: list[Shard] = []
         self._started = False
         #: Gateways built by :meth:`gateway`, notified on restart so a
@@ -190,6 +202,7 @@ class ClusterFleet:
         pending_limit: int | None = 256,
         pending_max_age: float | None = None,
         tracer: SpanRecorder | None = None,
+        pipelined: bool = False,
     ) -> ClusterGateway:
         """A routing gateway over this fleet's (current) addresses.
 
@@ -199,12 +212,18 @@ class ClusterFleet:
         ``breaker_threshold`` (consecutive failures) turns on one
         circuit breaker per shard; a dead shard then fails fast at the
         gateway instead of consuming every request's retry schedule.
+
+        ``pipelined`` makes each shard leg a pipelined connection:
+        scatter-gather legs from concurrent gateway callers share one
+        socket per shard with many requests in flight, instead of
+        serialising on per-connection pool checkout.
         """
         transports = [
             NetworkTransport(
                 address,
                 timeout=timeout,
                 retry=retry or RetryPolicy.network(),
+                pipelined=pipelined,
             )
             for address in self.addresses()
         ]
@@ -265,6 +284,7 @@ class ClusterFleet:
             wal_path=wal_path,
             fsync=self._fsync,
             auto_checkpoint_every=self._auto_checkpoint_every,
+            group_commit=self._group_commit,
         )
         if self._provision is not None:
             self._provision(deployment, index, self.ring)
@@ -282,12 +302,21 @@ class ClusterFleet:
             host=self._host, port=port, reply_journal=journal,
             admission=admission,
             metrics=admission.metrics if admission is not None else None,
+            workers=self._workers,
         )
         # Each shard's server owns the shard's registry and span ring;
         # WAL appends land there too, so one ``_metrics`` scrape covers
         # the shard's whole stack (server, admission, storage).
         deployment.store.wal.subscribe(wal_observer(server.metrics))
-        server.register(self.endpoint, deployment.endpoint.handle)
+        deployment.store.wal.set_metrics(server.metrics)
+        if self._history is not None:
+            self._history.attach(index, deployment.store.wal)
+        server.attach_store(deployment.store)
+        server.register(
+            self.endpoint,
+            deployment.endpoint.handle,
+            keys=deployment.endpoint.dispatch_keys,
+        )
         runner = ThreadedServer(server)
         address = runner.start()
         return Shard(

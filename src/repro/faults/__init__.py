@@ -21,12 +21,16 @@ from .crashpoints import (
     install,
     should_crash,
 )
+from .history import HistoryEvent, HistoryRecorder, audit_history
 
 __all__ = [
     "CRASH_POINTS",
     "CrashSchedule",
+    "HistoryEvent",
+    "HistoryRecorder",
     "SimulatedCrash",
     "armed",
+    "audit_history",
     "clear",
     "crash_point",
     "crashed",

@@ -59,6 +59,7 @@ from ..protocol.retry import RetryPolicy
 from ..resilience.admission import KIND_CHECK, AdmissionController
 from ..resilience.breaker import CircuitBreaker
 from .crashpoints import clear, install
+from .history import HistoryRecorder, audit_history
 
 FAULT_REQUEST_DROP = "request-drop"
 FAULT_REPLY_DROP = "reply-drop"
@@ -141,6 +142,8 @@ class NemesisReport:
     shed: int = 0
     #: Spans the trace-history audit re-verified (0 = audit vacuous).
     spans_audited: int = 0
+    #: WAL records the offline history checker folded (0 = vacuous).
+    history_records: int = 0
 
     @property
     def ok(self) -> bool:
@@ -168,6 +171,7 @@ class NemesisReport:
             "duplicates_served": self.duplicates_served,
             "shed": self.shed,
             "spans_audited": self.spans_audited,
+            "history_records": self.history_records,
         }
 
 
@@ -213,6 +217,9 @@ class ChaosNemesis:
         #: Records the client/gateway halves of every trace; shard
         #: servers keep their own rings.  The span audit reads both.
         self.tracer = SpanRecorder(capacity=16384)
+        #: Taps every shard WAL; its offline fold is the third auditor
+        #: (no-over-grant and at-most-once proven from history alone).
+        self.history = HistoryRecorder()
         self._admissions: dict[int, AdmissionController] = {}
         self._message_count = 0
         self.report = NemesisReport(seed=seed)
@@ -239,6 +246,7 @@ class ChaosNemesis:
                 ring=ring,
                 wal_dir=wal_dir,
                 admission=self._admission_factory,
+                history=self.history,
             )
             fleet.start()
             detector = HeartbeatDetector(
@@ -251,6 +259,7 @@ class ChaosNemesis:
                 ring=ring,
                 wal_dir=wal_dir,
                 admission=self._admission_factory,
+                history=self.history,
             )
             fleet.start()
         transports = [
@@ -308,6 +317,7 @@ class ChaosNemesis:
             clear()
             if detector is not None:
                 detector.stop()
+            self.history.detach_all()
             for transport in transports:
                 transport.close()
             fleet.stop()
@@ -754,6 +764,8 @@ class ChaosNemesis:
         spans = self._collect_spans(fleet)
         self.report.spans_audited = len(spans)
         self.report.violations.extend(audit_spans(spans))
+        self.report.history_records = self.history.events_recorded
+        self.report.violations.extend(audit_history(self.history))
 
     def _collect_spans(self, fleet: ClusterFleet) -> list[dict]:
         """Every span the run produced, from every recorder that has one.

@@ -14,11 +14,17 @@ processes:
 * :mod:`repro.net.client` — a connection-pooling blocking client with
   per-request deadlines and retry via
   :class:`~repro.protocol.retry.RetryPolicy`;
+* :mod:`repro.net.pipeline` — :class:`PipelinedClient`, many
+  outstanding requests on one connection with id-correlated replies;
+* :mod:`repro.net.executor` — :class:`KeyedExecutor`, the per-key FIFO
+  pool behind the server's parallel dispatch;
 * :mod:`repro.net.transport` — :class:`NetworkTransport`, a drop-in
   replacement for the in-process transport, fault plans included.
 """
 
 from .client import ClientStats, NetworkClient
+from .executor import DEFAULT_WORKERS, KeyedExecutor
+from .pipeline import PipelinedClient
 from .framing import (
     DEFAULT_MAX_FRAME_SIZE,
     FrameError,
@@ -39,6 +45,9 @@ from .transport import NetworkTransport
 __all__ = [
     "ClientStats",
     "DEFAULT_MAX_FRAME_SIZE",
+    "DEFAULT_WORKERS",
+    "KeyedExecutor",
+    "PipelinedClient",
     "FrameError",
     "FrameTooLarge",
     "NetworkClient",

@@ -1,0 +1,279 @@
+"""Pipelined client: many outstanding requests on one connection.
+
+The request/reply client (:class:`~repro.net.client.NetworkClient`)
+write-then-reads: a second request waits for the first reply, so a
+round trip of latency is paid per message even when the server could
+overlap them.  :class:`PipelinedClient` removes that stall: requests
+are framed and written as they arrive, a reader thread drains reply
+frames as the server produces them, and each reply is matched back to
+its request by message id — replies may arrive in *any* order, which
+is exactly what the server's parallel dispatch produces.
+
+Correlation rides the protocol itself: every reply's ``<routing>``
+element carries ``correlation="<request message-id>"`` (§6's request
+identifier), so the matcher needs only a cheap scan of the reply bytes,
+not a full decode.  Requests whose replies never arrive (connection
+drop, server death) fail with
+:class:`~repro.protocol.errors.TransportFailure`; the payload can then
+be re-sent through any transport — same message id, so the server's
+reply cache keeps the retry at-most-once.
+
+This client is deliberately below the retry layer: it moves bytes and
+correlates frames.  Callers that want retries wrap it the same way they
+wrap :class:`NetworkClient`.
+"""
+
+from __future__ import annotations
+
+import re
+import socket
+import threading
+from concurrent.futures import Future
+
+from ..obs.metrics import MetricsRegistry
+from ..protocol.errors import RequestTimeout, TransportFailure
+from .framing import DEFAULT_MAX_FRAME_SIZE, encode_frame, read_frame
+
+#: The routing element is the first thing in every envelope's header;
+#: these scan it without paying for a full XML decode.
+_ROUTING = re.compile(rb"<routing\s[^>]*>")
+_MESSAGE_ID = re.compile(rb'message-id="([^"]*)"')
+_CORRELATION = re.compile(rb'correlation="([^"]*)"')
+
+
+def extract_message_id(payload: bytes) -> str | None:
+    """The ``message-id`` of an encoded envelope, or ``None``."""
+    return _extract(payload, _MESSAGE_ID)
+
+
+def extract_correlation(payload: bytes) -> str | None:
+    """The ``correlation`` of an encoded reply envelope, or ``None``."""
+    return _extract(payload, _CORRELATION)
+
+
+def _extract(payload: bytes, attribute: re.Pattern[bytes]) -> str | None:
+    routing = _ROUTING.search(payload)
+    if routing is None:
+        return None
+    found = attribute.search(routing.group(0))
+    if found is None or not found.group(1):
+        return None
+    return found.group(1).decode("utf-8", errors="replace")
+
+
+class PipelinedClient:
+    """Many in-flight requests over one TCP connection.
+
+    ``submit`` returns a :class:`concurrent.futures.Future` resolving
+    with the reply bytes; ``request`` is the blocking convenience and
+    ``request_many`` ships a whole batch before waiting on any reply.
+    ``max_outstanding`` bounds the pipeline depth — a full window makes
+    ``submit`` block, which is this client's flow control.
+    """
+
+    def __init__(
+        self,
+        address: tuple[str, int],
+        timeout: float = 5.0,
+        max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
+        max_outstanding: int = 128,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_outstanding < 1:
+            raise ValueError("max_outstanding must be at least 1")
+        self.address = address
+        self.timeout = timeout
+        self.max_frame_size = max_frame_size
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._lock = threading.Lock()
+        self._pending: dict[str, Future[bytes]] = {}
+        self._window = threading.BoundedSemaphore(max_outstanding)
+        self._closed = False
+        self._sock: socket.socket | None = None
+        self._reader: threading.Thread | None = None
+
+    # ------------------------------------------------------------- requests
+
+    def submit(self, payload: bytes) -> "Future[bytes]":
+        """Ship ``payload`` now; the Future resolves with its reply.
+
+        Blocks only when ``max_outstanding`` requests are already in
+        flight.  The Future fails with :class:`TransportFailure` if the
+        connection dies before the reply arrives, and with
+        :class:`RequestTimeout` if it is still unresolved when
+        :meth:`close` reaps the pipeline.
+        """
+        message_id = extract_message_id(payload)
+        if message_id is None:
+            raise TransportFailure("payload carries no message-id to correlate")
+        if not self._window.acquire(timeout=self.timeout):
+            self.metrics.inc("pipeline.window_stalls")
+            raise RequestTimeout(
+                f"pipeline window full ({len(self._pending)} outstanding)"
+            )
+        future: Future[bytes] = Future()
+        future.add_done_callback(lambda _: self._window.release())
+        frame = encode_frame(payload, self.max_frame_size)
+        with self._lock:
+            if self._closed:
+                raise TransportFailure("pipelined client is closed")
+            if message_id in self._pending:
+                raise TransportFailure(
+                    f"message id {message_id!r} already in flight"
+                )
+            sock = self._ensure_connected()
+            self._pending[message_id] = future
+            try:
+                sock.sendall(frame)
+            except OSError as exc:
+                self._pending.pop(message_id, None)
+                self._teardown_locked(TransportFailure(f"send failed: {exc}"))
+                raise TransportFailure(f"send failed: {exc}") from exc
+        self.metrics.inc("pipeline.submitted")
+        self.metrics.inc("client.bytes_sent", len(payload))
+        return future
+
+    def request(self, payload: bytes, timeout: float | None = None) -> bytes:
+        """Blocking round trip through the pipeline."""
+        future = self.submit(payload)
+        try:
+            return future.result(
+                timeout=self.timeout if timeout is None else timeout
+            )
+        except TimeoutError:
+            self.metrics.inc("client.timeouts")
+            raise RequestTimeout(
+                f"no reply from {self.address[0]}:{self.address[1]}"
+            ) from None
+
+    def request_many(
+        self, payloads: list[bytes], timeout: float | None = None
+    ) -> list[bytes]:
+        """Ship every payload before waiting on any reply.
+
+        Replies come back in *request* order regardless of the order the
+        server finished them in — the whole point of correlation.
+        """
+        futures = [self.submit(payload) for payload in payloads]
+        budget = self.timeout if timeout is None else timeout
+        replies: list[bytes] = []
+        for future in futures:
+            try:
+                replies.append(future.result(timeout=budget))
+            except TimeoutError:
+                self.metrics.inc("client.timeouts")
+                raise RequestTimeout(
+                    f"no reply from {self.address[0]}:{self.address[1]}"
+                ) from None
+        return replies
+
+    @property
+    def outstanding(self) -> int:
+        """Requests currently awaiting replies."""
+        with self._lock:
+            return len(self._pending)
+
+    def close(self) -> None:
+        """Tear the connection down; unresolved futures fail."""
+        with self._lock:
+            self._closed = True
+            self._teardown_locked(
+                TransportFailure("pipelined client closed with request in flight")
+            )
+        reader = self._reader
+        if reader is not None and reader is not threading.current_thread():
+            reader.join(timeout=5)
+
+    def __enter__(self) -> "PipelinedClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ internals
+
+    def _ensure_connected(self) -> socket.socket:
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(self.address, timeout=self.timeout)
+        except socket.timeout as exc:
+            raise RequestTimeout(
+                f"connect to {self.address[0]}:{self.address[1]} timed out"
+            ) from exc
+        except OSError as exc:
+            raise TransportFailure(f"cannot connect: {exc}") from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # The reader blocks in recv for as long as replies might take;
+        # it is the close() path, not a socket timeout, that ends it.
+        sock.settimeout(None)
+        self._sock = sock
+        self.metrics.inc("client.connections_opened")
+        self._reader = threading.Thread(
+            target=self._read_replies, name="pipeline-reader", daemon=True
+        )
+        self._reader.start()
+        return sock
+
+    def _read_replies(self) -> None:
+        sock = self._sock
+        assert sock is not None
+
+        def recv(count: int) -> bytes:
+            return sock.recv(count)
+
+        while True:
+            try:
+                reply = read_frame(recv, self.max_frame_size)
+            except Exception as exc:  # noqa: BLE001 - reader boundary
+                self._fail_pending(TransportFailure(f"connection failed: {exc}"))
+                return
+            if reply is None:  # orderly EOF from the server
+                self._fail_pending(
+                    TransportFailure("server closed the pipelined connection")
+                )
+                return
+            self.metrics.inc("client.bytes_received", len(reply))
+            correlation = extract_correlation(reply)
+            future = None
+            if correlation is not None:
+                with self._lock:
+                    future = self._pending.pop(correlation, None)
+            if future is None:
+                # A reply we never asked for (or one whose waiter gave
+                # up): surfaced as a counter, never an exception — the
+                # reader must outlive any single confused frame.
+                self.metrics.inc("pipeline.orphan_replies")
+                continue
+            self.metrics.inc("pipeline.completed")
+            if not future.set_running_or_notify_cancel():
+                continue
+            future.set_result(reply)
+
+    def _fail_pending(self, error: TransportFailure) -> None:
+        with self._lock:
+            self._sock = None
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(error)
+
+    def _teardown_locked(self, error: TransportFailure) -> None:
+        """Close the socket and fail pending futures (lock already held)."""
+        sock = self._sock
+        self._sock = None
+        if sock is not None:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        pending = list(self._pending.values())
+        self._pending.clear()
+        for future in pending:
+            if future.set_running_or_notify_cancel():
+                future.set_exception(error)

@@ -39,6 +39,7 @@ from ..protocol.transport import (
 from ..resilience.breaker import CircuitBreaker
 from .client import NetworkClient
 from .framing import DEFAULT_MAX_FRAME_SIZE
+from .pipeline import PipelinedClient
 from .server import TRANSPORT_FAULT_PREFIX, PromiseServer
 
 
@@ -63,6 +64,8 @@ class NetworkTransport:
         max_frame_size: int = DEFAULT_MAX_FRAME_SIZE,
         log_limit: int | None = DEFAULT_LOG_LIMIT,
         breaker: CircuitBreaker | None = None,
+        pipelined: bool = False,
+        max_outstanding: int = 128,
     ) -> None:
         if address is None:
             if server is None:
@@ -70,13 +73,28 @@ class NetworkTransport:
             address = server.address
         self._server = server
         self._codec = codec or SoapCodec()
+        self._retry = retry or RetryPolicy.network()
         self._client = NetworkClient(
             address,
             timeout=timeout,
             max_frame_size=max_frame_size,
             pool_size=pool_size,
-            retry=retry or RetryPolicy.network(),
+            retry=self._retry,
             breaker=breaker,
+        )
+        # ``pipelined=True`` routes ordinary sends through one shared
+        # connection with many requests in flight (callers on different
+        # threads no longer serialise on per-connection checkout); the
+        # pooled client stays for fault plans and as the retry fallback.
+        self._pipeline = (
+            PipelinedClient(
+                address,
+                timeout=timeout,
+                max_frame_size=max_frame_size,
+                max_outstanding=max_outstanding,
+            )
+            if pipelined
+            else None
         )
         self._faults = _FaultPlan()
         self._log: deque[str] = deque(maxlen=log_limit)
@@ -93,6 +111,11 @@ class NetworkTransport:
     def client(self) -> NetworkClient:
         """The underlying pooled byte-level client (for its stats)."""
         return self._client
+
+    @property
+    def pipelined(self) -> bool:
+        """True when ordinary sends ride the shared pipelined connection."""
+        return self._pipeline is not None
 
     def register(self, endpoint: str, handler: Handler) -> None:
         """Register on the co-hosted local server (if there is one)."""
@@ -155,7 +178,10 @@ class NetworkTransport:
             if message.deadline is not None
             else None
         )
-        reply_bytes = self._client.request(payload, deadline=deadline)
+        if self._pipeline is not None:
+            reply_bytes = self._pipelined_request(payload, deadline)
+        else:
+            reply_bytes = self._client.request(payload, deadline=deadline)
         reply_text = reply_bytes.decode("utf-8")
         self.stats.bytes_on_wire += len(reply_bytes)
         self._log.append(reply_text)
@@ -166,6 +192,8 @@ class NetworkTransport:
 
     def close(self) -> None:
         """Release pooled connections."""
+        if self._pipeline is not None:
+            self._pipeline.close()
         self._client.close()
 
     def __enter__(self) -> "NetworkTransport":
@@ -180,6 +208,30 @@ class NetworkTransport:
         return list(self._log)
 
     # ----------------------------------------------------------- internals
+
+    def _pipelined_request(
+        self, payload: bytes, deadline: float | None
+    ) -> bytes:
+        """One request over the shared pipelined connection, with retry.
+
+        The pipelined client is below the retry layer, so the transport
+        supplies the redelivery loop itself — same policy, same §6
+        safety (the server's reply cache answers a redelivered id).  A
+        dead connection fails every in-flight future at once; each
+        waiter redelivers independently and the first submit reconnects.
+        """
+        assert self._pipeline is not None
+        pipeline = self._pipeline
+
+        def attempt() -> bytes:
+            remaining = (
+                None if deadline is None else deadline - time.monotonic()
+            )
+            if remaining is not None and remaining <= 0:
+                raise RequestTimeout("deadline expired before pipelined send")
+            return pipeline.request(payload, timeout=remaining)
+
+        return self._retry.run(attempt, deadline=deadline)
 
     def _raise_transport_faults(self, message: Message, reply: Message) -> None:
         for fault in reply.faults:

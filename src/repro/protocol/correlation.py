@@ -15,6 +15,7 @@ in-process transport and the networked server use it.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Generic, TypeVar
@@ -99,6 +100,15 @@ class ReplyCache(Generic[ReplyT]):
     own idempotence (a request id already granted is re-granted, not
     double-granted) is what keeps that harmless — the cache is an
     optimization over it, not the only line of defence.
+
+    **Pinning** closes the one hole byte-bound eviction opens under
+    pipelined load: a server that has *executed* a request but not yet
+    finished releasing its reply (durability wait, journaling, waking
+    duplicate waiters) must be able to guarantee the entry outlives
+    those steps no matter how much byte pressure concurrent requests
+    apply.  A pinned entry is skipped by both eviction sweeps;
+    :meth:`unpin` re-admits it to the LRU order.  All operations take an
+    internal lock — worker threads put while the event loop gets.
     """
 
     def __init__(
@@ -110,8 +120,10 @@ class ReplyCache(Generic[ReplyT]):
             raise ValueError("max_bytes must be at least 1")
         self.capacity = capacity
         self.max_bytes = max_bytes
+        self._lock = threading.RLock()
         self._replies: OrderedDict[str, ReplyT] = OrderedDict()
         self._sizes: dict[str, int] = {}
+        self._pinned: set[str] = set()
         self.bytes_used = 0
         self.hits = 0
         self.misses = 0
@@ -125,35 +137,77 @@ class ReplyCache(Generic[ReplyT]):
 
     def get(self, message_id: str) -> ReplyT | None:
         """The cached reply for ``message_id``, or None if unseen."""
-        reply = self._replies.get(message_id)
-        if reply is None:
-            self.misses += 1
-            return None
-        self._replies.move_to_end(message_id)
-        self.hits += 1
-        return reply
+        with self._lock:
+            reply = self._replies.get(message_id)
+            if reply is None:
+                self.misses += 1
+                return None
+            self._replies.move_to_end(message_id)
+            self.hits += 1
+            return reply
 
-    def put(self, message_id: str, reply: ReplyT) -> None:
-        """Remember the reply sent for ``message_id``."""
-        if message_id in self._replies:
-            self.bytes_used -= self._sizes[message_id]
-        self._replies[message_id] = reply
-        self._replies.move_to_end(message_id)
-        self._sizes[message_id] = self._size_of(reply)
-        self.bytes_used += self._sizes[message_id]
+    def put(
+        self, message_id: str, reply: ReplyT, *, pinned: bool = False
+    ) -> None:
+        """Remember the reply sent for ``message_id``.
+
+        ``pinned=True`` shields the entry from eviction until
+        :meth:`unpin` — used while the originating request is still in
+        flight through the server's release pipeline.
+        """
+        with self._lock:
+            if message_id in self._replies:
+                self.bytes_used -= self._sizes[message_id]
+            self._replies[message_id] = reply
+            self._replies.move_to_end(message_id)
+            self._sizes[message_id] = self._size_of(reply)
+            self.bytes_used += self._sizes[message_id]
+            if pinned:
+                self._pinned.add(message_id)
+            self._enforce_bounds()
+
+    def pin(self, message_id: str) -> None:
+        """Shield an existing entry from eviction (no-op when absent)."""
+        with self._lock:
+            if message_id in self._replies:
+                self._pinned.add(message_id)
+
+    def unpin(self, message_id: str) -> None:
+        """Lift a pin and re-apply the byte bound (idempotent)."""
+        with self._lock:
+            self._pinned.discard(message_id)
+            self._enforce_bounds()
+
+    def pinned(self, message_id: str) -> bool:
+        """Is this entry currently shielded from eviction?"""
+        with self._lock:
+            return message_id in self._pinned
+
+    def _enforce_bounds(self) -> None:
         while len(self._replies) > self.capacity:
-            self._evict_oldest()
+            if not self._evict_oldest():
+                break
         if self.max_bytes is not None:
             while self.bytes_used > self.max_bytes and len(self._replies) > 1:
-                self._evict_oldest()
+                if not self._evict_oldest():
+                    break
 
-    def _evict_oldest(self) -> None:
-        message_id, _ = self._replies.popitem(last=False)
+    def _evict_oldest(self) -> bool:
+        """Evict the LRU unpinned entry; False when every entry is pinned."""
+        for message_id in self._replies:
+            if message_id not in self._pinned:
+                break
+        else:
+            return False
+        del self._replies[message_id]
         self.bytes_used -= self._sizes.pop(message_id)
         self.evictions += 1
+        return True
 
     def __len__(self) -> int:
-        return len(self._replies)
+        with self._lock:
+            return len(self._replies)
 
     def __contains__(self, message_id: str) -> bool:
-        return message_id in self._replies
+        with self._lock:
+            return message_id in self._replies

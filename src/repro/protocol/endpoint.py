@@ -15,6 +15,8 @@ exceptions into protocol faults ('promise-expired', 'unknown-promise',
 
 from __future__ import annotations
 
+import threading
+
 from typing import Callable
 
 from ..core.environment import Environment
@@ -54,6 +56,16 @@ class PromiseEndpoint:
         # the process; in-memory deployments rely on the transport's
         # ReplyCache, and disabling that disables dedup entirely.
         self._journal_replies = manager.store.durable
+        # promise id -> the resources its predicates cover, learned as
+        # grants succeed.  Lets :meth:`dispatch_keys` key releases and
+        # environment-protected actions by resource without a store read
+        # (reads on the dispatch path would defeat parallel dispatch).
+        # Written under the server's txn mutex, read from the event
+        # loop; individual dict ops are atomic, the lock guards the
+        # bound-trim read-modify-write.
+        self._promise_resources: dict[str, frozenset[str]] = {}
+        self._promise_resources_lock = threading.Lock()
+        self._promise_resources_bound = 65536
 
     def handle(self, message: Message) -> Message:
         """Process one inbound message and build the reply.
@@ -82,6 +94,10 @@ class PromiseEndpoint:
                 response = PromiseResponse.rejected(request.request_id, str(exc))
             responses.append(response)
             rejected = rejected or not response.accepted
+            if response.accepted and response.promise_id is not None:
+                self._remember_resources(
+                    response.promise_id, request.resources
+                )
 
         outcome: ActionOutcomePayload | None = None
         if message.action is not None:
@@ -99,6 +115,43 @@ class PromiseEndpoint:
             action_outcome=outcome,
             faults=tuple(faults),
         )
+
+    # ------------------------------------------------- parallel dispatch
+
+    def dispatch_keys(self, message: Message) -> frozenset[str] | None:
+        """Resource keys ``message`` touches, or ``None`` when unknown.
+
+        The networked server's parallel dispatcher uses this to run
+        requests on disjoint resources concurrently while keeping
+        same-resource requests FIFO.  Promise requests are keyed by
+        their predicates' resources; environment-protected actions and
+        releases by the resources of the named promises (learned when
+        the grant went through this endpoint).  A promise this endpoint
+        has never granted — or anything else it cannot account for —
+        returns ``None``, degrading that one request to a global
+        ordering barrier: never faster, never wrong.
+        """
+        keys: set[str] = set()
+        for request in message.promise_requests:
+            keys |= request.resources
+        environment = message.environment
+        if environment is not None:
+            for promise_id in environment.promise_ids:
+                resources = self._promise_resources.get(promise_id)
+                if resources is None:
+                    return None
+                keys |= resources
+        return frozenset(keys)
+
+    def _remember_resources(
+        self, promise_id: str, resources: frozenset[str]
+    ) -> None:
+        with self._promise_resources_lock:
+            if len(self._promise_resources) >= self._promise_resources_bound:
+                # Dropping entries is always safe: a forgotten promise
+                # merely dispatches as a barrier next time.
+                self._promise_resources.clear()
+            self._promise_resources[promise_id] = resources
 
     # ------------------------------------------------------------ internals
 

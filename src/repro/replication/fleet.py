@@ -53,6 +53,7 @@ from ..resilience.breaker import CircuitBreaker
 from ..cluster.fleet import AdmissionFactory, Provisioner
 from ..cluster.gateway import ClusterGateway
 from ..cluster.partition import PartitionMap
+from ..faults.history import HistoryRecorder
 from ..services.deployment import Deployment
 from ..tools.doctor import Doctor, Finding
 from .routing import ReplicaRouting
@@ -121,6 +122,7 @@ class ReplicatedFleet:
         ring: PartitionMap | None = None,
         admission: AdmissionFactory | None = None,
         base_port: int | None = None,
+        history: "HistoryRecorder | None" = None,
     ) -> None:
         if replicas < 1:
             raise ValueError(
@@ -147,6 +149,10 @@ class ReplicatedFleet:
         self._host = host
         self._admission = admission
         self._base_port = base_port
+        #: Optional isolation auditor: each acting primary's WAL is
+        #: attached as it takes office, so the recorded history follows
+        #: the epoch fence (a deposed primary's appends go unheard).
+        self._history = history
         self._groups: list[ReplicaGroup] = []
         self._gateways: list[ClusterGateway] = []
         #: Simulated partitions: shard index -> the Replica cut off.
@@ -330,6 +336,8 @@ class ReplicatedFleet:
             sender.full_sync_all()
             deployment.store.wal.subscribe(wal_observer(best.server.metrics))
             deployment.store.wal.subscribe(sender.observe)
+            if self._history is not None:
+                self._history.attach(index, deployment.store.wal)
 
             best.deployment = deployment
             best.sender = sender
@@ -591,6 +599,8 @@ class ReplicatedFleet:
         )
         deployment.store.wal.subscribe(wal_observer(server.metrics))
         deployment.store.wal.subscribe(sender.observe)
+        if self._history is not None:
+            self._history.attach(index, deployment.store.wal)
         server.epoch = epoch
         server.gate = sender.gate
         runner = ThreadedServer(server)

@@ -26,6 +26,7 @@ from ..recovery import RecoveryReport, recover
 from ..protocol.endpoint import PromiseEndpoint
 from ..protocol.transport import InProcessTransport
 from ..resources.manager import ResourceManager
+from ..storage.group_commit import GroupCommitConfig
 from ..storage.store import Store
 from ..storage.transactions import Transaction
 from ..strategies.allocated_tags import AllocatedTagsStrategy
@@ -53,6 +54,7 @@ class Deployment:
         manager_name: str | None = None,
         fault_scope: str | None = None,
         metrics: MetricsRegistry | None = None,
+        group_commit: "GroupCommitConfig | None" = None,
     ) -> None:
         # ``manager_name`` separates the endpoint name clients address
         # (shared by every shard of a cluster) from the name seeding the
@@ -72,7 +74,10 @@ class Deployment:
             fsync=fsync,
             auto_checkpoint_every=auto_checkpoint_every,
             fault_scope=fault_scope,
+            group_commit=group_commit,
         )
+        if metrics is not None:
+            self.store.wal.set_metrics(metrics)
         self.resources = ResourceManager(self.store)
         self.registry = StrategyRegistry()
         self.manager = PromiseManager(

@@ -17,6 +17,7 @@ from .errors import (
     TransactionError,
     TransactionStateError,
 )
+from .group_commit import GroupCommitConfig, GroupCommitter
 from .locks import LockManager, LockMode, LockStatus
 from .store import Store
 from .transactions import Savepoint, Transaction, TransactionStatus
@@ -25,6 +26,8 @@ from .wal import LogRecord, LogRecordType, WriteAheadLog
 __all__ = [
     "DeadlockDetected",
     "DuplicateKey",
+    "GroupCommitConfig",
+    "GroupCommitter",
     "KeyNotFound",
     "LockManager",
     "LockMode",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+import threading
 from pathlib import Path
 from typing import Callable, Iterator
 
@@ -31,6 +32,7 @@ from .errors import (
     TransactionAborted,
     TransactionStateError,
 )
+from .group_commit import GroupCommitConfig
 from .locks import LockManager, LockMode
 from .transactions import Transaction, TransactionStatus, UndoEntry
 from .wal import LogRecordType, WriteAheadLog
@@ -57,13 +59,26 @@ class Store:
         fsync: bool = False,
         auto_checkpoint_every: int | None = None,
         fault_scope: str | None = None,
+        group_commit: GroupCommitConfig | None = None,
     ) -> None:
         if auto_checkpoint_every is not None and auto_checkpoint_every < 1:
             raise ValueError("auto_checkpoint_every must be positive")
         self._tables: dict[str, dict[str, object]] = {}
         self._locks = LockManager()
         self._fault_scope = fault_scope
-        self._wal = WriteAheadLog(wal_path, fsync=fsync, fault_scope=fault_scope)
+        self._wal = WriteAheadLog(
+            wal_path,
+            fsync=fsync,
+            fault_scope=fault_scope,
+            group_commit=group_commit,
+        )
+        #: Serialises whole transactions across threads.  The in-memory
+        #: structures (tables, undo logs, the lock table) are not
+        #: internally synchronised; a parallel dispatcher runs each
+        #: handler's transaction while holding this, then overlaps the
+        #: *durability wait* (see :meth:`wait_durable`) outside it —
+        #: which is where group commit earns its batches.
+        self.mutex = threading.RLock()
         self._auto_checkpoint_every = auto_checkpoint_every
         # Continue txn numbering past anything the log already mentions,
         # so a replayed id can never mean two different transactions.
@@ -141,6 +156,15 @@ class Store:
             table: copy.deepcopy(rows) for table, rows in self._tables.items()
         }
         self._wal.checkpoint(snapshot)
+
+    def wait_durable(self, lsn: int | None = None) -> None:
+        """Durability barrier over the WAL (no-op outside group commit).
+
+        Callers that must not acknowledge work before it is hardened —
+        the networked server releasing a reply — invoke this *after*
+        leaving :attr:`mutex`, so many transactions ride one fsync.
+        """
+        self._wal.wait_durable(lsn)
 
     def close(self) -> None:
         """Release the WAL file handle (idempotent; store stays readable)."""

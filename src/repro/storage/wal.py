@@ -27,12 +27,17 @@ import enum
 import json
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from pathlib import Path
-from typing import IO, Callable, Iterator
+from typing import IO, TYPE_CHECKING, Callable, Iterator
 
 from ..faults.crashpoints import SimulatedCrash, crash_point, crashed, should_crash
 from .errors import RecoveryError
+from .group_commit import GroupCommitConfig, GroupCommitter
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.metrics import MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -106,11 +111,15 @@ class WriteAheadLog:
         *,
         fsync: bool = False,
         fault_scope: str | None = None,
+        group_commit: GroupCommitConfig | None = None,
     ) -> None:
         self._records: list[LogRecord] = []
         self._next_lsn = 1
         self._path = Path(path) if path is not None else None
         self._fsync = fsync
+        #: Serialises all log mutation; parallel dispatch runs handlers
+        #: on worker threads, and every one of them appends here.
+        self._mutex = threading.RLock()
         #: Which logical process this log belongs to, for scoped crash
         #: injection: a scoped simulated crash freezes only the disks of
         #: its own scope (one shard of a fleet), not its siblings'.
@@ -134,6 +143,14 @@ class WriteAheadLog:
             if self._path.exists():
                 self._load()
             self._handle = self._path.open("a", encoding="utf-8")
+        #: Group-commit mode: appends buffer their serialised lines with
+        #: the committer and :meth:`wait_durable` is the (batched)
+        #: durability barrier, instead of flush/fsync per append.
+        self._committer: GroupCommitter | None = None
+        if group_commit is not None and self._path is not None:
+            self._committer = GroupCommitter(
+                group_commit, handle_of=lambda: self._handle
+            )
 
     def __len__(self) -> int:
         return len(self._records)
@@ -167,8 +184,50 @@ class WriteAheadLog:
             default=0,
         )
 
+    @property
+    def group_commit(self) -> GroupCommitConfig | None:
+        """The group-commit configuration, when batching is active."""
+        return self._committer.config if self._committer is not None else None
+
+    @property
+    def durable_lsn(self) -> int:
+        """Highest LSN known hardened.
+
+        Without group commit every append hardens synchronously, so the
+        whole log is durable; with it, the committer's high-water mark.
+        """
+        if self._committer is None:
+            return self.last_lsn
+        return self._committer.durable_lsn
+
+    def wait_durable(self, lsn: int | None = None, timeout: float = 30.0) -> None:
+        """Durability barrier: block until ``lsn`` (default: everything
+        appended so far) is hardened.  A no-op outside group-commit mode
+        — the per-append flush/fsync already ran."""
+        if self._committer is None:
+            return
+        target = self.last_lsn if lsn is None else lsn
+        if target <= 0:
+            return
+        self._committer.wait_durable(target, timeout=timeout)
+
+    def set_metrics(self, registry: "MetricsRegistry | None") -> None:
+        """Route ``wal.batch.*`` counters into ``registry``."""
+        if self._committer is not None:
+            self._committer._metrics = registry
+
     def close(self) -> None:
-        """Close the backing file handle (idempotent)."""
+        """Close the backing file handle (idempotent).
+
+        In group-commit mode the buffered batch is hardened first, so a
+        clean shutdown never loses acknowledged work."""
+        if self._committer is not None:
+            self._committer.close()
+        self._close_handle()
+
+    def _close_handle(self) -> None:
+        """Close only the file handle (checkpoint swaps need this while
+        keeping the group committer alive)."""
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -207,31 +266,43 @@ class WriteAheadLog:
         key: str | None = None,
         value: object | None = None,
     ) -> LogRecord:
-        """Append a record, assigning the next LSN, and persist if filed."""
-        record = LogRecord(
-            lsn=self._next_lsn,
-            record_type=record_type,
-            txn_id=txn_id,
-            table=table,
-            key=key,
-            value=value,
-        )
-        self._next_lsn += 1
-        self._records.append(record)
-        self._since_checkpoint += 1
-        if self._handle is not None and not crashed(self._fault_scope):
-            line = record.to_json() + "\n"
-            if should_crash("wal.torn-append", self._fault_scope):
-                # Power loss mid-append: half the record reaches disk.
-                self._handle.write(line[: max(1, len(line) // 2)])
-                self._handle.flush()
-                raise SimulatedCrash("wal.torn-append")
-            self._handle.write(line)
-            self._handle.flush()
-            if self._fsync:
-                os.fsync(self._handle.fileno())
-        self._notify(record)
-        return record
+        """Append a record, assigning the next LSN, and persist if filed.
+
+        With group commit active the serialised line is handed to the
+        batch committer instead of being written (and fsynced) inline;
+        durability then arrives at the next batch flush, and callers
+        needing a barrier use :meth:`wait_durable`.
+        """
+        with self._mutex:
+            record = LogRecord(
+                lsn=self._next_lsn,
+                record_type=record_type,
+                txn_id=txn_id,
+                table=table,
+                key=key,
+                value=value,
+            )
+            self._next_lsn += 1
+            self._records.append(record)
+            self._since_checkpoint += 1
+            if self._handle is not None and not crashed(self._fault_scope):
+                line = record.to_json() + "\n"
+                if should_crash("wal.torn-append", self._fault_scope):
+                    # Power loss mid-append: half the record reaches disk.
+                    if self._committer is not None:
+                        self._committer.flush_now()
+                    self._handle.write(line[: max(1, len(line) // 2)])
+                    self._handle.flush()
+                    raise SimulatedCrash("wal.torn-append")
+                if self._committer is not None:
+                    self._committer.enqueue(record.lsn, line)
+                else:
+                    self._handle.write(line)
+                    self._handle.flush()
+                    if self._fsync:
+                        os.fsync(self._handle.fileno())
+            self._notify(record)
+            return record
 
     def ingest(self, record: LogRecord) -> bool:
         """Apply a record shipped from a replication primary.
@@ -245,6 +316,10 @@ class WriteAheadLog:
         truncates the follower's file exactly as a local checkpoint
         would.  Returns True when the record advanced the log.
         """
+        with self._mutex:
+            return self._ingest_locked(record)
+
+    def _ingest_locked(self, record: LogRecord) -> bool:
         if record.lsn <= self.last_lsn:
             return False
         if record.record_type is LogRecordType.CHECKPOINT:
@@ -256,7 +331,7 @@ class WriteAheadLog:
                     handle.flush()
                     if self._fsync:
                         os.fsync(handle.fileno())
-                self.close()
+                self._close_handle()
                 os.replace(tmp, self._path)
                 self._handle = self._path.open("a", encoding="utf-8")
             self._records = [record]
@@ -280,6 +355,17 @@ class WriteAheadLog:
         ``os.replace``): a crash mid-checkpoint leaves the previous log
         intact, never a destroyed one.
         """
+        with self._mutex:
+            return self._checkpoint_locked(snapshot)
+
+    def _checkpoint_locked(
+        self, snapshot: dict[str, dict[str, object]]
+    ) -> LogRecord:
+        if self._committer is not None:
+            # Harden the buffered batch into the *old* file first: its
+            # waiters' LSNs predate the checkpoint and must not be left
+            # pointing at lines that never reached any disk.
+            self._committer.flush_now()
         record = LogRecord(
             lsn=self._next_lsn,
             record_type=LogRecordType.CHECKPOINT,
@@ -294,7 +380,7 @@ class WriteAheadLog:
                 if self._fsync:
                     os.fsync(handle.fileno())
             crash_point("wal.mid-checkpoint", self._fault_scope)
-            self.close()
+            self._close_handle()
             os.replace(tmp, self._path)
             crash_point("wal.after-checkpoint-replace", self._fault_scope)
             if self._fsync:

@@ -27,6 +27,7 @@ def disarm():
     clear()
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", SEEDS)
 def test_seeded_run_holds_invariants(seed, tmp_path):
     nemesis = ChaosNemesis(seed, wal_dir=str(tmp_path), steps=24)
@@ -35,6 +36,9 @@ def test_seeded_run_holds_invariants(seed, tmp_path):
     for fault in FAULT_CLASSES:
         assert report.fired[fault] > 0, f"{fault} never fired (seed {seed})"
     assert report.ok
+    # The offline history checker actually folded records (it is wired
+    # into the violations above; an empty capture would prove nothing).
+    assert report.history_records > 0
     # At-most-once is proven by the audit above: the drops forced
     # redeliveries, and a double execution would have surfaced as
     # leftover allocation.  (duplicates_served varies with breaker

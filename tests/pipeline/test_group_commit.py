@@ -1,0 +1,203 @@
+"""Group commit: batching, the ack gate, and batch-boundary recovery.
+
+The WAL-level half of the pipelined hot path.  The claims under test:
+one flush hardens a whole batch (``wal.batch.*`` proves the
+amortisation), ``wait_durable`` is the only thing a caller may trust
+(records not waited on can die with the process), and a crash that
+eats an un-hardened commit record rolls the store back to exactly the
+acknowledged prefix — whole transactions, never torn ones.
+"""
+
+from __future__ import annotations
+
+import shutil
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.storage.group_commit import GroupCommitConfig, GroupCommitter
+from repro.storage.wal import LogRecordType, WriteAheadLog
+
+pytestmark = pytest.mark.pipeline
+
+
+def grant_txn(wal: WriteAheadLog, txn_id: int, pool: str, allocated: int) -> int:
+    """Append one committed grant-shaped transaction; returns commit LSN."""
+    wal.append(LogRecordType.BEGIN, txn_id=txn_id)
+    wal.append(
+        LogRecordType.PUT,
+        txn_id=txn_id,
+        table="pools",
+        key=pool,
+        value={"available": 10 - allocated, "allocated": allocated},
+    )
+    return wal.append(LogRecordType.COMMIT, txn_id=txn_id).lsn
+
+
+def test_config_rejects_nonsense():
+    with pytest.raises(ValueError):
+        GroupCommitConfig(max_batch=0)
+    with pytest.raises(ValueError):
+        GroupCommitConfig(max_hold=-1.0)
+
+
+def test_a_backlog_drains_in_few_flushes(tmp_path):
+    # Gate the committer's view of the file handle: while the first
+    # flush is parked on the gate, sixty records pile into the buffer —
+    # deterministically forcing the batch the hold-timer only makes
+    # probable.
+    metrics = MetricsRegistry()
+    handle = open(tmp_path / "batch.log", "a", encoding="utf-8")
+    gate = threading.Event()
+
+    def handle_of():
+        assert gate.wait(timeout=5)
+        return handle
+
+    committer = GroupCommitter(
+        GroupCommitConfig(max_batch=64, max_hold=0.005, fsync=False),
+        handle_of=handle_of,
+        metrics=metrics,
+    )
+    for lsn in range(1, 61):
+        committer.enqueue(lsn, f'{{"lsn": {lsn}}}\n')
+    gate.set()
+    committer.wait_durable(60, timeout=5.0)
+    assert metrics.value("wal.batch.records") == 60
+    # One gated flush plus one (maybe two) for the backlog — nowhere
+    # near one barrier per record.
+    assert 1 <= metrics.value("wal.batch.flushes") <= 4
+    committer.close()
+    handle.close()
+    assert len((tmp_path / "batch.log").read_text().splitlines()) == 60
+
+
+def test_wal_routes_batch_metrics_and_hardens_everything(tmp_path):
+    metrics = MetricsRegistry()
+    wal = WriteAheadLog(
+        tmp_path / "batched.wal",
+        group_commit=GroupCommitConfig(max_batch=64, max_hold=0.05, fsync=False),
+    )
+    wal.set_metrics(metrics)
+    for txn in range(1, 21):
+        grant_txn(wal, txn, "widgets", 1)
+    wal.wait_durable()
+    assert wal.durable_lsn == wal.last_lsn
+    assert metrics.value("wal.batch.records") == 60
+    assert metrics.value("wal.batch.flushes") >= 1
+    wal.close()
+    assert len((tmp_path / "batched.wal").read_text().splitlines()) == 60
+
+
+def test_wait_durable_is_the_ack_gate(tmp_path):
+    # A hold time far beyond the test's patience: the waiter's demand
+    # must force the flush rather than wait out the hold.
+    wal = WriteAheadLog(
+        tmp_path / "held.wal",
+        group_commit=GroupCommitConfig(max_batch=1024, max_hold=60.0, fsync=False),
+    )
+    lsn = grant_txn(wal, 1, "widgets", 1)
+    wal.wait_durable(lsn, timeout=5.0)
+    assert wal.durable_lsn >= lsn
+    assert (tmp_path / "held.wal").read_text().count('"commit"') == 1
+    wal.close()
+
+
+def test_concurrent_committers_amortise_their_barriers(tmp_path):
+    metrics = MetricsRegistry()
+    wal = WriteAheadLog(
+        tmp_path / "shared.wal",
+        group_commit=GroupCommitConfig(max_batch=64, max_hold=0.02, fsync=False),
+    )
+    wal.set_metrics(metrics)
+    barrier = threading.Barrier(8)
+    failures: list[BaseException] = []
+
+    def commit_and_wait(txn: int):
+        try:
+            barrier.wait(timeout=5)
+            lsn = grant_txn(wal, txn, "widgets", 1)
+            wal.wait_durable(lsn, timeout=5.0)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            failures.append(exc)
+
+    threads = [
+        threading.Thread(target=commit_and_wait, args=(txn,))
+        for txn in range(1, 9)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=10)
+    assert failures == []
+    assert wal.durable_lsn == wal.last_lsn
+    # 24 records hardened in strictly fewer flushes than records.
+    assert 1 <= metrics.value("wal.batch.flushes") < 24
+    wal.close()
+
+
+def test_crash_loses_only_the_unacknowledged_commit(tmp_path):
+    """Batch-boundary recovery: a commit record still in the buffer dies
+    with the process, and replay rolls the whole transaction back."""
+    live = tmp_path / "live.wal"
+    wal = WriteAheadLog(
+        live,
+        group_commit=GroupCommitConfig(max_batch=1024, max_hold=60.0, fsync=False),
+    )
+    grant_txn(wal, 1, "widgets", 1)
+    wal.append(LogRecordType.BEGIN, txn_id=2)
+    wal.append(
+        LogRecordType.PUT,
+        txn_id=2,
+        table="pools",
+        key="widgets",
+        value={"available": 8, "allocated": 2},
+    )
+    wal.wait_durable()  # everything so far is on disk
+    hardened = wal.durable_lsn
+    # The commit record is enqueued but never waited on: no ack exists
+    # for transaction 2, and the one-minute hold keeps it in memory.
+    commit_lsn = wal.append(LogRecordType.COMMIT, txn_id=2).lsn
+    assert wal.durable_lsn == hardened < commit_lsn
+
+    # "Crash": copy the file exactly as the disk holds it, mid-run.
+    corpse = tmp_path / "recovered.wal"
+    shutil.copy(live, corpse)
+    recovered = WriteAheadLog(corpse)
+    assert recovered.recovery_notes == []  # whole lines only, no torn tail
+    assert recovered.last_lsn == hardened
+    state = recovered.replay()
+    # Transaction 1 committed and survives; transaction 2 lost its
+    # commit record and leaves no trace — not a half-applied PUT.
+    assert state["pools"]["widgets"] == {"available": 9, "allocated": 1}
+    recovered.close()
+    wal.close()
+
+
+def test_clean_close_hardens_the_buffer(tmp_path):
+    path = tmp_path / "closed.wal"
+    wal = WriteAheadLog(
+        path,
+        group_commit=GroupCommitConfig(max_batch=1024, max_hold=60.0, fsync=False),
+    )
+    grant_txn(wal, 1, "widgets", 1)
+    wal.close()  # no wait_durable: close itself must flush the batch
+    reopened = WriteAheadLog(path)
+    assert reopened.replay()["pools"]["widgets"]["allocated"] == 1
+    reopened.close()
+
+
+def test_committer_rejects_work_after_close(tmp_path):
+    handle = open(tmp_path / "raw.log", "a", encoding="utf-8")
+    committer = GroupCommitter(
+        GroupCommitConfig(max_batch=4, max_hold=0.001, fsync=False),
+        handle_of=lambda: handle,
+    )
+    committer.enqueue(1, "line\n")
+    committer.close()
+    assert committer.durable_lsn == 1
+    with pytest.raises(RuntimeError):
+        committer.enqueue(2, "late\n")
+    committer.close()  # idempotent
+    handle.close()

@@ -1,0 +1,140 @@
+"""Ordering contract of the keyed executor.
+
+Parallel dispatch is only safe because of three promises: same-key FIFO,
+disjoint-key concurrency, and a global barrier for unknown footprints.
+Each is proven here directly — by rendezvous (two jobs that can only
+both finish if they overlap) and by overlap counters (jobs that must
+never overlap), not by timing luck.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.net.executor import KeyedExecutor
+from repro.obs.metrics import MetricsRegistry
+
+pytestmark = pytest.mark.pipeline
+
+
+def test_same_key_runs_in_submission_order():
+    order: list[int] = []
+    with KeyedExecutor(workers=4) as executor:
+        futures = []
+        for index in range(16):
+            def job(index=index):
+                # Early jobs dawdle; a FIFO violation would let later
+                # ones overtake and scramble the order list.
+                if index < 4:
+                    time.sleep(0.01)
+                order.append(index)
+            futures.append(executor.submit({"stock"}, job))
+        for future in futures:
+            future.result(timeout=5)
+    assert order == list(range(16))
+
+
+def test_disjoint_keys_run_concurrently():
+    # Rendezvous: each job waits for the other to start.  Serial
+    # execution in either order would deadlock; only true overlap (and
+    # the timeout below) lets both finish.
+    started_a = threading.Event()
+    started_b = threading.Event()
+
+    def job_a():
+        started_a.set()
+        assert started_b.wait(timeout=5)
+
+    def job_b():
+        started_b.set()
+        assert started_a.wait(timeout=5)
+
+    with KeyedExecutor(workers=4) as executor:
+        future_a = executor.submit({"a"}, job_a)
+        future_b = executor.submit({"b"}, job_b)
+        future_a.result(timeout=5)
+        future_b.result(timeout=5)
+
+
+def test_shared_key_jobs_never_overlap():
+    lock = threading.Lock()
+    running = 0
+    peak = 0
+
+    def job():
+        nonlocal running, peak
+        with lock:
+            running += 1
+            peak = max(peak, running)
+        time.sleep(0.002)
+        with lock:
+            running -= 1
+
+    with KeyedExecutor(workers=8) as executor:
+        futures = [
+            executor.submit({"stock", f"extra-{i % 3}"}, job) for i in range(12)
+        ]
+        for future in futures:
+            future.result(timeout=5)
+    assert peak == 1
+
+
+def test_none_keys_is_a_global_barrier():
+    order: list[str] = []
+
+    def slow(tag: str):
+        def job():
+            time.sleep(0.05)
+            order.append(tag)
+        return job
+
+    def fast(tag: str):
+        def job():
+            order.append(tag)
+        return job
+
+    with KeyedExecutor(workers=8) as executor:
+        before = [
+            executor.submit({f"k{i}"}, slow(f"before-{i}")) for i in range(3)
+        ]
+        barrier = executor.submit(None, fast("barrier"))
+        after = executor.submit({"k0"}, fast("after"))
+        for future in (*before, barrier, after):
+            future.result(timeout=5)
+    assert order[3] == "barrier"
+    assert order[4] == "after"
+    assert sorted(order[:3]) == ["before-0", "before-1", "before-2"]
+
+
+def test_failed_job_releases_its_successors():
+    def boom():
+        raise RuntimeError("handler crashed")
+
+    seen: list[str] = []
+    with KeyedExecutor(workers=2) as executor:
+        failed = executor.submit({"stock"}, boom)
+        follower = executor.submit({"stock"}, lambda: seen.append("ran"))
+        with pytest.raises(RuntimeError):
+            failed.result(timeout=5)
+        follower.result(timeout=5)
+    assert seen == ["ran"]
+
+
+def test_submit_after_close_raises():
+    executor = KeyedExecutor(workers=1)
+    executor.close()
+    with pytest.raises(RuntimeError):
+        executor.submit({"stock"}, lambda: None)
+
+
+def test_metrics_count_submissions_and_barriers():
+    metrics = MetricsRegistry()
+    with KeyedExecutor(workers=2, metrics=metrics) as executor:
+        for _ in range(3):
+            executor.submit({"a"}, lambda: None).result(timeout=5)
+        executor.submit(None, lambda: None).result(timeout=5)
+    assert metrics.value("executor.submitted") == 4
+    assert metrics.value("executor.barriers") == 1

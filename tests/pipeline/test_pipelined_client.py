@@ -1,0 +1,208 @@
+"""The pipelined client against a real parallel server.
+
+End-to-end over TCP: many requests in flight on one connection, replies
+correlated back by message id whatever order the server finishes them
+in, the window as flow control, and clean failure of everything pending
+when the connection dies.  The grant run is additionally audited by the
+offline history checker — pipelining must not cost isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.faults.history import HistoryRecorder
+from repro.net import NetworkTransport, PipelinedClient, ThreadedServer
+from repro.net.pipeline import extract_correlation, extract_message_id
+from repro.net.server import PromiseServer
+from repro.protocol.errors import RequestTimeout, TransportFailure
+from repro.protocol.soap import SoapCodec
+
+from .conftest import build_server, build_shop, grant_message, pools
+
+pytestmark = pytest.mark.pipeline
+
+CODEC = SoapCodec()
+
+
+def encode(message) -> bytes:
+    return CODEC.encode(message).encode()
+
+
+# --------------------------------------------------------------- extraction
+
+
+def test_extraction_reads_the_codec_wire_format():
+    message = grant_message("cli:m-17", "cli:r-17", "product-0")
+    payload = encode(message)
+    assert extract_message_id(payload) == "cli:m-17"
+    reply = encode(message.reply("srv:m-99"))
+    assert extract_message_id(reply) == "srv:m-99"
+    assert extract_correlation(reply) == "cli:m-17"
+
+
+def test_extraction_tolerates_garbage():
+    assert extract_message_id(b"not xml at all") is None
+    assert extract_correlation(b"<routing />") is None
+    assert extract_message_id(b'<routing message-id="" sender="a">') is None
+
+
+def test_submit_without_message_id_is_rejected():
+    client = PipelinedClient(("127.0.0.1", 1))
+    with pytest.raises(TransportFailure):
+        client.submit(b"<envelope>no routing element</envelope>")
+    client.close()
+
+
+# --------------------------------------------------------- grants over TCP
+
+
+def test_pipelined_grants_round_trip_in_request_order(tmp_path):
+    shop = build_shop(tmp_path)
+    history = HistoryRecorder()
+    history.attach(0, shop.store.wal)
+    server = build_server(shop, workers=4)
+    with ThreadedServer(server) as address:
+        with PipelinedClient(address, timeout=10.0) as client:
+            requests = [
+                grant_message(f"cli:m-{i}", f"cli:r-{i}", pools()[i % 8])
+                for i in range(32)
+            ]
+            replies = client.request_many([encode(r) for r in requests])
+            assert client.metrics.value("pipeline.submitted") == 32
+            assert client.metrics.value("pipeline.completed") == 32
+            assert client.metrics.value("pipeline.orphan_replies") == 0
+    assert len(replies) == 32
+    for request, raw in zip(requests, replies):
+        # Reply order is request order even though the server finished
+        # them across four workers: that is what correlation buys.
+        assert extract_correlation(raw) == request.message_id
+        decoded = CODEC.decode(raw.decode())
+        assert decoded.promise_responses[0].accepted
+    history.detach_all()
+    assert history.events_recorded > 0
+    assert history.check() == []
+    shop.close()
+
+
+def test_transport_pipelined_mode_keeps_at_most_once(tmp_path):
+    shop = build_shop(tmp_path)
+    server = build_server(shop, workers=4)
+    with ThreadedServer(server) as address:
+        with NetworkTransport(address, pipelined=True) as transport:
+            assert transport.pipelined
+            message = grant_message("cli:dup-1", "cli:dup-r1", "product-0")
+            first = transport.send(message)
+            again = transport.send(message)  # redelivery, same id
+    assert first.promise_responses[0].accepted
+    assert again == first
+    assert server.stats.duplicates_served == 1
+    shop.close()
+
+
+# ------------------------------------------------- ordering and the window
+
+
+class _NullMutex:
+    """Stands in for the store mutex of a store doing its own locking,
+    so a parked handler does not serialise the whole rig."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+class EchoRig:
+    """A parallel server whose handler can be parked on an event."""
+
+    def __init__(self, workers: int = 4):
+        self.release = threading.Event()
+        self.executed: list[str] = []
+        self._lock = threading.Lock()
+        self.server = PromiseServer(workers=workers)
+        self.server.txn_mutex = _NullMutex()
+        self.server.register(
+            "echo",
+            self._handle,
+            keys=lambda message: frozenset({message.message_id}),
+        )
+
+    def _handle(self, message):
+        if message.message_id.startswith("slow"):
+            assert self.release.wait(timeout=10)
+        with self._lock:
+            self.executed.append(message.message_id)
+        return message.reply(f"echo:{message.message_id}")
+
+    def message(self, message_id: str) -> bytes:
+        from repro.protocol.messages import Message
+
+        return encode(
+            Message(message_id=message_id, sender="cli", recipient="echo")
+        )
+
+
+def test_replies_overtake_a_stalled_request():
+    rig = EchoRig()
+    with ThreadedServer(rig.server) as address:
+        with PipelinedClient(address, timeout=10.0) as client:
+            slow = client.submit(rig.message("slow-1"))
+            fast = client.submit(rig.message("fast-1"))
+            # The second request's reply arrives while the first is
+            # still parked in its handler: the pipeline did not
+            # head-of-line block.
+            assert extract_correlation(fast.result(timeout=5)) == "fast-1"
+            assert not slow.done()
+            rig.release.set()
+            assert extract_correlation(slow.result(timeout=5)) == "slow-1"
+    assert rig.executed == ["fast-1", "slow-1"]
+
+
+def test_window_full_stalls_submit():
+    rig = EchoRig()
+    with ThreadedServer(rig.server) as address:
+        client = PipelinedClient(address, timeout=0.3, max_outstanding=1)
+        slow = client.submit(rig.message("slow-2"))
+        with pytest.raises(RequestTimeout):
+            client.submit(rig.message("fast-2"))
+        assert client.metrics.value("pipeline.window_stalls") == 1
+        rig.release.set()
+        slow.result(timeout=5)
+        client.close()
+
+
+def test_duplicate_in_flight_id_is_rejected():
+    rig = EchoRig()
+    with ThreadedServer(rig.server) as address:
+        client = PipelinedClient(address, timeout=5.0)
+        slow = client.submit(rig.message("slow-3"))
+        with pytest.raises(TransportFailure):
+            client.submit(rig.message("slow-3"))
+        rig.release.set()
+        slow.result(timeout=5)
+        client.close()
+
+
+def test_connection_death_fails_every_pending_request():
+    import socket
+
+    # A "server" that accepts, answers nothing, and slams the door: the
+    # reader's EOF must fail every pending future, not strand them.
+    listener = socket.socket()
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    rig = EchoRig()
+    client = PipelinedClient(listener.getsockname(), timeout=10.0)
+    pending = [client.submit(rig.message(f"dead-{i}")) for i in range(3)]
+    conn, _ = listener.accept()
+    conn.close()
+    for future in pending:
+        with pytest.raises(TransportFailure):
+            future.result(timeout=5)
+    assert client.outstanding == 0
+    client.close()
+    listener.close()

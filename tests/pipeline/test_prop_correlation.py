@@ -1,0 +1,134 @@
+"""Property: pipelined correlation survives any reordering and any drops.
+
+A stub frame-level server replies to a batch of requests in a
+Hypothesis-chosen permutation, silently dropping a Hypothesis-chosen
+subset, then closes the connection.  Whatever the schedule: every
+answered request's future resolves with the reply carrying *its*
+correlation id, and every dropped request fails with
+``TransportFailure`` — never a misdelivered or stranded future.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.framing import DEFAULT_MAX_FRAME_SIZE, encode_frame, read_frame
+from repro.net.pipeline import (
+    PipelinedClient,
+    extract_correlation,
+    extract_message_id,
+)
+from repro.protocol.errors import TransportFailure
+from repro.protocol.soap import SoapCodec
+
+from .conftest import grant_message
+
+pytestmark = pytest.mark.pipeline
+
+
+def request_payload(index: int) -> bytes:
+    return (
+        f'<envelope><routing message-id="m-{index}" sender="cli" '
+        f'recipient="stub" correlation="" /></envelope>'
+    ).encode()
+
+
+def reply_payload(index: int, correlation: str) -> bytes:
+    return (
+        f'<envelope><routing message-id="srv-{index}" sender="stub" '
+        f'recipient="cli" correlation="{correlation}" /></envelope>'
+    ).encode()
+
+
+class ReorderServer:
+    """Accept one connection; answer ``order``'s requests, skip ``drops``."""
+
+    def __init__(self, count: int, order: list[int], drops: set[int]):
+        self.count = count
+        self.order = order
+        self.drops = drops
+        self.error: BaseException | None = None
+        self._listener = socket.socket()
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(1)
+        self._listener.settimeout(5)
+        self.address = self._listener.getsockname()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self):
+        try:
+            conn, _ = self._listener.accept()
+            conn.settimeout(5)
+            try:
+                ids: list[str] = []
+                for _ in range(self.count):
+                    frame = read_frame(conn.recv, DEFAULT_MAX_FRAME_SIZE)
+                    assert frame is not None
+                    message_id = extract_message_id(frame)
+                    assert message_id is not None
+                    ids.append(message_id)
+                for index in self.order:
+                    if index in self.drops:
+                        continue
+                    conn.sendall(
+                        encode_frame(
+                            reply_payload(index, ids[index]),
+                            DEFAULT_MAX_FRAME_SIZE,
+                        )
+                    )
+            finally:
+                conn.close()  # EOF: dropped requests fail, not hang
+        except BaseException as exc:  # noqa: BLE001 - surfaced by the test
+            self.error = exc
+
+    def close(self):
+        self._thread.join(timeout=5)
+        self._listener.close()
+        assert self.error is None
+
+
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_any_reorder_and_drops_preserve_correlation(data):
+    count = data.draw(st.integers(min_value=1, max_value=6), label="count")
+    order = data.draw(st.permutations(list(range(count))), label="order")
+    drops = data.draw(
+        st.sets(st.integers(min_value=0, max_value=count - 1)), label="drops"
+    )
+    server = ReorderServer(count, list(order), drops)
+    client = PipelinedClient(server.address, timeout=5.0)
+    try:
+        futures = [
+            client.submit(request_payload(index)) for index in range(count)
+        ]
+        for index, future in enumerate(futures):
+            if index in drops:
+                with pytest.raises(TransportFailure):
+                    future.result(timeout=5)
+            else:
+                reply = future.result(timeout=5)
+                assert extract_correlation(reply) == f"m-{index}"
+    finally:
+        client.close()
+        server.close()
+
+
+@given(
+    message_id=st.from_regex(r"[A-Za-z0-9:\-]{1,24}", fullmatch=True),
+    reply_id=st.from_regex(r"[A-Za-z0-9:\-]{1,24}", fullmatch=True),
+)
+@settings(max_examples=50, deadline=None)
+def test_extraction_roundtrips_through_the_codec(message_id, reply_id):
+    codec = SoapCodec()
+    request = grant_message(message_id, "req-1", "product-0")
+    encoded = codec.encode(request).encode()
+    assert extract_message_id(encoded) == message_id
+    reply = codec.encode(request.reply(reply_id)).encode()
+    assert extract_message_id(reply) == reply_id
+    assert extract_correlation(reply) == message_id

@@ -1,0 +1,159 @@
+"""Regression: byte-bound eviction never drops an in-flight reply.
+
+Pipelined load is exactly the regime that breaks a naive byte-bounded
+reply cache: worker threads finish requests concurrently, each `put`
+applies byte pressure, and an entry whose request is still working
+through the release pipeline (durability wait, journal, duplicate
+waiters) must survive all of it.  Unit tests pin the cache semantics;
+the server-level test proves at-most-once end to end with a cache small
+enough that unpinned entries are churning constantly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.net import PipelinedClient, ThreadedServer
+from repro.net.server import PromiseServer
+from repro.protocol.correlation import ReplyCache
+from repro.protocol.soap import SoapCodec
+
+pytestmark = pytest.mark.pipeline
+
+
+# ------------------------------------------------------------- cache units
+
+
+def test_pinned_entry_survives_byte_pressure():
+    cache: ReplyCache[bytes] = ReplyCache(capacity=100, max_bytes=100)
+    cache.put("inflight", b"x" * 60, pinned=True)
+    for index in range(10):
+        cache.put(f"filler-{index}", b"y" * 60)
+    assert cache.get("inflight") == b"x" * 60
+    assert cache.pinned("inflight")
+    # Pressure was real: unpinned fillers were evicted to make room.
+    assert cache.evictions > 0
+
+
+def test_pinned_entry_survives_capacity_pressure():
+    cache: ReplyCache[bytes] = ReplyCache(capacity=2)
+    cache.put("inflight", b"reply", pinned=True)
+    for index in range(5):
+        cache.put(f"filler-{index}", b"zzz")
+    assert "inflight" in cache
+    assert len(cache) <= 2
+
+
+def test_all_pinned_overflows_rather_than_evicting():
+    cache: ReplyCache[bytes] = ReplyCache(capacity=1, max_bytes=10)
+    cache.put("a", b"x" * 20, pinned=True)
+    cache.put("b", b"y" * 20, pinned=True)
+    # Both bounds are violated, but eviction of an in-flight reply
+    # would be worse: the cache holds the overflow instead.
+    assert "a" in cache and "b" in cache
+    assert cache.evictions == 0
+
+
+def test_unpin_reapplies_the_byte_bound():
+    cache: ReplyCache[bytes] = ReplyCache(capacity=10, max_bytes=50)
+    cache.put("first", b"x" * 60, pinned=True)
+    cache.put("second", b"y" * 60, pinned=True)
+    # Both pins hold their overflow: the budget is blown but untouchable.
+    assert "first" in cache and "second" in cache
+    cache.unpin("first")
+    # The lifted pin re-admits the entry to the sweep, which reclaims it
+    # immediately; the still-pinned entry stays.
+    assert "first" not in cache
+    assert "second" in cache
+    assert cache.bytes_used == 60
+
+
+def test_unpin_is_idempotent_and_pin_ignores_absent_ids():
+    cache: ReplyCache[bytes] = ReplyCache(capacity=4)
+    cache.pin("ghost")
+    assert not cache.pinned("ghost")
+    cache.put("real", b"r", pinned=True)
+    cache.unpin("real")
+    cache.unpin("real")
+    assert not cache.pinned("real")
+
+
+# -------------------------------------------------------- server regression
+
+
+class CountingRig:
+    """Parallel echo server that counts executions per message id."""
+
+    def __init__(self):
+        self.codec = SoapCodec()
+        self.executions: dict[str, int] = {}
+        self._lock = threading.Lock()
+        # dedup_max_bytes far below the working set: every put sweeps.
+        self.server = PromiseServer(workers=4, dedup_max_bytes=512)
+        self.server.register(
+            "echo",
+            self._handle,
+            keys=lambda message: frozenset({message.message_id}),
+        )
+
+    def _handle(self, message):
+        with self._lock:
+            count = self.executions.get(message.message_id, 0) + 1
+            self.executions[message.message_id] = count
+        return message.reply(f"echo:{message.message_id}:{count}")
+
+    def message(self, message_id: str) -> bytes:
+        from repro.protocol.messages import Message
+
+        return self.codec.encode(
+            Message(message_id=message_id, sender="cli", recipient="echo")
+        ).encode()
+
+
+def test_tiny_byte_bound_never_double_executes_inflight_duplicates():
+    rig = CountingRig()
+    with ThreadedServer(rig.server) as address:
+        # Two connections race the same message id while two more hammer
+        # the cache with distinct requests — each reply put() is a byte
+        # sweep over a 512-byte budget.
+        original = PipelinedClient(address, timeout=10.0)
+        duplicate = PipelinedClient(address, timeout=10.0)
+        pressure = PipelinedClient(address, timeout=10.0)
+        try:
+            replies: list[bytes] = []
+            for round_number in range(5):
+                first = original.submit(rig.message(f"dup-{round_number}"))
+                second = duplicate.submit(rig.message(f"dup-{round_number}"))
+                noise = [
+                    pressure.submit(rig.message(f"noise-{round_number}-{n}"))
+                    for n in range(8)
+                ]
+                replies.append(first.result(timeout=5))
+                replies.append(second.result(timeout=5))
+                for future in noise:
+                    future.result(timeout=5)
+            # Every duplicated id executed exactly once: in-flight
+            # coalescing plus the pinned cache entry held at-most-once
+            # under constant byte-bound churn.
+            for round_number in range(5):
+                assert rig.executions[f"dup-{round_number}"] == 1
+            # And both raced clients saw byte-identical replies.
+            for first_reply, second_reply in zip(
+                replies[::2], replies[1::2]
+            ):
+                assert first_reply == second_reply
+        finally:
+            original.close()
+            duplicate.close()
+            pressure.close()
+    # The bound was genuinely under pressure the whole time.
+    assert rig.server._replies.evictions > 0
+
+
+def test_cache_rejects_nonsense_bounds():
+    with pytest.raises(ValueError):
+        ReplyCache(capacity=0)
+    with pytest.raises(ValueError):
+        ReplyCache(capacity=1, max_bytes=0)

@@ -17,6 +17,7 @@ import pytest
 
 from repro.cluster import provision_products
 from repro.core.parser import P
+from repro.faults.history import HistoryRecorder
 from repro.protocol.client import PromiseClient
 from repro.protocol.errors import (
     ProtocolError,
@@ -47,15 +48,22 @@ class Tap:
 
 @pytest.fixture()
 def fleet(tmp_path):
+    # Every failover scenario is additionally audited offline: the
+    # history recorder taps each acting primary's WAL and must find no
+    # over-grant or double execution across the epoch bumps.
+    history = HistoryRecorder()
     fleet = ReplicatedFleet(
         2,
         replicas=1,
         provision=provision_products(PRODUCTS, STOCK),
         wal_dir=str(tmp_path),
+        history=history,
     )
     fleet.start()
     yield fleet
+    history.detach_all()
     fleet.stop()
+    assert history.check() == []
 
 
 def make_client(fleet):
@@ -127,11 +135,13 @@ def test_journaled_replies_survive_failover(fleet):
 
 
 def test_failover_promotes_the_most_caught_up_follower(tmp_path):
+    history = HistoryRecorder()
     fleet = ReplicatedFleet(
         1,
         replicas=2,
         provision=provision_products(PRODUCTS, STOCK),
         wal_dir=str(tmp_path),
+        history=history,
     )
     with fleet:
         gateway, _, client = make_client(fleet)
@@ -157,6 +167,8 @@ def test_failover_promotes_the_most_caught_up_follower(tmp_path):
             == fleet.shard(0).deployment.store.wal.last_lsn
         )
         gateway.close()
+    history.detach_all()
+    assert history.check() == []
 
 
 def test_epochs_are_monotonic_across_repeated_failovers(fleet):
